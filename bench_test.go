@@ -1,0 +1,463 @@
+// Benchmarks regenerating every table and figure of the paper's
+// evaluation (see DESIGN.md §4 for the experiment index), plus the
+// ablation benches of DESIGN.md §6 and micro-benchmarks of the hot
+// substrates. Run with:
+//
+//	go test -bench=. -benchmem
+package namer
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+
+	"namer/internal/ast"
+	"namer/internal/astplus"
+	"namer/internal/core"
+	"namer/internal/corpus"
+	"namer/internal/datalog"
+	"namer/internal/eval"
+	"namer/internal/fptree"
+	"namer/internal/golang"
+	"namer/internal/javalang"
+	"namer/internal/ml"
+	"namer/internal/namepath"
+	"namer/internal/pointsto"
+	"namer/internal/pylang"
+	"namer/internal/subtoken"
+	"namer/internal/textutil"
+)
+
+// benchOptions returns a small corpus configuration so table benches
+// finish quickly while exercising the full pipeline.
+func benchOptions(lang ast.Language) eval.Options {
+	opts := eval.DefaultOptions(lang)
+	opts.Corpus.Repos = 12
+	opts.Corpus.FilesPerRepo = 4
+	opts.System.Mining.MinPatternCount = opts.Corpus.Repos * opts.Corpus.FilesPerRepo / 3
+	opts.TrainSize = 40
+	opts.TestSize = 100
+	return opts
+}
+
+// cached runs share one evaluation environment per language.
+var (
+	runOnce sync.Once
+	runPy   *eval.Run
+	runJava *eval.Run
+)
+
+func sharedRuns() (*eval.Run, *eval.Run) {
+	runOnce.Do(func() {
+		runPy = eval.NewRun(benchOptions(ast.Python))
+		runJava = eval.NewRun(benchOptions(ast.Java))
+	})
+	return runPy, runJava
+}
+
+// --- Figure 2: the overview pipeline ---
+
+const figure2Src = `class TestPicture(TestCase):
+    def test_angle_picture(self):
+        rotated_picture_name = "IMG_2259.jpg"
+        for picture in self.slide.pictures:
+            if picture.relative_path == rotated_picture_name:
+                picture = self.slide.pictures[0]
+                self.assertTrue(picture.rotate_angle, 90)
+                break
+`
+
+func BenchmarkFigure2Pipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		root, err := pylang.Parse(figure2Src)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := pointsto.AnalyzeFile(root, ast.Python)
+		for _, stmt := range ast.Statements(root) {
+			plus := astplus.Transform(stmt, res.OriginOf)
+			namepath.Extract(plus, 10)
+		}
+	}
+}
+
+// --- Figure 3: FP-tree mining ---
+
+func BenchmarkFigure3FPTree(b *testing.B) {
+	txs := [][]int{{1, 2}, {1, 3, 5}, {1, 3, 4}, {1, 3, 4, 6}}
+	for i := 0; i < b.N; i++ {
+		tree := fptree.New()
+		for j := 0; j < 64; j++ {
+			tree.Update(txs[j%len(txs)])
+		}
+		count := 0
+		tree.Walk(func(n *fptree.Node, stack []int) {
+			if n.IsLast {
+				count++
+			}
+		})
+		if count != 4 {
+			b.Fatalf("patterns = %d", count)
+		}
+	}
+}
+
+// --- Tables 2 and 5: precision and ablations ---
+
+func BenchmarkTable2PythonPrecision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := eval.NewRun(benchOptions(ast.Python))
+		rows := run.PrecisionTable()
+		if len(rows) != 4 {
+			b.Fatal("table shape")
+		}
+	}
+}
+
+func BenchmarkTable5JavaPrecision(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := eval.NewRun(benchOptions(ast.Java))
+		rows := run.PrecisionTable()
+		if len(rows) != 4 {
+			b.Fatal("table shape")
+		}
+	}
+}
+
+// --- Table 4: per-pattern-type breakdown ---
+
+func BenchmarkTable4PatternBreakdown(b *testing.B) {
+	py, _ := sharedRuns()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := py.PatternBreakdown(100)
+		if len(rows) != 2 {
+			b.Fatal("breakdown shape")
+		}
+	}
+}
+
+// --- Tables 7 and 8: user study ---
+
+func BenchmarkTable8UserStudy(b *testing.B) {
+	py, _ := sharedRuns()
+	items := py.UserStudyItems()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		eval.SimulateUserStudy(items, 7, int64(i))
+	}
+}
+
+// --- Table 9: classifier feature weights ---
+
+func BenchmarkTable9FeatureWeights(b *testing.B) {
+	py, _ := sharedRuns()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if rows := py.FeatureWeightTable(); len(rows) != 4 {
+			b.Fatal("weight table shape")
+		}
+	}
+}
+
+// --- Tables 10 and 11: neural baselines (includes §5.6 synthetic accuracy) ---
+
+func neuralBenchOptions() eval.NeuralOptions {
+	return eval.NeuralOptions{
+		Dim: 12, Steps: 1, Layers: 1, Epochs: 1,
+		TrainSamples: 60, TestSamples: 30, Seed: 5,
+	}
+}
+
+func BenchmarkTable10NeuralPython(b *testing.B) {
+	py, _ := sharedRuns()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := py.NeuralComparison(neuralBenchOptions(), 20); len(res) != 2 {
+			b.Fatal("comparison shape")
+		}
+	}
+}
+
+func BenchmarkTable11NeuralJava(b *testing.B) {
+	_, jv := sharedRuns()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if res := jv.NeuralComparison(neuralBenchOptions(), 20); len(res) != 2 {
+			b.Fatal("comparison shape")
+		}
+	}
+}
+
+// --- §5.1: speed of Namer (ms per file, the 20ms/39ms numbers) ---
+
+func BenchmarkAnalyzeFilePython(b *testing.B) {
+	c := corpus.Generate(corpus.Config{Lang: ast.Python, Seed: 3, Repos: 1, FilesPerRepo: 1})
+	f := c.Repos[0].Files[0]
+	sys := core.NewSystem(core.DefaultConfig(ast.Python))
+	in := &core.InputFile{Repo: "r", Path: f.Path, Source: f.Source, Root: f.Root}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.ProcessFile(in)
+	}
+}
+
+func BenchmarkAnalyzeFileJava(b *testing.B) {
+	c := corpus.Generate(corpus.Config{Lang: ast.Java, Seed: 3, Repos: 1, FilesPerRepo: 1})
+	f := c.Repos[0].Files[0]
+	sys := core.NewSystem(core.DefaultConfig(ast.Java))
+	in := &core.InputFile{Repo: "r", Path: f.Path, Source: f.Source, Root: f.Root}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.ProcessFile(in)
+	}
+}
+
+// --- §5.2/§5.3: mining statistics ---
+
+func BenchmarkMinePatterns(b *testing.B) {
+	opts := benchOptions(ast.Python)
+	c := corpus.Generate(opts.Corpus)
+	var files []*core.InputFile
+	for _, r := range c.Repos {
+		for _, f := range r.Files {
+			files = append(files, &core.InputFile{Repo: r.Name, Path: f.Path, Source: f.Source, Root: f.Root})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys := core.NewSystem(opts.System)
+		sys.MinePairs(c.Commits)
+		sys.ProcessFiles(files)
+		sys.MinePatterns()
+		if len(sys.Patterns) == 0 {
+			b.Fatal("no patterns")
+		}
+	}
+}
+
+// --- §5.1/§5.2: cross-validation and model selection ---
+
+func BenchmarkCrossValidation(b *testing.B) {
+	py, _ := sharedRuns()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		py.CrossValidation(5)
+	}
+}
+
+func BenchmarkModelSelection(b *testing.B) {
+	py, _ := sharedRuns()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		best, _ := py.CrossValidation(3)
+		if best == "" {
+			b.Fatal("no model selected")
+		}
+	}
+}
+
+// --- Ablation benches (DESIGN.md §6) ---
+
+func BenchmarkAblationNoClassifier(b *testing.B) {
+	opts := benchOptions(ast.Python)
+	for i := 0; i < b.N; i++ {
+		run := eval.NewRun(opts)
+		// Raw pattern matching: every violation is a report (w/o C).
+		n := 0
+		for range run.Violations {
+			n++
+		}
+		if n == 0 {
+			b.Fatal("no violations")
+		}
+	}
+}
+
+func BenchmarkAblationNoAnalysis(b *testing.B) {
+	opts := benchOptions(ast.Python)
+	opts.System.UseAnalysis = false
+	for i := 0; i < b.N; i++ {
+		run := eval.NewRun(opts)
+		_ = run.Violations
+	}
+}
+
+func BenchmarkPointsToKSweep(b *testing.B) {
+	c := corpus.Generate(corpus.Config{Lang: ast.Python, Seed: 5, Repos: 1, FilesPerRepo: 2})
+	f := c.Repos[0].Files[0]
+	for _, k := range []int{0, 1, 2, 5} {
+		b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				pointsto.Analyze(f.Root, ast.Python, pointsto.Options{K: k, MaxAvgContexts: 8})
+			}
+		})
+	}
+}
+
+func BenchmarkMiningThresholdSweep(b *testing.B) {
+	opts := benchOptions(ast.Python)
+	c := corpus.Generate(opts.Corpus)
+	var files []*core.InputFile
+	for _, r := range c.Repos {
+		for _, f := range r.Files {
+			files = append(files, &core.InputFile{Repo: r.Name, Path: f.Path, Source: f.Source, Root: f.Root})
+		}
+	}
+	for _, threshold := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("minCount=%d", threshold), func(b *testing.B) {
+			cfg := opts.System
+			cfg.Mining.MinPatternCount = threshold
+			for i := 0; i < b.N; i++ {
+				sys := core.NewSystem(cfg)
+				sys.MinePairs(c.Commits)
+				sys.ProcessFiles(files)
+				sys.MinePatterns()
+			}
+		})
+	}
+}
+
+func BenchmarkFeatureLevelAblation(b *testing.B) {
+	// Train the classifier with features masked to one statistical level
+	// at a time (motivates Table 9's multi-level design).
+	py, _ := sharedRuns()
+	var X [][]float64
+	var y []int
+	for _, l := range py.Violations {
+		v := py.Sys.FeatureVector(l.V)
+		X = append(X, v)
+		if l.IsIssue() {
+			y = append(y, 1)
+		} else {
+			y = append(y, 0)
+		}
+	}
+	masks := map[string][]int{
+		"file-only": {0, 1, 3, 6, 9, 13, 14, 15, 16},
+		"repo-only": {0, 2, 4, 7, 10, 13, 14, 15, 16},
+		"all":       nil,
+	}
+	for name, keep := range masks {
+		b.Run(name, func(b *testing.B) {
+			Z := X
+			if keep != nil {
+				Z = make([][]float64, len(X))
+				for i, row := range X {
+					masked := make([]float64, len(keep))
+					for j, idx := range keep {
+						masked[j] = row[idx]
+					}
+					Z[i] = masked
+				}
+			}
+			for i := 0; i < b.N; i++ {
+				p := &ml.Pipeline{NewModel: func() ml.Classifier { return &ml.LinearSVM{Epochs: 50, Seed: 9} }}
+				p.Fit(Z, y)
+			}
+		})
+	}
+}
+
+// --- Substrate micro-benchmarks ---
+
+func BenchmarkPythonParse(b *testing.B) {
+	c := corpus.Generate(corpus.Config{Lang: ast.Python, Seed: 7, Repos: 1, FilesPerRepo: 1})
+	src := c.Repos[0].Files[0].Source
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := pylang.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkJavaParse(b *testing.B) {
+	c := corpus.Generate(corpus.Config{Lang: ast.Java, Seed: 7, Repos: 1, FilesPerRepo: 1})
+	src := c.Repos[0].Files[0].Source
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := javalang.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDatalogTransitiveClosure(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		e := datalog.NewEngine()
+		e.MustParse(`
+			Path(X, Y) :- Edge(X, Y).
+			Path(X, Z) :- Path(X, Y), Edge(Y, Z).
+		`)
+		for v := 0; v < 30; v++ {
+			e.Assert("Edge", fmt.Sprint(v), fmt.Sprint(v+1))
+		}
+		if err := e.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSubtokenSplit(b *testing.B) {
+	names := []string{"assertTrue", "rotated_picture_name", "HTTPServerResponse", "x"}
+	for i := 0; i < b.N; i++ {
+		for _, n := range names {
+			subtoken.Split(n)
+		}
+	}
+}
+
+func BenchmarkEditDistance(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		textutil.EditDistance("progDialog", "progressDialog")
+	}
+}
+
+// --- §5.6 synthetic accuracy (standalone alias for the DESIGN.md index) ---
+
+func BenchmarkSyntheticAccuracy(b *testing.B) {
+	py, _ := sharedRuns()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := py.NeuralComparison(neuralBenchOptions(), 20)
+		if len(res) != 2 || res[0].Synthetic.Classification == 0 {
+			b.Fatal("synthetic accuracy not measured")
+		}
+	}
+}
+
+// --- Go front end (the §5.1 genericity claim) ---
+
+func BenchmarkGoParse(b *testing.B) {
+	data, err := os.ReadFile("internal/golang/golang.go")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := string(data)
+	b.SetBytes(int64(len(src)))
+	for i := 0; i < b.N; i++ {
+		if _, err := golang.Parse(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSelfScanFile(b *testing.B) {
+	data, err := os.ReadFile("internal/golang/golang.go")
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := string(data)
+	root, err := golang.Parse(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys := core.NewSystem(core.DefaultConfig(ast.Go))
+	in := &core.InputFile{Repo: "self", Path: "golang.go", Source: src, Root: root}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.ProcessFile(in)
+	}
+}

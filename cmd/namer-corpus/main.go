@@ -1,0 +1,58 @@
+// Command namer-corpus generates a synthetic "Big Code" corpus on disk:
+// repositories of Python or Java files with ground-truth naming issues
+// (issues.json) and a commit history of naming fixes (commits/). It is the
+// data source for the namer-mine → namer-train → namer toolchain and
+// stands in for the paper's GitHub dataset (see DESIGN.md).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"namer/internal/ast"
+	"namer/internal/corpus"
+)
+
+func main() {
+	lang := flag.String("lang", "python", "language: python or java")
+	out := flag.String("out", "corpus", "output directory")
+	repos := flag.Int("repos", 36, "number of repositories")
+	files := flag.Int("files", 5, "files per repository")
+	issueRate := flag.Float64("issue-rate", 0.05, "probability an idiom instance is buggy")
+	anomalyRate := flag.Float64("anomaly-rate", 0.15, "probability of a legitimate anomaly")
+	seed := flag.Int64("seed", 1, "generation seed")
+	flag.Parse()
+
+	l, err := parseLang(*lang)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := corpus.DefaultConfig(l)
+	cfg.Repos = *repos
+	cfg.FilesPerRepo = *files
+	cfg.IssueRate = *issueRate
+	cfg.AnomalyRate = *anomalyRate
+	cfg.Seed = *seed
+	c := corpus.Generate(cfg)
+	if err := c.WriteTo(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %d files in %d repositories to %s (%d ground-truth issues, %d commits)\n",
+		c.TotalFiles(), len(c.Repos), *out, len(c.Issues), len(c.Commits))
+}
+
+func parseLang(s string) (ast.Language, error) {
+	switch s {
+	case "python", "py":
+		return ast.Python, nil
+	case "java":
+		return ast.Java, nil
+	}
+	return 0, fmt.Errorf("unknown language %q (want python or java)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "namer-corpus:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,92 @@
+// Command namer-mine runs the unsupervised half of the paper's recipe
+// over a corpus directory: it mines confusing word pairs from the commit
+// history (§3.2) and name patterns from the code (§3.3, Algorithms 1–2),
+// writing the result as a knowledge file for cmd/namer and
+// cmd/namer-train.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"namer/internal/ast"
+	"namer/internal/core"
+	"namer/internal/corpus"
+)
+
+func main() {
+	lang := flag.String("lang", "python", "language: python or java")
+	dir := flag.String("dir", "corpus", "corpus directory (repositories as subdirectories)")
+	out := flag.String("out", "knowledge.json", "output knowledge file")
+	minPatternCount := flag.Int("min-pattern-count", 0,
+		"FP-tree support threshold (0 = scale with corpus size)")
+	minPairCount := flag.Int("min-pair-count", 3, "confusing-pair support threshold")
+	noAnalysis := flag.Bool("no-analysis", false, "disable the points-to analyses (the w/o A ablation)")
+	flag.Parse()
+
+	l, err := parseLang(*lang)
+	if err != nil {
+		fatal(err)
+	}
+	files, errs := core.LoadDirectory(*dir, l)
+	for _, e := range errs {
+		fmt.Fprintln(os.Stderr, "warning:", e)
+	}
+	if len(files) == 0 {
+		fatal(fmt.Errorf("no %s files under %s", *lang, *dir))
+	}
+
+	cfg := core.DefaultConfig(l)
+	cfg.UseAnalysis = !*noAnalysis
+	cfg.MinPairCount = *minPairCount
+	if *minPatternCount > 0 {
+		cfg.Mining.MinPatternCount = *minPatternCount
+	} else {
+		cfg.Mining.MinPatternCount = len(files) / 3
+		if cfg.Mining.MinPatternCount < 5 {
+			cfg.Mining.MinPatternCount = 5
+		}
+	}
+
+	sys := core.NewSystem(cfg)
+	if pairs, err := corpus.ReadCommits(filepath.Join(*dir, "commits")); err == nil {
+		sys.MinePairs(corpus.ParseCommitSources(l, pairs))
+		fmt.Printf("mined %d confusing word pairs from %d commits\n", sys.Pairs.Len(), len(pairs))
+	} else {
+		sys.MinePairs(nil)
+		fmt.Fprintln(os.Stderr, "warning: no commit history found; confusing-word patterns disabled")
+	}
+
+	start := time.Now()
+	sys.ProcessFiles(files)
+	fmt.Printf("analyzed %d files, %d statements in %v (%.1f ms/file)\n",
+		len(files), len(sys.Stmts), time.Since(start).Round(time.Millisecond),
+		float64(time.Since(start).Milliseconds())/float64(len(files)))
+
+	start = time.Now()
+	sys.MinePatterns()
+	fmt.Printf("mined %d name patterns in %v\n", len(sys.Patterns), time.Since(start).Round(time.Millisecond))
+
+	if err := sys.SaveKnowledge(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+func parseLang(s string) (ast.Language, error) {
+	switch s {
+	case "python", "py":
+		return ast.Python, nil
+	case "java":
+		return ast.Java, nil
+	}
+	return 0, fmt.Errorf("unknown language %q (want python or java)", s)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "namer-mine:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,106 @@
+// FP-tree mining demo (Fig. 3): shows how the pattern miner grows a
+// frequent-pattern tree over condition/deduction transactions and
+// extracts name patterns at transaction-end nodes, then runs the real
+// miner (Algorithms 1 and 2) on a small synthetic statement set to show
+// how the assertTrue/assertEqual pattern of Fig. 2(e) emerges from data.
+package main
+
+import (
+	"fmt"
+
+	"namer/internal/confusion"
+	"namer/internal/fptree"
+	"namer/internal/mining"
+	"namer/internal/namepath"
+	"namer/internal/pattern"
+)
+
+func main() {
+	// Part 1: the toy FP tree of Fig. 3(a). Items are abstract path ids
+	// NP1..NP6 (1..6); the deduction is the last item of each transaction.
+	fmt.Println("== Part 1: the FP tree of Fig. 3(a) ==")
+	tree := fptree.New()
+	for i := 0; i < 33; i++ {
+		tree.Update([]int{1, 2}) // cond NP1 => deduct NP2
+	}
+	for i := 0; i < 15; i++ {
+		tree.Update([]int{1, 3, 5}) // cond NP1,NP3 => deduct NP5
+	}
+	for i := 0; i < 1; i++ {
+		tree.Update([]int{1, 3, 4}) // cond NP1,NP3 => deduct NP4
+	}
+	for i := 0; i < 13; i++ {
+		tree.Update([]int{1, 3, 4, 6}) // cond NP1,NP3,NP4 => deduct NP6
+	}
+	tree.Walk(func(n *fptree.Node, stack []int) {
+		indent := ""
+		for range stack {
+			indent += "  "
+		}
+		last := ""
+		if n.IsLast {
+			last = "  <- transaction end (pattern extracted here)"
+		}
+		fmt.Printf("%sNP%d count=%d%s\n", indent, n.Item, n.Count, last)
+	})
+	fmt.Println()
+	fmt.Println("Extracted (condition => deduction, count) as in Fig. 3(b):")
+	tree.Walk(func(n *fptree.Node, stack []int) {
+		if !n.IsLast {
+			return
+		}
+		fmt.Printf("  {")
+		for i, it := range stack[:len(stack)-1] {
+			if i > 0 {
+				fmt.Print(", ")
+			}
+			fmt.Printf("NP%d", it)
+		}
+		fmt.Printf("} => NP%d   count %d\n", stack[len(stack)-1], n.Count)
+	})
+	fmt.Println()
+
+	// Part 2: mine the Fig. 2(e) pattern from synthetic statements.
+	fmt.Println("== Part 2: mining the assertEqual pattern from statements ==")
+	mk := func(word string) *pattern.Statement {
+		p := func(s string) namepath.Path {
+			np, ok := namepath.ParsePath(s)
+			if !ok {
+				panic("bad path " + s)
+			}
+			return np
+		}
+		return pattern.NewStatement([]namepath.Path{
+			p("NumArgs(2) 0 Call 0 AttributeLoad 0 NameLoad 0 NumST(1) 0 TestCase 0 self"),
+			p("NumArgs(2) 0 Call 0 AttributeLoad 1 Attr 0 NumST(2) 0 TestCase 0 assert"),
+			p("NumArgs(2) 0 Call 0 AttributeLoad 1 Attr 0 NumST(2) 1 TestCase 0 " + word),
+			p("NumArgs(2) 0 Call 2 Num 0 NumST(1) 0 NUM"),
+		})
+	}
+	var stmts []*pattern.Statement
+	for i := 0; i < 60; i++ {
+		stmts = append(stmts, mk("Equal")) // the common idiom
+	}
+	for i := 0; i < 4; i++ {
+		stmts = append(stmts, mk("True")) // the Fig. 2 bug
+	}
+	pairs := confusion.NewPairSet()
+	pairs.Add("True", "Equal") // mined from commit histories (§3.2)
+
+	cfg := mining.DefaultConfig()
+	cfg.MinPathCount = 0
+	cfg.MinPatternCount = 20
+	patterns := mining.MinePatterns(stmts, pattern.ConfusingWord, pairs, cfg)
+	fmt.Printf("mined %d confusing-word pattern(s)\n\n", len(patterns))
+
+	buggy := mk("True")
+	for _, p := range patterns {
+		if !buggy.Violated(p) {
+			continue
+		}
+		fmt.Println(p)
+		v, _ := buggy.Explain(p)
+		fmt.Printf("the buggy statement violates it: fix %q -> %q\n", v.Original, v.Suggested)
+		break
+	}
+}

@@ -1,0 +1,3 @@
+module namer
+
+go 1.22

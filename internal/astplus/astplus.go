@@ -1,0 +1,142 @@
+// Package astplus implements the AST transformation of §3.1: starting from
+// a parsed statement AST it (1) abstracts literals to NUM/STR/BOOL tokens,
+// (2) inserts NumArgs(k) nodes above calls and function definitions, (3)
+// splits identifier terminals into subtokens under NumST(k) nodes, and (4)
+// inserts origin nodes computed by the points-to and dataflow analyses
+// (package pointsto) as parents of the affected subtokens. The result is
+// the transformed AST (AST+) of Fig. 2(c), from which name paths are
+// extracted.
+package astplus
+
+import (
+	"fmt"
+
+	"namer/internal/ast"
+	"namer/internal/subtoken"
+)
+
+// OriginFunc reports the origin label for a terminal node of the original
+// file AST, as computed by the points-to analysis. A nil OriginFunc
+// disables rule 4 (the "w/o A" ablation of Tables 2 and 5).
+type OriginFunc func(orig *ast.Node) (string, bool)
+
+// Transform produces the AST+ for a projected statement. The input
+// statement is not mutated. When origin is non-nil, it is consulted
+// through stmt.OrigNodes for every identifier terminal.
+func Transform(stmt *ast.Statement, origin OriginFunc) *ast.Node {
+	root := stmt.Root
+	// The paper draws statement trees rooted at the expression: an
+	// ExprStmt wrapper with a single child is elided (Fig. 2(b) roots the
+	// tree at Call).
+	if root.Kind == ast.ExprStmt && len(root.Children) == 1 {
+		root = root.Children[0]
+	}
+	t := &transformer{stmt: stmt, origin: origin}
+	return t.node(root)
+}
+
+type transformer struct {
+	stmt   *ast.Statement
+	origin OriginFunc
+}
+
+func (t *transformer) originOf(clone *ast.Node) (string, bool) {
+	if t.origin == nil {
+		return "", false
+	}
+	orig, ok := t.stmt.OrigNodes[clone]
+	if !ok {
+		// The caller may pass a statement whose Root nodes are original
+		// nodes themselves.
+		orig = clone
+	}
+	return t.origin(orig)
+}
+
+func (t *transformer) node(n *ast.Node) *ast.Node {
+	if n.IsTerminal() {
+		return t.terminal(n)
+	}
+	out := &ast.Node{Kind: n.Kind, Value: n.Value, Line: n.Line}
+	for _, c := range n.Children {
+		out.Children = append(out.Children, t.node(c))
+	}
+	// Rule 2: NumArgs(k) above calls and function definitions.
+	switch n.Kind {
+	case ast.Call:
+		k := len(n.Children) - 1
+		if k < 0 {
+			k = 0
+		}
+		return wrapNumArgs(out, k)
+	case ast.New:
+		k := 0
+		for _, c := range n.Children[1:] {
+			if c.Kind != ast.Body {
+				k++
+			}
+		}
+		return wrapNumArgs(out, k)
+	case ast.FunctionDef, ast.CtorDef, ast.Lambda:
+		k := 0
+		if params := findParams(n); params != nil {
+			k = len(params.Children)
+		}
+		return wrapNumArgs(out, k)
+	}
+	return out
+}
+
+func wrapNumArgs(n *ast.Node, k int) *ast.Node {
+	w := &ast.Node{Kind: ast.NumArgs, Value: fmt.Sprintf("NumArgs(%d)", k), Line: n.Line}
+	w.Children = []*ast.Node{n}
+	return w
+}
+
+func findParams(n *ast.Node) *ast.Node {
+	for _, c := range n.Children {
+		if c.Kind == ast.Params {
+			return c
+		}
+	}
+	return nil
+}
+
+func (t *transformer) terminal(n *ast.Node) *ast.Node {
+	switch n.Kind {
+	case ast.NumLit:
+		return wrapNumST([]string{"NUM"}, "", n.Line)
+	case ast.StrLit:
+		return wrapNumST([]string{"STR"}, "", n.Line)
+	case ast.BoolLit:
+		return wrapNumST([]string{"BOOL"}, "", n.Line)
+	case ast.NullLit:
+		return wrapNumST([]string{"NULL"}, "", n.Line)
+	case ast.Ident:
+		subs := subtoken.Split(n.Value)
+		if len(subs) == 0 {
+			subs = []string{n.Value}
+		}
+		orig, _ := t.originOf(n)
+		return wrapNumST(subs, orig, n.Line)
+	default:
+		// Operators and other token leaves stay as-is.
+		return &ast.Node{Kind: n.Kind, Value: n.Value, Line: n.Line}
+	}
+}
+
+// wrapNumST builds NumST(k) -> [origin ->] subtoken leaves.
+func wrapNumST(subs []string, origin string, line int) *ast.Node {
+	w := &ast.Node{Kind: ast.NumST, Value: fmt.Sprintf("NumST(%d)", len(subs)), Line: line}
+	for _, s := range subs {
+		leaf := &ast.Node{Kind: ast.Subtoken, Value: s, Line: line}
+		if origin != "" {
+			o := &ast.Node{Kind: ast.Origin, Value: origin, Line: line,
+				Children: []*ast.Node{leaf}}
+			w.Children = append(w.Children, o)
+		} else {
+			w.Children = append(w.Children, leaf)
+		}
+	}
+	return w
+}

@@ -1,0 +1,110 @@
+package astplus
+
+import (
+	"strings"
+	"testing"
+
+	"namer/internal/ast"
+	"namer/internal/javalang"
+	"namer/internal/namepath"
+	"namer/internal/pointsto"
+)
+
+func transformJavaStmt(t *testing.T, src string, match string) *ast.Node {
+	t.Helper()
+	root, err := javalang.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := pointsto.AnalyzeFile(root, ast.Java)
+	for _, stmt := range ast.Statements(root) {
+		found := false
+		stmt.Root.Walk(func(n *ast.Node) bool {
+			if n.Kind == ast.Ident && n.Value == match {
+				found = true
+			}
+			return true
+		})
+		if found {
+			return Transform(stmt, res.OriginOf)
+		}
+	}
+	t.Fatalf("statement containing %q not found", match)
+	return nil
+}
+
+func TestJavaCallTransform(t *testing.T) {
+	src := `class T {
+    void m(ProgressDialog progressDialog) {
+        progressDialog.dismiss();
+    }
+}`
+	plus := transformJavaStmt(t, src, "dismiss")
+	paths := namepath.Extract(plus, 0)
+	var all []string
+	for _, p := range paths {
+		all = append(all, p.String())
+	}
+	joined := strings.Join(all, "\n")
+	// The receiver splits into two subtokens, each under the
+	// ProgressDialog origin from its declared parameter type.
+	for _, want := range []string{
+		"NumArgs(0) 0 Call 0 AttributeLoad 0 NameLoad 0 NumST(2) 0 ProgressDialog 0 progress",
+		"NumArgs(0) 0 Call 0 AttributeLoad 0 NameLoad 0 NumST(2) 1 ProgressDialog 0 Dialog",
+	} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing path %q in:\n%s", want, joined)
+		}
+	}
+}
+
+func TestJavaNewTransform(t *testing.T) {
+	src := `class T {
+    void m() {
+        StringWriter w = new StringWriter();
+    }
+}`
+	plus := transformJavaStmt(t, src, "StringWriter")
+	var sawNumArgs bool
+	plus.Walk(func(n *ast.Node) bool {
+		if n.Kind == ast.NumArgs && n.Value == "NumArgs(0)" {
+			sawNumArgs = true
+		}
+		return true
+	})
+	if !sawNumArgs {
+		t.Error("New should be wrapped in NumArgs(0)")
+	}
+}
+
+func TestJavaMethodDefTransform(t *testing.T) {
+	src := `class T {
+    void handle(Context context, Intent intent) {
+        use(context);
+    }
+}`
+	plus := transformJavaStmt(t, src, "handle")
+	if plus.Kind != ast.NumArgs || plus.Value != "NumArgs(2)" {
+		t.Errorf("method def wrapper = %q, want NumArgs(2)", plus.Value)
+	}
+}
+
+func TestJavaLiteralAbstraction(t *testing.T) {
+	src := `class T {
+    void m() {
+        x = compute(3.14, "text", true, null);
+    }
+}`
+	plus := transformJavaStmt(t, src, "compute")
+	paths := namepath.Extract(plus, 0)
+	var ends []string
+	for _, p := range paths {
+		ends = append(ends, p.End)
+	}
+	joined := strings.Join(ends, " ")
+	for _, want := range []string{"NUM", "STR", "BOOL", "NULL"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("missing abstracted literal %s in ends: %v", want, ends)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package confusion
+
+import (
+	"testing"
+
+	"namer/internal/pylang"
+)
+
+func TestMinePairsFromCommits(t *testing.T) {
+	mk := func(before, after string) Commit {
+		b, err := pylang.Parse(before)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := pylang.Parse(after)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Commit{Before: b, After: a}
+	}
+	commits := []Commit{
+		mk("self.assertTrue(v, 4)\n", "self.assertEqual(v, 4)\n"),
+		mk("self.assertTrue(w, 9)\n", "self.assertEqual(w, 9)\n"),
+		mk("x = getName(d)\n", "x = getKey(d)\n"),
+		mk("num_or_process = 3\n", "num_of_process = 3\n"),
+		mk("y = value\n", "y = key\n"),
+	}
+	ps := MinePairs(commits)
+	if !ps.Contains("True", "Equal") {
+		t.Error("True -> Equal not mined")
+	}
+	if got := ps.Count("True", "Equal"); got != 2 {
+		t.Errorf("Count(True, Equal) = %d, want 2", got)
+	}
+	if !ps.Contains("Name", "Key") {
+		t.Error("Name -> Key not mined")
+	}
+	if !ps.Contains("or", "of") {
+		t.Error("or -> of not mined")
+	}
+	if !ps.Contains("value", "key") {
+		t.Error("value -> key not mined")
+	}
+	if !ps.IsCorrectWord("Equal") || ps.IsCorrectWord("True") {
+		t.Error("IsCorrectWord wrong")
+	}
+}
+
+func TestMultiSubtokenDiffIgnored(t *testing.T) {
+	b, _ := pylang.Parse("total_item_count = 1\n")
+	a, _ := pylang.Parse("final_entry_count = 1\n") // two subtokens differ
+	ps := MinePairs([]Commit{{Before: b, After: a}})
+	if ps.Len() != 0 {
+		t.Errorf("multi-subtoken rename should be ignored, got %v", ps.Pairs())
+	}
+}
+
+func TestDifferentSubtokenCountIgnored(t *testing.T) {
+	b, _ := pylang.Parse("x = name\n")
+	a, _ := pylang.Parse("x = first_name\n")
+	ps := MinePairs([]Commit{{Before: b, After: a}})
+	if ps.Len() != 0 {
+		t.Errorf("count-changing rename should be ignored, got %v", ps.Pairs())
+	}
+}
+
+func TestPruneAndPairsOrder(t *testing.T) {
+	ps := NewPairSet()
+	ps.Add("a", "b")
+	ps.Add("a", "b")
+	ps.Add("a", "b")
+	ps.Add("c", "d")
+	pruned := ps.Prune(2)
+	if pruned.Len() != 1 || !pruned.Contains("a", "b") {
+		t.Errorf("Prune(2) = %v", pruned.Pairs())
+	}
+	pairs := ps.Pairs()
+	if len(pairs) != 2 || pairs[0] != [2]string{"a", "b"} {
+		t.Errorf("Pairs order = %v", pairs)
+	}
+}
+
+func TestAddRejectsDegenerate(t *testing.T) {
+	ps := NewPairSet()
+	ps.Add("same", "same")
+	ps.Add("", "x")
+	ps.Add("x", "")
+	if ps.Len() != 0 {
+		t.Errorf("degenerate pairs accepted: %v", ps.Pairs())
+	}
+}

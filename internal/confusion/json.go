@@ -1,0 +1,37 @@
+package confusion
+
+import "encoding/json"
+
+// pairJSON is the serialized form of one confusing word pair.
+type pairJSON struct {
+	Mistaken string `json:"mistaken"`
+	Correct  string `json:"correct"`
+	Count    int    `json:"count"`
+}
+
+// MarshalJSON serializes the pair set (sorted by count).
+func (ps *PairSet) MarshalJSON() ([]byte, error) {
+	var out []pairJSON
+	for _, p := range ps.Pairs() {
+		out = append(out, pairJSON{Mistaken: p[0], Correct: p[1], Count: ps.Count(p[0], p[1])})
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON deserializes a pair set.
+func (ps *PairSet) UnmarshalJSON(data []byte) error {
+	var in []pairJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	ps.counts = make(map[[2]string]int)
+	ps.correct = make(map[string]bool)
+	for _, p := range in {
+		if p.Count <= 0 {
+			p.Count = 1
+		}
+		ps.counts[[2]string{p.Mistaken, p.Correct}] = p.Count
+		ps.correct[p.Correct] = true
+	}
+	return nil
+}

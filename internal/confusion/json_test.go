@@ -1,0 +1,62 @@
+package confusion
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestPairSetJSONRoundTrip(t *testing.T) {
+	ps := NewPairSet()
+	ps.Add("True", "Equal")
+	ps.Add("True", "Equal")
+	ps.Add("j", "i")
+	data, err := json.Marshal(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewPairSet()
+	if err := json.Unmarshal(data, q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	if q.Count("True", "Equal") != 2 {
+		t.Errorf("count lost: %d", q.Count("True", "Equal"))
+	}
+	if !q.IsCorrectWord("Equal") || !q.IsCorrectWord("i") {
+		t.Error("correct-word index not rebuilt")
+	}
+}
+
+func TestPairSetUnmarshalDefaultsCount(t *testing.T) {
+	q := NewPairSet()
+	if err := json.Unmarshal([]byte(`[{"mistaken":"a","correct":"b"}]`), q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Count("a", "b") != 1 {
+		t.Errorf("zero count should default to 1, got %d", q.Count("a", "b"))
+	}
+}
+
+func TestPairSetUnmarshalError(t *testing.T) {
+	q := NewPairSet()
+	if err := json.Unmarshal([]byte(`{"not":"a list"}`), q); err == nil {
+		t.Error("malformed JSON should fail")
+	}
+}
+
+func TestEmptyPairSetJSON(t *testing.T) {
+	ps := NewPairSet()
+	data, err := json.Marshal(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := NewPairSet()
+	if err := json.Unmarshal(data, q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Len() != 0 {
+		t.Error("empty set round trip failed")
+	}
+}

@@ -1,0 +1,332 @@
+// Package core assembles the full Namer system of the paper: per-file
+// parsing and static analysis (§4.1), the AST+ transformation and name
+// path extraction (§3.1), name pattern mining over the corpus (§3.3),
+// violation detection (§3.2), feature extraction (§4.2, Table 1), and the
+// defect classifier that prunes false positives.
+//
+// The two ablations of Tables 2 and 5 are configuration switches:
+// Config.UseAnalysis ("w/o A" when false) and whether a classifier is
+// trained ("w/o C" when not).
+package core
+
+import (
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"namer/internal/ast"
+	"namer/internal/astplus"
+	"namer/internal/confusion"
+	"namer/internal/features"
+	"namer/internal/mining"
+	"namer/internal/ml"
+	"namer/internal/namepath"
+	"namer/internal/pattern"
+	"namer/internal/pointsto"
+)
+
+// Config configures a Namer instance.
+type Config struct {
+	Lang ast.Language
+	// UseAnalysis enables the points-to/dataflow origin decoration; false
+	// is the "w/o A" ablation.
+	UseAnalysis bool
+	// Mining hyperparameters (§5.1).
+	Mining mining.Config
+	// PointsTo options (k=5, fallback at 8 contexts/method).
+	PointsTo pointsto.Options
+	// MinPairCount prunes confusing word pairs seen fewer times.
+	MinPairCount int
+	// Seed drives classifier training.
+	Seed int64
+}
+
+// DefaultConfig mirrors §5.1 with corpus-scale mining thresholds.
+func DefaultConfig(lang ast.Language) Config {
+	m := mining.DefaultConfig()
+	m.MinPatternCount = 40
+	m.MaxCombinationsPerNode = 64
+	return Config{
+		Lang:         lang,
+		UseAnalysis:  true,
+		Mining:       m,
+		PointsTo:     pointsto.DefaultOptions(),
+		MinPairCount: 3,
+		Seed:         1,
+	}
+}
+
+// InputFile is one corpus file handed to the system.
+type InputFile struct {
+	Repo   string
+	Path   string
+	Source string
+	Root   *ast.Node
+}
+
+// ProcStmt is one processed statement: its indexed name paths plus the
+// provenance needed for features and reports.
+type ProcStmt struct {
+	Repo        string
+	Path        string
+	Line        int
+	Fingerprint string
+	PS          *pattern.Statement
+	SourceLine  string
+}
+
+// Violation is one detected name pattern violation, before classification.
+type Violation struct {
+	Stmt    *ProcStmt
+	Pattern *pattern.Pattern
+	Detail  pattern.Violation
+}
+
+// System is a Namer instance.
+type System struct {
+	cfg      Config
+	Pairs    *confusion.PairSet
+	Patterns []*pattern.Pattern
+	Stmts    []*ProcStmt
+	StatsIx  *features.Index
+
+	classifier *ml.Pipeline
+	index      *mining.Index
+}
+
+// NewSystem returns an empty system.
+func NewSystem(cfg Config) *System {
+	return &System{cfg: cfg, StatsIx: features.NewIndex()}
+}
+
+// Config returns the system configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// MinePairs extracts and prunes confusing word pairs from commit history.
+func (s *System) MinePairs(commits []confusion.Commit) {
+	ps := confusion.MinePairs(commits)
+	if s.cfg.MinPairCount > 1 {
+		ps = ps.Prune(s.cfg.MinPairCount)
+	}
+	s.Pairs = ps
+}
+
+// ProcessFiles runs the per-file front end (analysis, transformation, name
+// path extraction) in parallel across files, in deterministic output
+// order, and records statement statistics for features 2-3.
+func (s *System) ProcessFiles(files []*InputFile) {
+	results := make([][]*ProcStmt, len(files))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.NumCPU())
+	for i, f := range files {
+		wg.Add(1)
+		go func(i int, f *InputFile) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = s.ProcessFile(f)
+		}(i, f)
+	}
+	wg.Wait()
+	for _, stmts := range results {
+		for _, ps := range stmts {
+			s.Stmts = append(s.Stmts, ps)
+			s.StatsIx.AddStatement(ps.Repo, ps.Path, ps.Fingerprint)
+		}
+	}
+}
+
+// ProcessFile runs the front half of the pipeline on one file.
+func (s *System) ProcessFile(f *InputFile) []*ProcStmt {
+	var origin astplus.OriginFunc
+	if s.cfg.UseAnalysis {
+		res := pointsto.Analyze(f.Root, s.cfg.Lang, s.cfg.PointsTo)
+		origin = res.OriginOf
+	}
+	lines := strings.Split(f.Source, "\n")
+	var out []*ProcStmt
+	for _, stmt := range ast.Statements(f.Root) {
+		plus := astplus.Transform(stmt, origin)
+		paths := namepath.Extract(plus, s.cfg.Mining.MaxPathsPerStatement)
+		if len(paths) == 0 {
+			continue
+		}
+		srcLine := ""
+		if stmt.Line >= 1 && stmt.Line <= len(lines) {
+			srcLine = strings.TrimSpace(lines[stmt.Line-1])
+		}
+		out = append(out, &ProcStmt{
+			Repo:        f.Repo,
+			Path:        f.Path,
+			Line:        stmt.Line,
+			Fingerprint: stmt.Root.Fingerprint(),
+			PS:          pattern.NewStatement(paths),
+			SourceLine:  srcLine,
+		})
+	}
+	return out
+}
+
+// MinePatterns mines both pattern types over the processed statements.
+func (s *System) MinePatterns() {
+	stmts := make([]*pattern.Statement, len(s.Stmts))
+	for i, ps := range s.Stmts {
+		stmts[i] = ps.PS
+	}
+	cons := mining.MinePatterns(stmts, pattern.Consistency, nil, s.cfg.Mining)
+	conf := mining.MinePatterns(stmts, pattern.ConfusingWord, s.Pairs, s.cfg.Mining)
+	s.Patterns = append(cons, conf...)
+	s.index = mining.NewIndex(s.Patterns)
+}
+
+// Scan matches every statement against the mined patterns, populating the
+// statistics index (features 4-12) and returning all violations in
+// deterministic order.
+func (s *System) Scan() []*Violation {
+	var out []*Violation
+	for _, ps := range s.Stmts {
+		cands := s.index.Candidates(ps.PS)
+		sort.Slice(cands, func(i, j int) bool { return cands[i].Key() < cands[j].Key() })
+		for _, p := range cands {
+			if !ps.PS.Matches(p) {
+				continue
+			}
+			satisfied := ps.PS.Satisfied(p)
+			s.StatsIx.AddObservation(ps.Repo, ps.Path, p, satisfied)
+			if satisfied {
+				continue
+			}
+			detail, ok := ps.PS.Explain(p)
+			if !ok {
+				continue
+			}
+			out = append(out, &Violation{Stmt: ps, Pattern: p, Detail: detail})
+		}
+	}
+	return out
+}
+
+// Dedup collapses violations that flag the same statement with the same
+// original/suggested subtokens (near-identical patterns produce duplicate
+// reports); the first occurrence — the lowest pattern key — is kept.
+func Dedup(vs []*Violation) []*Violation {
+	type key struct {
+		stmt      *ProcStmt
+		original  string
+		suggested string
+	}
+	seen := map[key]bool{}
+	out := vs[:0:0]
+	for _, v := range vs {
+		k := key{v.Stmt, v.Detail.Original, v.Detail.Suggested}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, v)
+	}
+	return out
+}
+
+// FeatureVector computes the 17 features of Table 1 for a violation.
+func (s *System) FeatureVector(v *Violation) []float64 {
+	return s.StatsIx.Vector(features.Violation{
+		Repo:        v.Stmt.Repo,
+		File:        v.Stmt.Path,
+		Fingerprint: v.Stmt.Fingerprint,
+		NumPaths:    len(v.Stmt.PS.Paths),
+		Pattern:     v.Pattern,
+		Detail:      v.Detail,
+	}, s.Pairs)
+}
+
+// TrainClassifier trains the defect classifier (linear SVM over
+// standardized, PCA-transformed features, per §5.1) from labeled
+// violations. Labels are 1 for true naming issues, 0 for false positives.
+func (s *System) TrainClassifier(vs []*Violation, labels []int) {
+	X := make([][]float64, len(vs))
+	for i, v := range vs {
+		X[i] = s.FeatureVector(v)
+	}
+	s.classifier = s.newPipeline("svm")
+	s.classifier.Fit(X, labels)
+}
+
+// newPipeline builds the §5.1 preprocessing + model stack.
+func (s *System) newPipeline(model string) *ml.Pipeline {
+	seed := s.cfg.Seed
+	return &ml.Pipeline{
+		UsePCA: true,
+		PCAK:   0,
+		NewModel: func() ml.Classifier {
+			switch model {
+			case "logreg":
+				return &ml.LogisticRegression{Epochs: 150, Seed: seed}
+			case "lda":
+				return &ml.LDA{}
+			default:
+				return &ml.LinearSVM{Epochs: 150, Seed: seed}
+			}
+		},
+	}
+}
+
+// CrossValidate runs the §5.1 model-selection protocol (random 80/20
+// splits, repeated) over labeled violations for the given model name
+// ("svm", "logreg", "lda"), returning averaged metrics.
+func (s *System) CrossValidate(vs []*Violation, labels []int, model string, repeats int) ml.Metrics {
+	X := make([][]float64, len(vs))
+	for i, v := range vs {
+		X[i] = s.FeatureVector(v)
+	}
+	return ml.CrossValidate(func() *ml.Pipeline { return s.newPipeline(model) },
+		X, labels, repeats, 0.8, s.cfg.Seed)
+}
+
+// HasClassifier reports whether a classifier is trained.
+func (s *System) HasClassifier() bool { return s.classifier != nil }
+
+// Classify returns whether the violation should be reported as a naming
+// issue. Without a trained classifier every violation is reported (the
+// "w/o C" ablation).
+func (s *System) Classify(v *Violation) bool {
+	if s.classifier == nil {
+		return true
+	}
+	return s.classifier.Predict(s.FeatureVector(v)) == 1
+}
+
+// FeatureWeights returns the trained classifier's weights mapped back to
+// the 17 features of Table 1 (what Table 9 aggregates); nil before
+// training.
+func (s *System) FeatureWeights() []float64 {
+	if s.classifier == nil {
+		return nil
+	}
+	return s.classifier.FeatureWeights()
+}
+
+// Report renders a violation as a human-readable report with the
+// suggested fix, in the style of Tables 3 and 6.
+func (v *Violation) Report() string {
+	var b strings.Builder
+	b.WriteString(v.Stmt.Path)
+	b.WriteString(":")
+	b.WriteString(strconv.Itoa(v.Stmt.Line))
+	b.WriteString(": ")
+	if v.Stmt.SourceLine != "" {
+		b.WriteString(v.Stmt.SourceLine)
+	} else {
+		b.WriteString(v.Stmt.Fingerprint)
+	}
+	b.WriteString("\n  suggested fix: replace \"")
+	b.WriteString(v.Detail.Original)
+	b.WriteString("\" with \"")
+	b.WriteString(v.Detail.Suggested)
+	b.WriteString("\" (")
+	b.WriteString(v.Pattern.Type.String())
+	b.WriteString(" pattern)")
+	return b.String()
+}

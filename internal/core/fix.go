@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"namer/internal/subtoken"
+)
+
+// SuggestFixedName returns the full identifier rewrite a violation
+// suggests: the identifier on the reported line whose subtokens contain
+// the flagged original subtoken, with that subtoken replaced by the
+// suggestion. ok is false when no unique identifier on the line carries
+// the subtoken.
+func (v *Violation) SuggestFixedName() (from, to string, ok bool) {
+	from, ok = findIdentifierWithSubtoken(v.Stmt.SourceLine, v.Detail.Original)
+	if !ok {
+		return "", "", false
+	}
+	subs := subtoken.Split(from)
+	for i, s := range subs {
+		if s == v.Detail.Original {
+			subs[i] = v.Detail.Suggested
+			break
+		}
+	}
+	to = subtoken.Join(from, subs)
+	return from, to, from != to
+}
+
+// ApplyFix rewrites one violation in the file source, replacing the
+// offending identifier on the reported line, and returns the new source.
+// It fails (ok=false) when the identifier cannot be located unambiguously.
+func ApplyFix(source string, v *Violation) (string, bool) {
+	lines := strings.Split(source, "\n")
+	if v.Stmt.Line < 1 || v.Stmt.Line > len(lines) {
+		return source, false
+	}
+	from, to, ok := v.SuggestFixedName()
+	if !ok {
+		return source, false
+	}
+	line := lines[v.Stmt.Line-1]
+	fixed, ok := replaceIdentifier(line, from, to)
+	if !ok {
+		return source, false
+	}
+	lines[v.Stmt.Line-1] = fixed
+	return strings.Join(lines, "\n"), true
+}
+
+// FixReport renders the rewrite as a human-readable diff line.
+func FixReport(v *Violation) string {
+	from, to, ok := v.SuggestFixedName()
+	if !ok {
+		return fmt.Sprintf("%s:%d: no automatic fix (replace subtoken %q with %q manually)",
+			v.Stmt.Path, v.Stmt.Line, v.Detail.Original, v.Detail.Suggested)
+	}
+	return fmt.Sprintf("%s:%d: %s -> %s", v.Stmt.Path, v.Stmt.Line, from, to)
+}
+
+// findIdentifierWithSubtoken scans the identifiers of a source line for
+// the unique one whose subtoken split contains sub.
+func findIdentifierWithSubtoken(line, sub string) (string, bool) {
+	found := ""
+	for _, ident := range identifiersOf(line) {
+		for _, s := range subtoken.Split(ident) {
+			if s == sub {
+				if found != "" && found != ident {
+					return "", false // ambiguous
+				}
+				found = ident
+				break
+			}
+		}
+	}
+	return found, found != ""
+}
+
+// identifiersOf tokenizes a line into identifier-shaped words.
+func identifiersOf(line string) []string {
+	var out []string
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		if isIdentStart(c) {
+			j := i
+			for j < len(line) && isIdentCont(line[j]) {
+				j++
+			}
+			out = append(out, line[i:j])
+			i = j
+			continue
+		}
+		if c == '"' || c == '\'' {
+			// Skip string literals so their contents are not rewritten.
+			q := c
+			j := i + 1
+			for j < len(line) {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == q {
+					j++
+					break
+				}
+				j++
+			}
+			i = j
+			continue
+		}
+		i++
+	}
+	return out
+}
+
+// replaceIdentifier rewrites whole-word occurrences of from outside string
+// literals; ok is false when nothing was replaced.
+func replaceIdentifier(line, from, to string) (string, bool) {
+	var b strings.Builder
+	replaced := false
+	i := 0
+	for i < len(line) {
+		c := line[i]
+		if isIdentStart(c) {
+			j := i
+			for j < len(line) && isIdentCont(line[j]) {
+				j++
+			}
+			word := line[i:j]
+			if word == from {
+				b.WriteString(to)
+				replaced = true
+			} else {
+				b.WriteString(word)
+			}
+			i = j
+			continue
+		}
+		if c == '"' || c == '\'' {
+			q := c
+			j := i + 1
+			for j < len(line) {
+				if line[j] == '\\' {
+					j += 2
+					continue
+				}
+				if line[j] == q {
+					j++
+					break
+				}
+				j++
+			}
+			b.WriteString(line[i:j])
+			i = j
+			continue
+		}
+		b.WriteByte(c)
+		i++
+	}
+	return b.String(), replaced
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
+
+func isIdentCont(c byte) bool {
+	return isIdentStart(c) || c >= '0' && c <= '9'
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"namer/internal/ast"
+	"namer/internal/confusion"
+	"namer/internal/mining"
+	"namer/internal/ml"
+	"namer/internal/pattern"
+)
+
+// Knowledge is the serializable product of mining and training: everything
+// a fresh Namer process needs to detect issues in new code without
+// re-mining — the confusing word pairs, the name patterns, and the trained
+// defect classifier.
+type Knowledge struct {
+	Lang       string             `json:"lang"`
+	Pairs      *confusion.PairSet `json:"pairs"`
+	Patterns   []*pattern.Pattern `json:"patterns"`
+	Classifier *ml.PipelineState  `json:"classifier,omitempty"`
+}
+
+// ExportKnowledge captures the system's mined and trained state.
+func (s *System) ExportKnowledge() (*Knowledge, error) {
+	k := &Knowledge{
+		Lang:     s.cfg.Lang.String(),
+		Pairs:    s.Pairs,
+		Patterns: s.Patterns,
+	}
+	if s.classifier != nil {
+		st, err := s.classifier.Export()
+		if err != nil {
+			return nil, err
+		}
+		k.Classifier = st
+	}
+	return k, nil
+}
+
+// ImportKnowledge installs previously exported state into a fresh system.
+func (s *System) ImportKnowledge(k *Knowledge) error {
+	switch k.Lang {
+	case ast.Python.String():
+		s.cfg.Lang = ast.Python
+	case ast.Java.String():
+		s.cfg.Lang = ast.Java
+	default:
+		return fmt.Errorf("core: unknown language %q", k.Lang)
+	}
+	s.Pairs = k.Pairs
+	s.Patterns = k.Patterns
+	s.index = mining.NewIndex(s.Patterns)
+	if k.Classifier != nil {
+		s.classifier = ml.Restore(k.Classifier)
+	}
+	return nil
+}
+
+// SaveKnowledge writes the exported state as JSON.
+func (s *System) SaveKnowledge(path string) error {
+	k, err := s.ExportKnowledge()
+	if err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(k, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadKnowledge reads exported state from JSON.
+func (s *System) LoadKnowledge(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var k Knowledge
+	k.Pairs = confusion.NewPairSet()
+	if err := json.Unmarshal(data, &k); err != nil {
+		return err
+	}
+	return s.ImportKnowledge(&k)
+}

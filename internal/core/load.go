@@ -1,0 +1,75 @@
+package core
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"namer/internal/ast"
+	"namer/internal/golang"
+	"namer/internal/javalang"
+	"namer/internal/pylang"
+)
+
+// LoadDirectory walks a corpus directory and parses every source file of
+// the language (.py or .java). The first path component below root names
+// the repository (the layout corpus.WriteTo produces). Unparseable files
+// are skipped with their errors collected.
+func LoadDirectory(root string, lang ast.Language) ([]*InputFile, []error) {
+	ext := ".py"
+	switch lang {
+	case ast.Java:
+		ext = ".java"
+	case ast.Go:
+		ext = ".go"
+	}
+	var files []*InputFile
+	var errs []error
+	walkErr := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() || !strings.HasSuffix(path, ext) {
+			return nil
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			errs = append(errs, err)
+			return nil
+		}
+		rel, err := filepath.Rel(root, path)
+		if err != nil {
+			rel = path
+		}
+		repo := rel
+		if i := strings.IndexByte(rel, filepath.Separator); i >= 0 {
+			repo = rel[:i]
+		}
+		var node *ast.Node
+		switch lang {
+		case ast.Python:
+			node, err = pylang.Parse(string(data))
+		case ast.Go:
+			node, err = golang.Parse(string(data))
+		default:
+			node, err = javalang.Parse(string(data))
+		}
+		if err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", rel, err))
+			return nil
+		}
+		files = append(files, &InputFile{
+			Repo:   repo,
+			Path:   rel,
+			Source: string(data),
+			Root:   node,
+		})
+		return nil
+	})
+	if walkErr != nil {
+		errs = append(errs, walkErr)
+	}
+	return files, errs
+}

@@ -1,0 +1,167 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"namer/internal/ast"
+	"namer/internal/corpus"
+)
+
+func TestLoadDirectory(t *testing.T) {
+	dir := t.TempDir()
+	ccfg := corpus.DefaultConfig(ast.Python)
+	ccfg.Repos = 3
+	ccfg.FilesPerRepo = 2
+	c := corpus.Generate(ccfg)
+	if err := c.WriteTo(dir); err != nil {
+		t.Fatal(err)
+	}
+	// An unparseable file must be reported but not abort the walk.
+	bad := filepath.Join(dir, "repo000", "src", "broken.py")
+	if err := os.WriteFile(bad, []byte("def broken(:\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	files, errs := LoadDirectory(dir, ast.Python)
+	if len(files) != 6 {
+		t.Fatalf("loaded %d files, want 6", len(files))
+	}
+	if len(errs) != 1 {
+		t.Fatalf("errors = %v, want exactly the broken file", errs)
+	}
+	for _, f := range files {
+		if f.Repo == "" || f.Root == nil || f.Source == "" {
+			t.Errorf("incomplete file: %+v", f.Path)
+		}
+		if f.Repo != "repo000" && f.Repo != "repo001" && f.Repo != "repo002" {
+			t.Errorf("unexpected repo %q", f.Repo)
+		}
+	}
+	// Java loader ignores Python files.
+	jfiles, _ := LoadDirectory(dir, ast.Java)
+	if len(jfiles) != 0 {
+		t.Errorf("java loader found %d files in a python corpus", len(jfiles))
+	}
+}
+
+// TestToolchainFlow exercises the namer-corpus -> namer-mine ->
+// namer-train -> namer flow through the package APIs, including the
+// knowledge round trip through disk.
+func TestToolchainFlow(t *testing.T) {
+	dir := t.TempDir()
+	ccfg := corpus.DefaultConfig(ast.Python)
+	ccfg.Repos = 16
+	ccfg.FilesPerRepo = 4
+	ccfg.IssueRate = 0.08
+	c := corpus.Generate(ccfg)
+	if err := c.WriteTo(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	// Mine (as namer-mine does, from disk).
+	files, errs := LoadDirectory(dir, ast.Python)
+	if len(errs) > 0 {
+		t.Fatalf("load errors: %v", errs)
+	}
+	cfg := DefaultConfig(ast.Python)
+	cfg.Mining.MinPatternCount = len(files) / 3
+	sys := NewSystem(cfg)
+	pairsSrc, err := corpus.ReadCommits(filepath.Join(dir, "commits"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.MinePairs(corpus.ParseCommitSources(ast.Python, pairsSrc))
+	if sys.Pairs.Len() == 0 {
+		t.Fatal("no pairs mined from on-disk commits")
+	}
+	sys.ProcessFiles(files)
+	sys.MinePatterns()
+	if len(sys.Patterns) == 0 {
+		t.Fatal("no patterns mined from on-disk corpus")
+	}
+	knowledgePath := filepath.Join(dir, "knowledge.json")
+	if err := sys.SaveKnowledge(knowledgePath); err != nil {
+		t.Fatal(err)
+	}
+
+	// Train (as namer-train does): label with issues.json ground truth.
+	issues, err := corpus.ReadIssues(filepath.Join(dir, "issues.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) == 0 {
+		t.Fatal("no issues on disk")
+	}
+	violations := Dedup(sys.Scan())
+	if len(violations) == 0 {
+		t.Fatal("no violations")
+	}
+	isIssue := func(v *Violation) bool {
+		for _, is := range issues {
+			if is.Repo == v.Stmt.Repo && is.Path == v.Stmt.Path &&
+				(is.Original == v.Detail.Original || is.Fixed == v.Detail.Original) {
+				d := is.Line - v.Stmt.Line
+				if d < 0 {
+					d = -d
+				}
+				if d <= 1 {
+					return true
+				}
+			}
+		}
+		return false
+	}
+	var train []*Violation
+	var labels []int
+	pos, neg := 0, 0
+	for _, v := range violations {
+		if isIssue(v) && pos < 30 {
+			train = append(train, v)
+			labels = append(labels, 1)
+			pos++
+		} else if !isIssue(v) && neg < 30 {
+			train = append(train, v)
+			labels = append(labels, 0)
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		t.Skipf("degenerate labels pos=%d neg=%d", pos, neg)
+	}
+	sys.TrainClassifier(train, labels)
+	trained := filepath.Join(dir, "knowledge-trained.json")
+	if err := sys.SaveKnowledge(trained); err != nil {
+		t.Fatal(err)
+	}
+
+	// Detect (as namer does): fresh process, load trained knowledge.
+	sys2 := NewSystem(DefaultConfig(ast.Python))
+	if err := sys2.LoadKnowledge(trained); err != nil {
+		t.Fatal(err)
+	}
+	if !sys2.HasClassifier() {
+		t.Fatal("classifier missing after reload")
+	}
+	files2, _ := LoadDirectory(dir, ast.Python)
+	sys2.ProcessFiles(files2)
+	reports := 0
+	tp := 0
+	for _, v := range Dedup(sys2.Scan()) {
+		if !sys2.Classify(v) {
+			continue
+		}
+		reports++
+		if isIssue(v) {
+			tp++
+		}
+	}
+	if reports == 0 {
+		t.Fatal("trained system reports nothing")
+	}
+	precision := float64(tp) / float64(reports)
+	t.Logf("toolchain: %d reports, precision %.2f", reports, precision)
+	if precision < 0.5 {
+		t.Errorf("toolchain precision %.2f too low", precision)
+	}
+}

@@ -1,0 +1,57 @@
+package core
+
+import "fmt"
+
+// Swap is a detected swapped-arguments defect: two mirrored violations on
+// the same statement, each suggesting the other's current subtoken. This
+// extends Namer to the argument-selection defect class of Rice et al. and
+// DeepBugs (discussed in §6.1 of the paper); the paper's §3.2 leaves
+// additional pattern kinds as future work, and swaps compose directly
+// from mirrored confusing-word violations.
+type Swap struct {
+	First  *Violation
+	Second *Violation
+}
+
+// Report renders the swap in the style of Violation.Report.
+func (s *Swap) Report() string {
+	v := s.First
+	return fmt.Sprintf("%s:%d: %s\n  suggested fix: swap %q and %q (swapped arguments)",
+		v.Stmt.Path, v.Stmt.Line, v.Stmt.SourceLine,
+		s.First.Detail.Original, s.Second.Detail.Original)
+}
+
+// FindSwaps scans a violation list for mirrored pairs: two violations of
+// the same statement where each one's suggested subtoken is the other's
+// original and the offending paths differ. Each returned Swap pairs the
+// two; the same violation never participates in two swaps.
+func FindSwaps(vs []*Violation) []*Swap {
+	byStmt := map[*ProcStmt][]*Violation{}
+	for _, v := range vs {
+		byStmt[v.Stmt] = append(byStmt[v.Stmt], v)
+	}
+	var out []*Swap
+	for _, group := range byStmt {
+		used := make([]bool, len(group))
+		for i := 0; i < len(group); i++ {
+			if used[i] {
+				continue
+			}
+			for j := i + 1; j < len(group); j++ {
+				if used[j] {
+					continue
+				}
+				a, b := group[i], group[j]
+				if a.Detail.Original == b.Detail.Suggested &&
+					a.Detail.Suggested == b.Detail.Original &&
+					a.Detail.Original != b.Detail.Original &&
+					a.Detail.Path.PrefixKey() != b.Detail.Path.PrefixKey() {
+					used[i], used[j] = true, true
+					out = append(out, &Swap{First: a, Second: b})
+					break
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,88 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"namer/internal/ast"
+	"namer/internal/corpus"
+)
+
+func TestFindSwapsOnCorpus(t *testing.T) {
+	ccfg := smallCorpusConfig(ast.Python)
+	ccfg.IssueRate = 0.12 // enough swap instances
+	_, c, violations := buildSystem(t, ast.Python, smallSystemConfig(ast.Python), ccfg)
+
+	swapIssues := 0
+	lines := map[string]bool{}
+	for _, is := range c.Issues {
+		if is.Category == "swapped-args" {
+			k := is.Repo + "|" + is.Path
+			if !lines[k+itoa(is.Line)] {
+				lines[k+itoa(is.Line)] = true
+				swapIssues++
+			}
+		}
+	}
+	if swapIssues == 0 {
+		t.Skip("no swap issues generated")
+	}
+	swaps := FindSwaps(violations)
+	if len(swaps) == 0 {
+		t.Fatal("no swaps detected")
+	}
+	// Every detected swap must point at an injected swapped-args issue.
+	tp := 0
+	for _, s := range swaps {
+		sev, cat := c.Judge(s.First.Stmt.Repo, s.First.Stmt.Path, s.First.Stmt.Line, s.First.Detail.Original)
+		if sev == corpus.SemanticDefect && cat == "swapped-args" {
+			tp++
+		}
+		if !strings.Contains(s.Report(), "swap") {
+			t.Errorf("report: %s", s.Report())
+		}
+	}
+	t.Logf("swaps: %d injected statements, %d detected, %d true", swapIssues, len(swaps), tp)
+	if tp != len(swaps) {
+		t.Errorf("swap precision: %d/%d", tp, len(swaps))
+	}
+	if float64(tp) < 0.5*float64(swapIssues) {
+		t.Errorf("swap recall too low: %d/%d", tp, swapIssues)
+	}
+}
+
+func TestFindSwapsNoFalsePairing(t *testing.T) {
+	// Two unrelated violations on the same statement must not pair.
+	stmt := &ProcStmt{Path: "f.py", Line: 1, SourceLine: "x"}
+	v1 := &Violation{Stmt: stmt}
+	v1.Detail.Original = "a"
+	v1.Detail.Suggested = "b"
+	v2 := &Violation{Stmt: stmt}
+	v2.Detail.Original = "c"
+	v2.Detail.Suggested = "d"
+	if got := FindSwaps([]*Violation{v1, v2}); len(got) != 0 {
+		t.Errorf("unrelated violations paired: %d", len(got))
+	}
+	// Identical subtokens (a->a mirror) must not pair either.
+	v3 := &Violation{Stmt: stmt}
+	v3.Detail.Original = "a"
+	v3.Detail.Suggested = "a"
+	v4 := &Violation{Stmt: stmt}
+	v4.Detail.Original = "a"
+	v4.Detail.Suggested = "a"
+	if got := FindSwaps([]*Violation{v3, v4}); len(got) != 0 {
+		t.Errorf("degenerate mirror paired: %d", len(got))
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b []byte
+	for n > 0 {
+		b = append([]byte{byte('0' + n%10)}, b...)
+		n /= 10
+	}
+	return string(b)
+}

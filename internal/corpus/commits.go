@@ -1,0 +1,132 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"namer/internal/ast"
+
+	"namer/internal/confusion"
+	"namer/internal/javalang"
+	"namer/internal/pylang"
+)
+
+// fixTemplate is one naming-fix commit shape: the before source contains
+// the mistaken name, the after source the corrected one. %d slots let the
+// generator vary literals so commits are not byte-identical.
+type fixTemplate struct {
+	before string
+	after  string
+}
+
+// Python naming-fix commit shapes, one per confusing pair the evaluation
+// relies on (§3.2 extracted 150K pairs for Python; we synthesize the pairs
+// the generated idioms need).
+var pythonFixes = []fixTemplate{
+	{"self.assertTrue(val, %d)\n", "self.assertEqual(val, %d)\n"},                                    // True -> Equal
+	{"self.assertEquals(val, %d)\n", "self.assertEqual(val, %d)\n"},                                  // Equals -> Equal
+	{"self.assertValue(val, %d)\n", "self.assertItem(val, %d)\n"},                                    // Value -> Item
+	{"for i in xrange(%d):\n    use(i)\n", "for i in range(%d):\n    use(i)\n"},                      // xrange -> range
+	{"def f(self, **args):\n    return args\n", "def f(self, **kwargs):\n    return kwargs\n"},       // args -> kwargs
+	{"import numpy as N\nx = N.array(%d)\n", "import numpy as np\nx = np.array(%d)\n"},               // N -> np
+	{"def on_event(self, e):\n    use(e, %d)\n", "def on_event(self, event):\n    use(event, %d)\n"}, // e -> event
+	{"for j in range(%d):\n    use(j)\n", "for i in range(%d):\n    use(i)\n"},                       // j -> i
+	{"num_or_process = %d\n", "num_of_process = %d\n"},                                               // or -> of
+	{"self.port = por\npor = %d\n", "self.port = port\nport = %d\n"},                                 // por -> port
+	{"self.clamp(high, low)\nuse(%d)\n", "self.clamp(low, high)\nuse(%d)\n"},                         // swap fix: high<->low
+}
+
+// Java naming-fix commit shapes.
+var javaFixes = []fixTemplate{
+	{"class A { void m() { for (double i = 0; i < %d; i++) { use(i); } } }",
+		"class A { void m() { for (int i = 0; i < %d; i++) { use(i); } } }"}, // double -> int
+	{"class A { void m() { try { f(%d); } catch (Throwable e) { e.printStackTrace(); } } }",
+		"class A { void m() { try { f(%d); } catch (Exception e) { e.printStackTrace(); } } }"}, // Throwable -> Exception
+	{"class A { void m(Exception e) { e.getStackTrace(); use(%d); } }",
+		"class A { void m(Exception e) { e.printStackTrace(); use(%d); } }"}, // get -> print
+	{"class A { void m(Context c, Intent i) { c.startActivity(i); use(%d); } }",
+		"class A { void m(Context c, Intent intent) { c.startActivity(intent); use(%d); } }"}, // i -> intent
+	{"class A { void m(ProgressDialog progDialog) { progDialog.dismiss(); use(%d); } }",
+		"class A { void m(ProgressDialog progressDialog) { progressDialog.dismiss(); use(%d); } }"}, // prog -> progress
+	{"class A { A(int publickKey) { this.publicKey = publickKey; use(%d); } }",
+		"class A { A(int publicKey) { this.publicKey = publicKey; use(%d); } }"}, // publick -> public
+	{"class A { void m() { StringWriter outputWriter = new StringWriter(); use(%d); } }",
+		"class A { void m() { StringWriter stringWriter = new StringWriter(); use(%d); } }"}, // output -> string
+	{"class A { void m(Emitter sink) { sink.postPayloadNow(); use(%d); } }",
+		"class A { void m(Emitter sink) { sink.sendPayloadNow(); use(%d); } }"}, // post -> send
+	{"class A { void m(Mailer outbox) { outbox.sendPayloadNow(); use(%d); } }",
+		"class A { void m(Mailer outbox) { outbox.postPayloadNow(); use(%d); } }"}, // send -> post
+	{"class A { void m(int x, int y) { render(y, x); use(%d); } }",
+		"class A { void m(int x, int y) { render(x, y); use(%d); } }"}, // swap fix: x<->y
+}
+
+// typoFixTemplates synthesizes per-attribute typo-fix commit shapes
+// (truncated last letter for Python, doubled last letter for Java), the
+// most common rename-fix shape in real histories; they give the mined
+// pair set coverage of the typo channel.
+func typoFixTemplates(lang ast.Language) []fixTemplate {
+	var out []fixTemplate
+	for _, a := range attrs {
+		if len(a) < 3 {
+			continue
+		}
+		if lang == ast.Python {
+			typo := a[:len(a)-1]
+			out = append(out, fixTemplate{
+				before: "def f(self, " + typo + "):\n    self." + a + " = " + typo + "\n    use(%d)\n",
+				after:  "def f(self, " + a + "):\n    self." + a + " = " + a + "\n    use(%d)\n",
+			})
+		} else {
+			typo := a + string(a[len(a)-1])
+			out = append(out, fixTemplate{
+				before: "class A { A(int " + typo + ") { this." + a + " = " + typo + "; use(%d); } }",
+				after:  "class A { A(int " + a + ") { this." + a + " = " + a + "; use(%d); } }",
+			})
+		}
+	}
+	return out
+}
+
+// genCommits synthesizes the commit history containing naming fixes,
+// returning both the parsed pairs and their source text.
+func genCommits(rng *rand.Rand, cfg Config) ([]confusion.Commit, [][2]string) {
+	templates := pythonFixes
+	if cfg.Lang == ast.Java {
+		templates = javaFixes
+	}
+	templates = append(append([]fixTemplate(nil), templates...), typoFixTemplates(cfg.Lang)...)
+	var commits []confusion.Commit
+	var sources [][2]string
+	for _, tpl := range templates {
+		for i := 0; i < cfg.CommitFixes; i++ {
+			n := 1 + rng.Intn(100)
+			before := tpl.before
+			after := tpl.after
+			if strings.Contains(before, "%d") {
+				before = fmt.Sprintf(before, n)
+				after = fmt.Sprintf(after, n)
+			}
+			commits = append(commits, parseCommit(cfg, before, after))
+			sources = append(sources, [2]string{before, after})
+		}
+	}
+	return commits, sources
+}
+
+func parseCommit(cfg Config, before, after string) confusion.Commit {
+	b, errB := parseLang(cfg.Lang, before)
+	a, errA := parseLang(cfg.Lang, after)
+	if errB != nil || errA != nil {
+		panic("corpus: bad commit template")
+	}
+	return confusion.Commit{Before: b, After: a}
+}
+
+// parseLang parses source in the given language.
+func parseLang(lang ast.Language, src string) (*ast.Node, error) {
+	if lang == ast.Python {
+		return pylang.Parse(src)
+	}
+	return javalang.Parse(src)
+}

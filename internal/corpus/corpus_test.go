@@ -1,0 +1,169 @@
+package corpus
+
+import (
+	"testing"
+
+	"namer/internal/ast"
+	"namer/internal/confusion"
+)
+
+func TestGeneratePythonParses(t *testing.T) {
+	cfg := DefaultConfig(ast.Python)
+	cfg.Repos = 6
+	cfg.FilesPerRepo = 3
+	c := Generate(cfg) // panics on parse failure
+	if c.TotalFiles() != 18 {
+		t.Errorf("files = %d, want 18", c.TotalFiles())
+	}
+	if len(c.Commits) == 0 {
+		t.Error("no commits generated")
+	}
+	for _, r := range c.Repos {
+		for _, f := range r.Files {
+			if f.Root == nil || len(f.Root.Children) == 0 {
+				t.Errorf("%s: empty AST", f.Path)
+			}
+		}
+	}
+}
+
+func TestGenerateJavaParses(t *testing.T) {
+	cfg := DefaultConfig(ast.Java)
+	cfg.Repos = 6
+	cfg.FilesPerRepo = 3
+	c := Generate(cfg)
+	if c.TotalFiles() != 18 {
+		t.Errorf("files = %d, want 18", c.TotalFiles())
+	}
+	if len(c.Commits) == 0 {
+		t.Error("no commits generated")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := DefaultConfig(ast.Python)
+	cfg.Repos = 4
+	cfg.FilesPerRepo = 2
+	a := Generate(cfg)
+	b := Generate(cfg)
+	if a.TotalFiles() != b.TotalFiles() || len(a.Issues) != len(b.Issues) {
+		t.Fatal("generation is not deterministic")
+	}
+	for i, ra := range a.Repos {
+		rb := b.Repos[i]
+		for j, fa := range ra.Files {
+			if fa.Source != rb.Files[j].Source {
+				t.Fatalf("file %s differs across runs", fa.Path)
+			}
+		}
+	}
+}
+
+func TestIssuesInjected(t *testing.T) {
+	cfg := DefaultConfig(ast.Python)
+	cfg.Seed = 3
+	cfg.IssueRate = 0.3 // force plenty of issues
+	c := Generate(cfg)
+	if len(c.Issues) == 0 {
+		t.Fatal("no issues injected at 30% rate")
+	}
+	sem, qual := 0, 0
+	cats := map[string]bool{}
+	for _, is := range c.Issues {
+		switch is.Severity {
+		case SemanticDefect:
+			sem++
+		case CodeQuality:
+			qual++
+		default:
+			t.Errorf("issue with severity %v", is.Severity)
+		}
+		cats[is.Category] = true
+		if is.Line == 0 || is.Original == "" || is.Fixed == "" {
+			t.Errorf("incomplete issue: %+v", is)
+		}
+	}
+	if sem == 0 || qual == 0 {
+		t.Errorf("severity mix: %d semantic, %d quality", sem, qual)
+	}
+	for _, want := range []string{"typo", "inconsistent", "wrong-api"} {
+		if !cats[want] {
+			t.Errorf("category %q never generated", want)
+		}
+	}
+}
+
+func TestJudge(t *testing.T) {
+	cfg := DefaultConfig(ast.Python)
+	cfg.Seed = 3
+	cfg.IssueRate = 0.5
+	c := Generate(cfg)
+	if len(c.Issues) == 0 {
+		t.Fatal("need issues")
+	}
+	is := c.Issues[0]
+	sev, cat := c.Judge(is.Repo, is.Path, is.Line, is.Original)
+	if sev != is.Severity || cat != is.Category {
+		t.Errorf("Judge = (%v, %q), want (%v, %q)", sev, cat, is.Severity, is.Category)
+	}
+	// Fixed-side match also counts (consistency violations report either
+	// direction).
+	sev2, _ := c.Judge(is.Repo, is.Path, is.Line, is.Fixed)
+	_ = sev2 // either outcome is acceptable; just must not panic
+	// Unknown location is a false positive.
+	if sev, _ := c.Judge(is.Repo, is.Path, is.Line+100, is.Original); sev != NotIssue {
+		t.Error("far-away report should be a false positive")
+	}
+	if sev, _ := c.Judge("nope", "nope.py", 1, "x"); sev != NotIssue {
+		t.Error("unknown file should be a false positive")
+	}
+}
+
+func TestCommitsMineExpectedPairs(t *testing.T) {
+	for _, lang := range []ast.Language{ast.Python, ast.Java} {
+		cfg := DefaultConfig(lang)
+		cfg.Repos = 1
+		cfg.FilesPerRepo = 1
+		c := Generate(cfg)
+		ps := confusion.MinePairs(c.Commits)
+		var want [][2]string
+		if lang == ast.Python {
+			want = [][2]string{
+				{"True", "Equal"}, {"Equals", "Equal"}, {"xrange", "range"},
+				{"args", "kwargs"}, {"N", "np"}, {"e", "event"}, {"j", "i"},
+				{"or", "of"}, {"por", "port"},
+			}
+		} else {
+			want = [][2]string{
+				{"double", "int"}, {"Throwable", "Exception"}, {"get", "print"},
+				{"i", "intent"}, {"prog", "progress"}, {"publick", "public"},
+				{"output", "string"}, {"post", "send"}, {"send", "post"},
+			}
+		}
+		for _, w := range want {
+			if !ps.Contains(w[0], w[1]) {
+				t.Errorf("%v: pair %v not mined from commits", lang, w)
+			}
+		}
+	}
+}
+
+func TestSeverityString(t *testing.T) {
+	if NotIssue.String() == "" || CodeQuality.String() == "" || SemanticDefect.String() == "" {
+		t.Error("severity names missing")
+	}
+}
+
+func TestJudgeMatchesOnlySameSubtoken(t *testing.T) {
+	cfg := DefaultConfig(ast.Java)
+	cfg.Seed = 9
+	cfg.IssueRate = 0.5
+	c := Generate(cfg)
+	if len(c.Issues) == 0 {
+		t.Fatal("need issues")
+	}
+	is := c.Issues[0]
+	if sev, _ := c.Judge(is.Repo, is.Path, is.Line, "completely_unrelated"); sev != NotIssue {
+		t.Error("unrelated subtoken should not match an injected issue")
+	}
+}

@@ -1,0 +1,103 @@
+package corpus
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+
+	"namer/internal/ast"
+	"namer/internal/confusion"
+)
+
+// WriteTo materializes the corpus on disk under dir: one subdirectory per
+// repository, an issues.json ground-truth file, and commits/commits.json
+// with the before/after naming-fix pairs. The layout is what
+// cmd/namer-mine and cmd/namer consume.
+func (c *Corpus) WriteTo(dir string) error {
+	for _, r := range c.Repos {
+		for _, f := range r.Files {
+			path := filepath.Join(dir, f.Path)
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				return err
+			}
+			if err := os.WriteFile(path, []byte(f.Source), 0o644); err != nil {
+				return err
+			}
+		}
+	}
+	issues, err := json.MarshalIndent(c.Issues, "", " ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(filepath.Join(dir, "issues.json"), issues, 0o644); err != nil {
+		return err
+	}
+	return WriteCommits(filepath.Join(dir, "commits"), c.CommitSources)
+}
+
+// commitPair is the on-disk form of one naming-fix commit.
+type commitPair struct {
+	Before string `json:"before"`
+	After  string `json:"after"`
+}
+
+// WriteCommits writes textual before/after commit pairs.
+func WriteCommits(dir string, pairs [][2]string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	out := make([]commitPair, 0, len(pairs))
+	for _, p := range pairs {
+		out = append(out, commitPair{Before: p[0], After: p[1]})
+	}
+	data, err := json.MarshalIndent(out, "", " ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, "commits.json"), data, 0o644)
+}
+
+// ReadCommits loads commit pairs written by WriteCommits.
+func ReadCommits(dir string) ([][2]string, error) {
+	data, err := os.ReadFile(filepath.Join(dir, "commits.json"))
+	if err != nil {
+		return nil, err
+	}
+	var in []commitPair
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, err
+	}
+	out := make([][2]string, 0, len(in))
+	for _, p := range in {
+		out = append(out, [2]string{p.Before, p.After})
+	}
+	return out, nil
+}
+
+// ReadIssues loads the ground-truth issues written by WriteTo.
+func ReadIssues(path string) ([]*Issue, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var issues []*Issue
+	if err := json.Unmarshal(data, &issues); err != nil {
+		return nil, err
+	}
+	return issues, nil
+}
+
+// ParseCommitSources parses textual commit pairs into confusion-miner
+// input for the given language, skipping pairs that do not parse.
+func ParseCommitSources(lang ast.Language, pairs [][2]string) []confusion.Commit {
+	var out []confusion.Commit
+	for _, p := range pairs {
+		b, errB := parseLang(lang, p[0])
+		a, errA := parseLang(lang, p[1])
+		if errB != nil || errA != nil {
+			continue
+		}
+		out = append(out, confusion.Commit{Before: b, After: a})
+	}
+	return out
+}

@@ -1,0 +1,253 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"namer/internal/javalang"
+)
+
+// genJavaFile emits one Java source file exercising the paper's idioms,
+// returning the parsed file and any injected issues.
+func genJavaFile(rng *rand.Rand, repo string, idx int, cfg Config) (*SourceFile, []*Issue) {
+	e := &emitter{}
+	var issues []*Issue
+	add := func(is *Issue) { issues = append(issues, is) }
+
+	noun := pick(rng, nouns)
+	cls := title(noun) + "Service"
+	a1, a2 := pick2(rng, attrs)
+
+	e.add(fmt.Sprintf("package com.example.%s;", repo))
+	e.blank()
+	e.add("import android.content.Intent;")
+	e.add("import android.app.ProgressDialog;")
+	e.add("import java.io.StringWriter;")
+	e.blank()
+	e.add(fmt.Sprintf("public class %s extends BaseService {", cls))
+	e.add(fmt.Sprintf("    private String %s;", a1))
+	e.add(fmt.Sprintf("    private int %s;", a2))
+	e.add("    private int total;")
+	e.blank()
+
+	// Constructor idiom: this.<name> = <name>.
+	ctorFate := roll(rng, cfg)
+	p2 := a2
+	if ctorFate == buggy {
+		p2 = a2 + string(a2[len(a2)-1]) // doubled last letter: port -> portt
+	}
+	e.add(fmt.Sprintf("    public %s(String %s, int %s) {", cls, a1, p2))
+	e.add(fmt.Sprintf("        this.%s = %s;", a1, a1))
+	switch ctorFate {
+	case buggy:
+		ln := e.add(fmt.Sprintf("        this.%s = %s;", a2, p2))
+		add(&Issue{Line: ln, Severity: CodeQuality, Category: "typo",
+			Original: p2, Fixed: a2})
+	case anomaly:
+		e.add(fmt.Sprintf("        this.%s = %s;", pick(rng, attrs), p2))
+	default:
+		e.add(fmt.Sprintf("        this.%s = %s;", a2, a2))
+	}
+	e.add("    }")
+	e.blank()
+
+	// Loop idiom: for (int i = 0; ...), with wrong-type and non-i
+	// variants.
+	loopVar := "i"
+	loopType := "int"
+	loopFate := roll(rng, cfg)
+	switch loopFate {
+	case buggy:
+		loopType = "double"
+	case anomaly:
+		loopVar = pick(rng, []string{"j", "k", "n"})
+	}
+	e.add("    public void process() {")
+	ln := e.add(fmt.Sprintf("        for (%s %s = 0; %s < %d; %s++) {",
+		loopType, loopVar, loopVar, 5+rng.Intn(40), loopVar))
+	if loopFate == buggy {
+		add(&Issue{Line: ln, Severity: SemanticDefect, Category: "wrong-type",
+			Original: "double", Fixed: "int"})
+	}
+	e.add(fmt.Sprintf("            total += %s;", loopVar))
+	e.add("        }")
+
+	// Exception idiom: catch (Exception e) { e.printStackTrace(); }. The
+	// catch variable name varies across the corpus, so without the
+	// points-to analysis there is no frequent receiver-name path to stand
+	// in for the receiver's Exception origin.
+	catchType := "Exception"
+	catchFate := roll(rng, cfg)
+	stackCall := "printStackTrace"
+	stackFate := roll(rng, cfg)
+	if catchFate == buggy {
+		catchType = "Throwable"
+	}
+	if stackFate == buggy && catchFate != buggy {
+		stackCall = "getStackTrace"
+	}
+	catchVar := pick(rng, []string{"e", "ex", "err"})
+	e.add("        try {")
+	e.add("            risky();")
+	cln := e.add(fmt.Sprintf("        } catch (%s %s) {", catchType, catchVar))
+	if catchFate == buggy {
+		add(&Issue{Line: cln, Severity: SemanticDefect, Category: "wrong-exception",
+			Original: "Throwable", Fixed: "Exception"})
+	}
+	sln := e.add(fmt.Sprintf("            %s.%s();", catchVar, stackCall))
+	if stackCall == "getStackTrace" {
+		add(&Issue{Line: sln, Severity: SemanticDefect, Category: "wrong-api",
+			Original: "get", Fixed: "print"})
+	}
+	e.add("        }")
+	e.add("    }")
+	e.blank()
+
+	// Recorder idiom: a 3-subtoken zero-arg call whose first subtoken is
+	// legitimately "get". Without the points-to analysis this shares a
+	// name path prefix with printStackTrace, dragging that pattern's
+	// satisfaction ratio below the pruning threshold — the "w/o A" effect.
+	recVar := pick(rng, []string{"recorder", "tracker", "monitor", "journal"})
+	e.add(fmt.Sprintf("    public void log(Recorder %s) {", recVar))
+	e.add(fmt.Sprintf("        %s.getLastEntry();", recVar))
+	e.add("    }")
+	e.blank()
+
+	// Payload idiom: two API families whose calls share every subtoken
+	// except the first — Emitter.sendPayloadNow() vs Mailer.postPayloadNow()
+	// — so only the receiver's origin separates them. Without the
+	// points-to analysis both families mix at the same name path prefix
+	// (send vs post each ~50%) and neither pattern survives pruning: the
+	// Java "w/o A" effect of Table 5.
+	payVar := pick(rng, []string{"sink", "relay", "outbox", "queue"})
+	if rng.Intn(2) == 0 {
+		verb := "send"
+		fate := roll(rng, cfg)
+		if fate == buggy {
+			verb = "post"
+		}
+		e.add(fmt.Sprintf("    public void deliver(Emitter %s) {", payVar))
+		pln := e.add(fmt.Sprintf("        %s.%sPayloadNow();", payVar, verb))
+		if fate == buggy {
+			add(&Issue{Line: pln, Severity: SemanticDefect, Category: "wrong-api",
+				Original: "post", Fixed: "send"})
+		}
+		e.add("    }")
+	} else {
+		verb := "post"
+		fate := roll(rng, cfg)
+		if fate == buggy {
+			verb = "send"
+		}
+		e.add(fmt.Sprintf("    public void deliver(Mailer %s) {", payVar))
+		pln := e.add(fmt.Sprintf("        %s.%sPayloadNow();", payVar, verb))
+		if fate == buggy {
+			add(&Issue{Line: pln, Severity: SemanticDefect, Category: "wrong-api",
+				Original: "send", Fixed: "post"})
+		}
+		e.add("    }")
+	}
+	e.blank()
+
+	// Android idiom: startActivity with a descriptively-named Intent. The
+	// anomaly is a legitimate alternative name (false-positive pressure).
+	intentVar := "intent"
+	intentFate := roll(rng, cfg)
+	switch intentFate {
+	case buggy:
+		intentVar = "i"
+	case anomaly:
+		intentVar = "data"
+	}
+	e.add(fmt.Sprintf("    public void open(Context context, Intent %s) {", intentVar))
+	iln := e.add(fmt.Sprintf("        context.startActivity(%s);", intentVar))
+	if intentFate == buggy {
+		add(&Issue{Line: iln, Severity: CodeQuality, Category: "indescriptive",
+			Original: "i", Fixed: "intent"})
+	}
+	e.add("    }")
+	e.blank()
+
+	// Dialog idiom: progressDialog, not progDialog. The anomaly is a
+	// legitimate two-subtoken alternative.
+	dlgVar := "progressDialog"
+	dlgFate := roll(rng, cfg)
+	switch dlgFate {
+	case buggy:
+		dlgVar = "progDialog"
+	case anomaly:
+		dlgVar = "mainDialog"
+	}
+	e.add(fmt.Sprintf("    public void hide(ProgressDialog %s) {", dlgVar))
+	dln := e.add(fmt.Sprintf("        %s.dismiss();", dlgVar))
+	if dlgFate == buggy {
+		add(&Issue{Line: dln, Severity: CodeQuality, Category: "confusing",
+			Original: "prog", Fixed: "progress"})
+	}
+	e.add("    }")
+	e.blank()
+
+	// Writer idiom: the variable named after its class. The anomaly is
+	// the paper's Example 7 false positive (outputWriter is legitimate).
+	wVar := "stringWriter"
+	if roll(rng, cfg) == anomaly {
+		wVar = "outputWriter"
+	}
+	e.add(fmt.Sprintf("    public void dump(String %s) {", a1))
+	e.add(fmt.Sprintf("        StringWriter %s = new StringWriter();", wVar))
+	e.add(fmt.Sprintf("        %s.write(%s);", wVar, a1))
+	e.add("    }")
+
+	// Render idiom: a two-argument call with a canonical argument order;
+	// swapped arguments are the Rice et al. defect class (§6.1).
+	// Lower injection rate, as with the Python swap channel.
+	swa, swb := "x", "y"
+	swapBuggy := rng.Float64() < cfg.IssueRate*0.3
+	if swapBuggy {
+		swa, swb = "y", "x"
+	}
+	e.add("    public void render(int x, int y) {")
+	e.add("        total = x + y;")
+	e.add("    }")
+	e.blank()
+	e.add("    public void paint(int x, int y) {")
+	swln := e.add(fmt.Sprintf("        this.render(%s, %s);", swa, swb))
+	if swapBuggy {
+		add(&Issue{Line: swln, Severity: SemanticDefect, Category: "swapped-args",
+			Original: "y", Fixed: "x"})
+		add(&Issue{Line: swln, Severity: SemanticDefect, Category: "swapped-args",
+			Original: "x", Fixed: "y"})
+	}
+	e.add("    }")
+	e.blank()
+
+	// Setter idiom; the anomaly is a legitimately different name.
+	setAttr := pick(rng, attrs)
+	switch roll(rng, cfg) {
+	case buggy:
+		e.add(fmt.Sprintf("    public void set%s(int value) {", title(setAttr)))
+		vln := e.add(fmt.Sprintf("        this.%s = value;", setAttr))
+		add(&Issue{Line: vln, Severity: CodeQuality, Category: "minor",
+			Original: "value", Fixed: setAttr})
+	case anomaly:
+		other := pick(rng, nouns)
+		e.add(fmt.Sprintf("    public void set%s(int %s) {", title(setAttr), other))
+		e.add(fmt.Sprintf("        this.%s = %s;", setAttr, other))
+	default:
+		e.add(fmt.Sprintf("    public void set%s(int %s) {", title(setAttr), setAttr))
+		e.add(fmt.Sprintf("        this.%s = %s;", setAttr, setAttr))
+	}
+	e.add("    }")
+	e.add("}")
+
+	src := e.String()
+	root, err := javalang.Parse(src)
+	if err != nil {
+		panic(fmt.Sprintf("corpus: generated Java does not parse: %v\n%s", err, src))
+	}
+	return &SourceFile{
+		Path:   fmt.Sprintf("%s/src/File%02d.java", repo, idx),
+		Source: src,
+		Root:   root,
+	}, issues
+}

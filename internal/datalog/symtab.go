@@ -1,0 +1,41 @@
+package datalog
+
+// SymTab interns strings as dense int32 symbols so tuples can be stored and
+// joined as integer vectors.
+type SymTab struct {
+	byName map[string]int32
+	names  []string
+}
+
+// NewSymTab returns an empty symbol table.
+func NewSymTab() *SymTab {
+	return &SymTab{byName: make(map[string]int32)}
+}
+
+// Intern returns the symbol for s, allocating one if needed.
+func (t *SymTab) Intern(s string) int32 {
+	if id, ok := t.byName[s]; ok {
+		return id
+	}
+	id := int32(len(t.names))
+	t.byName[s] = id
+	t.names = append(t.names, s)
+	return id
+}
+
+// Lookup returns the symbol for s and whether it exists.
+func (t *SymTab) Lookup(s string) (int32, bool) {
+	id, ok := t.byName[s]
+	return id, ok
+}
+
+// Name returns the string for a symbol.
+func (t *SymTab) Name(id int32) string {
+	if id < 0 || int(id) >= len(t.names) {
+		return "?"
+	}
+	return t.names[id]
+}
+
+// Len returns the number of interned symbols.
+func (t *SymTab) Len() int { return len(t.names) }

@@ -1,0 +1,40 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+
+	"namer/internal/pattern"
+)
+
+func TestFormatPrecisionTable(t *testing.T) {
+	rows := []PrecisionRow{
+		{Name: "Namer", Reports: 134, Semantic: 5, Quality: 89, FalsePos: 40},
+		{Name: "w/o C", Reports: 300, Semantic: 13, Quality: 124, FalsePos: 163},
+	}
+	out := FormatPrecisionTable(rows)
+	for _, want := range []string{"Namer", "w/o C", "134", "70%", "46%", "Precision"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFormatBreakdownEmptyCategories(t *testing.T) {
+	rows := []BreakdownRow{
+		{PatternType: pattern.Consistency, Semantic: 1, Quality: 2, FalsePos: 3,
+			Categories: map[string]int{"typo": 2}},
+		{PatternType: pattern.ConfusingWord, Categories: map[string]int{}},
+	}
+	out := FormatBreakdown(rows)
+	if !strings.Contains(out, "typo") || !strings.Contains(out, "Semantic defect") {
+		t.Errorf("breakdown:\n%s", out)
+	}
+}
+
+func TestPrecisionRowZeroReports(t *testing.T) {
+	r := PrecisionRow{Name: "empty"}
+	if r.Precision() != 0 {
+		t.Error("zero reports should give zero precision, not NaN")
+	}
+}

@@ -1,0 +1,217 @@
+// Package features implements the 17-feature extraction function ϕ of
+// §4.2 (Table 1). Features measure statistics of the violated pattern and
+// the violating statement at three levels — file, repository, and the
+// entire mining dataset — which §5.5 shows is key to the classifier's
+// precision.
+package features
+
+import (
+	"namer/internal/confusion"
+	"namer/internal/pattern"
+	"namer/internal/textutil"
+)
+
+// Count is the number of features (Table 1).
+const Count = 17
+
+// Names labels each feature index, matching Table 1's descriptions.
+var Names = [Count]string{
+	"num name paths of statement",
+	"identical statements (file)",
+	"identical statements (repo)",
+	"satisfaction rate (file)",
+	"satisfaction rate (repo)",
+	"satisfaction rate (dataset)",
+	"violations (file)",
+	"violations (repo)",
+	"violations (dataset)",
+	"satisfactions (file)",
+	"satisfactions (repo)",
+	"satisfactions (dataset)",
+	"targets function name",
+	"num condition paths",
+	"match ratio",
+	"edit distance original/suggested",
+	"is confusing word pair",
+}
+
+// PatternStats accumulates match/satisfaction counts for one pattern at
+// one level. Violations are matches that are not satisfactions.
+type PatternStats struct {
+	Matches       int
+	Satisfactions int
+}
+
+// Violations returns the violation count.
+func (s PatternStats) Violations() int { return s.Matches - s.Satisfactions }
+
+// Rate returns the satisfaction rate (feature 4-6); 0 when unmatched.
+func (s PatternStats) Rate() float64 {
+	if s.Matches == 0 {
+		return 0
+	}
+	return float64(s.Satisfactions) / float64(s.Matches)
+}
+
+// Index aggregates the corpus statistics needed by ϕ. It is populated by
+// the corpus-wide matching pass of the core pipeline.
+type Index struct {
+	fileStmts map[string]map[string]int // file -> statement fingerprint -> count
+	repoStmts map[string]map[string]int
+	filePat   map[string]map[string]*PatternStats // file -> pattern key -> stats
+	repoPat   map[string]map[string]*PatternStats
+	dataPat   map[string]*PatternStats
+}
+
+// NewIndex returns an empty statistics index.
+func NewIndex() *Index {
+	return &Index{
+		fileStmts: make(map[string]map[string]int),
+		repoStmts: make(map[string]map[string]int),
+		filePat:   make(map[string]map[string]*PatternStats),
+		repoPat:   make(map[string]map[string]*PatternStats),
+		dataPat:   make(map[string]*PatternStats),
+	}
+}
+
+// AddStatement records one statement occurrence (by fingerprint) for
+// features 2-3.
+func (ix *Index) AddStatement(repo, file, fingerprint string) {
+	bump(ix.fileStmts, file, fingerprint)
+	bump(ix.repoStmts, repo, fingerprint)
+}
+
+func bump(m map[string]map[string]int, outer, inner string) {
+	mm, ok := m[outer]
+	if !ok {
+		mm = make(map[string]int)
+		m[outer] = mm
+	}
+	mm[inner]++
+}
+
+// AddObservation records a pattern match (and whether it was satisfied)
+// at all three levels, for features 4-12.
+func (ix *Index) AddObservation(repo, file string, p *pattern.Pattern, satisfied bool) {
+	k := p.Key()
+	for _, st := range []*PatternStats{
+		statsFor(ix.filePat, file, k),
+		statsFor(ix.repoPat, repo, k),
+		ix.dataStats(k),
+	} {
+		st.Matches++
+		if satisfied {
+			st.Satisfactions++
+		}
+	}
+}
+
+func statsFor(m map[string]map[string]*PatternStats, outer, key string) *PatternStats {
+	mm, ok := m[outer]
+	if !ok {
+		mm = make(map[string]*PatternStats)
+		m[outer] = mm
+	}
+	st, ok := mm[key]
+	if !ok {
+		st = &PatternStats{}
+		mm[key] = st
+	}
+	return st
+}
+
+func (ix *Index) dataStats(key string) *PatternStats {
+	st, ok := ix.dataPat[key]
+	if !ok {
+		st = &PatternStats{}
+		ix.dataPat[key] = st
+	}
+	return st
+}
+
+// StatementCount returns how many statements identical to the fingerprint
+// exist at the file or repo level.
+func (ix *Index) StatementCount(level map[string]map[string]int, outer, fp string) int {
+	if mm, ok := level[outer]; ok {
+		return mm[fp]
+	}
+	return 0
+}
+
+// PatternAt returns the pattern stats at a given level (zero stats when
+// absent).
+func (ix *Index) patternAt(level map[string]map[string]*PatternStats, outer, key string) PatternStats {
+	if mm, ok := level[outer]; ok {
+		if st, ok := mm[key]; ok {
+			return *st
+		}
+	}
+	return PatternStats{}
+}
+
+// Violation bundles what ϕ needs about one violation occurrence.
+type Violation struct {
+	Repo        string
+	File        string
+	Fingerprint string
+	NumPaths    int
+	Pattern     *pattern.Pattern
+	Detail      pattern.Violation
+}
+
+// Vector computes the 17 features of Table 1 for a violation.
+func (ix *Index) Vector(v Violation, pairs *confusion.PairSet) []float64 {
+	p := v.Pattern
+	k := p.Key()
+	filePS := ix.patternAt(ix.filePat, v.File, k)
+	repoPS := ix.patternAt(ix.repoPat, v.Repo, k)
+	dataPS := PatternStats{}
+	if st, ok := ix.dataPat[k]; ok {
+		dataPS = *st
+	} else {
+		// Fall back to the mining-time statistics stored on the pattern.
+		dataPS = PatternStats{Matches: p.MatchCount, Satisfactions: p.SatisfyCount}
+	}
+
+	f := make([]float64, Count)
+	f[0] = float64(v.NumPaths)
+	f[1] = float64(ix.StatementCount(ix.fileStmts, v.File, v.Fingerprint))
+	f[2] = float64(ix.StatementCount(ix.repoStmts, v.Repo, v.Fingerprint))
+	f[3] = filePS.Rate()
+	f[4] = repoPS.Rate()
+	f[5] = dataPS.Rate()
+	f[6] = float64(filePS.Violations())
+	f[7] = float64(repoPS.Violations())
+	f[8] = float64(dataPS.Violations())
+	f[9] = float64(filePS.Satisfactions)
+	f[10] = float64(repoPS.Satisfactions)
+	f[11] = float64(dataPS.Satisfactions)
+	if TargetsFunctionName(p) {
+		f[12] = 1
+	}
+	f[13] = float64(len(p.Condition))
+	denom := v.NumPaths - len(p.Deduction)
+	if denom > 0 {
+		f[14] = float64(len(p.Condition)) / float64(denom)
+	}
+	f[15] = float64(textutil.EditDistance(v.Detail.Original, v.Detail.Suggested))
+	if pairs != nil && pairs.Contains(v.Detail.Original, v.Detail.Suggested) {
+		f[16] = 1
+	}
+	return f
+}
+
+// TargetsFunctionName reports whether the pattern's deduction names a
+// function/method rather than an object (feature 13): the deduction path
+// descends into a call's callee position.
+func TargetsFunctionName(p *pattern.Pattern) bool {
+	if len(p.Deduction) == 0 {
+		return false
+	}
+	for _, e := range p.Deduction[0].Prefix {
+		if (e.Value == "Call" || e.Value == "New") && e.Index == 0 {
+			return true
+		}
+	}
+	return false
+}

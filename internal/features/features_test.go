@@ -1,0 +1,147 @@
+package features
+
+import (
+	"testing"
+
+	"namer/internal/confusion"
+	"namer/internal/namepath"
+	"namer/internal/pattern"
+)
+
+func mkPath(s string) namepath.Path {
+	p, ok := namepath.ParsePath(s)
+	if !ok {
+		panic("bad path " + s)
+	}
+	return p
+}
+
+func callPattern() *pattern.Pattern {
+	return &pattern.Pattern{
+		Type: pattern.ConfusingWord,
+		Condition: []namepath.Path{
+			mkPath("NumArgs(2) 0 Call 0 AttributeLoad 0 NameLoad 0 NumST(1) 0 self"),
+			mkPath("NumArgs(2) 0 Call 2 Num 0 NumST(1) 0 NUM"),
+		},
+		Deduction: []namepath.Path{
+			mkPath("NumArgs(2) 0 Call 0 AttributeLoad 1 Attr 0 NumST(2) 1 Equal"),
+		},
+		MatchCount:   100,
+		SatisfyCount: 90,
+	}
+}
+
+func objectPattern() *pattern.Pattern {
+	return &pattern.Pattern{
+		Type: pattern.Consistency,
+		Deduction: []namepath.Path{
+			mkPath("Assign 0 AttributeStore 1 Attr 0 NumST(1) 0 ϵ"),
+			mkPath("Assign 1 NameLoad 0 NumST(1) 0 ϵ"),
+		},
+	}
+}
+
+func TestVectorShape(t *testing.T) {
+	ix := NewIndex()
+	p := callPattern()
+	pairs := confusion.NewPairSet()
+	pairs.Add("True", "Equal")
+
+	// Populate index: same statement twice in the file, 3 times in repo.
+	ix.AddStatement("repo1", "f.py", "fp1")
+	ix.AddStatement("repo1", "f.py", "fp1")
+	ix.AddStatement("repo1", "g.py", "fp1")
+	// Pattern observed: 4 matches, 3 satisfied in file f.py.
+	for i := 0; i < 3; i++ {
+		ix.AddObservation("repo1", "f.py", p, true)
+	}
+	ix.AddObservation("repo1", "f.py", p, false)
+
+	v := Violation{
+		Repo: "repo1", File: "f.py", Fingerprint: "fp1", NumPaths: 5,
+		Pattern: p,
+		Detail:  pattern.Violation{Original: "True", Suggested: "Equal"},
+	}
+	f := ix.Vector(v, pairs)
+	if len(f) != Count {
+		t.Fatalf("vector dim = %d, want %d", len(f), Count)
+	}
+	checks := map[int]float64{
+		0:  5,         // num paths
+		1:  2,         // identical statements in file
+		2:  3,         // identical in repo
+		3:  0.75,      // file satisfaction rate
+		4:  0.75,      // repo rate (same observations)
+		6:  1,         // file violations
+		9:  3,         // file satisfactions
+		12: 1,         // targets function name
+		13: 2,         // condition size
+		14: 2.0 / 4.0, // match ratio |C| / (numPaths - |D|)
+		15: 4,         // edit distance True -> Equal
+		16: 1,         // confusing pair
+	}
+	for idx, want := range checks {
+		if f[idx] != want {
+			t.Errorf("feature %d (%s) = %g, want %g", idx, Names[idx], f[idx], want)
+		}
+	}
+}
+
+func TestDatasetFallbackToMiningStats(t *testing.T) {
+	ix := NewIndex()
+	p := callPattern()
+	v := Violation{Repo: "r", File: "f", Fingerprint: "x", NumPaths: 4, Pattern: p}
+	f := ix.Vector(v, nil)
+	if f[5] != 0.9 { // 90/100 from mining stats
+		t.Errorf("dataset satisfaction rate = %g, want 0.9", f[5])
+	}
+	if f[8] != 10 { // 100-90 violations
+		t.Errorf("dataset violations = %g, want 10", f[8])
+	}
+	if f[11] != 90 {
+		t.Errorf("dataset satisfactions = %g, want 90", f[11])
+	}
+}
+
+func TestTargetsFunctionName(t *testing.T) {
+	if !TargetsFunctionName(callPattern()) {
+		t.Error("call-position deduction should target a function name")
+	}
+	if TargetsFunctionName(objectPattern()) {
+		t.Error("attribute-store deduction should target an object name")
+	}
+	if TargetsFunctionName(&pattern.Pattern{}) {
+		t.Error("empty pattern should not target a function")
+	}
+}
+
+func TestNamesComplete(t *testing.T) {
+	for i, n := range Names {
+		if n == "" {
+			t.Errorf("feature %d has no name", i)
+		}
+	}
+}
+
+func TestObservationLevelsIndependent(t *testing.T) {
+	ix := NewIndex()
+	p := callPattern()
+	ix.AddObservation("repoA", "a.py", p, true)
+	ix.AddObservation("repoB", "b.py", p, false)
+	vA := Violation{Repo: "repoA", File: "a.py", Fingerprint: "z", NumPaths: 3, Pattern: p}
+	fA := ix.Vector(vA, nil)
+	if fA[3] != 1.0 { // file a.py: 1 match, 1 satisfied
+		t.Errorf("file rate = %g, want 1", fA[3])
+	}
+	if fA[5] != 0.5 { // dataset: 2 matches, 1 satisfied
+		t.Errorf("dataset rate = %g, want 0.5", fA[5])
+	}
+	vB := Violation{Repo: "repoB", File: "b.py", Fingerprint: "z", NumPaths: 3, Pattern: p}
+	fB := ix.Vector(vB, nil)
+	if fB[3] != 0 {
+		t.Errorf("file b rate = %g, want 0", fB[3])
+	}
+	if fB[6] != 1 {
+		t.Errorf("file b violations = %g, want 1", fB[6])
+	}
+}

@@ -1,0 +1,80 @@
+// Package fptree implements the frequent-pattern tree used by the name
+// pattern mining algorithm (§3.3, Fig. 3). Items are interned name path
+// ids; each tree node stores an occurrence count and an isLast flag marking
+// the end of at least one inserted transaction.
+package fptree
+
+import "sort"
+
+// Tree is an FP tree over integer items.
+type Tree struct {
+	Root *Node
+	size int
+}
+
+// Node is one FP-tree node.
+type Node struct {
+	Item     int // -1 at the root
+	Count    int
+	IsLast   bool
+	children map[int]*Node
+}
+
+// New returns an empty tree.
+func New() *Tree {
+	return &Tree{Root: &Node{Item: -1, children: make(map[int]*Node)}}
+}
+
+// Update inserts one transaction (a pre-sorted item list), incrementing
+// counts along its path and marking the final node as a transaction end.
+// Empty transactions are ignored.
+func (t *Tree) Update(items []int) {
+	if len(items) == 0 {
+		return
+	}
+	n := t.Root
+	for _, it := range items {
+		c, ok := n.children[it]
+		if !ok {
+			c = &Node{Item: it, children: make(map[int]*Node)}
+			n.children[it] = c
+			t.size++
+		}
+		c.Count++
+		n = c
+	}
+	n.IsLast = true
+}
+
+// Size returns the number of nodes (excluding the root).
+func (t *Tree) Size() int { return t.size }
+
+// Children returns the node's children ordered by item id, for
+// deterministic traversal.
+func (n *Node) Children() []*Node {
+	out := make([]*Node, 0, len(n.children))
+	for _, c := range n.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Item < out[j].Item })
+	return out
+}
+
+// Child returns the child with the given item, or nil.
+func (n *Node) Child(item int) *Node { return n.children[item] }
+
+// Walk visits every node except the root in depth-first order, passing the
+// item stack from the root to the node.
+func (t *Tree) Walk(fn func(n *Node, stack []int)) {
+	var stack []int
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		for _, c := range n.Children() {
+			stack = append(stack, c.Item)
+			fn(c, stack)
+			rec(c)
+			stack = stack[:len(stack)-1]
+		}
+	}
+	rec(t.Root)
+}

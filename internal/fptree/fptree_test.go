@@ -1,0 +1,101 @@
+package fptree
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestUpdateAndCounts(t *testing.T) {
+	tr := New()
+	tr.Update([]int{1, 2})
+	tr.Update([]int{1, 2})
+	tr.Update([]int{1, 3})
+	tr.Update(nil) // ignored
+
+	n1 := tr.Root.Child(1)
+	if n1 == nil || n1.Count != 3 {
+		t.Fatalf("node 1 count = %v", n1)
+	}
+	if n1.IsLast {
+		t.Error("node 1 should not be a transaction end")
+	}
+	n2 := n1.Child(2)
+	if n2 == nil || n2.Count != 2 || !n2.IsLast {
+		t.Errorf("node 2 = %+v", n2)
+	}
+	n3 := n1.Child(3)
+	if n3 == nil || n3.Count != 1 || !n3.IsLast {
+		t.Errorf("node 3 = %+v", n3)
+	}
+	if tr.Size() != 3 {
+		t.Errorf("Size = %d, want 3", tr.Size())
+	}
+}
+
+func TestWalkOrderAndStacks(t *testing.T) {
+	tr := New()
+	tr.Update([]int{1, 3})
+	tr.Update([]int{1, 2})
+	tr.Update([]int{4})
+	var stacks [][]int
+	tr.Walk(func(n *Node, stack []int) {
+		cp := append([]int(nil), stack...)
+		stacks = append(stacks, cp)
+	})
+	want := [][]int{{1}, {1, 2}, {1, 3}, {4}}
+	if !reflect.DeepEqual(stacks, want) {
+		t.Errorf("stacks = %v, want %v", stacks, want)
+	}
+}
+
+// Property: the count of any node equals the number of inserted
+// transactions having that node's path as a prefix.
+func TestCountsMatchPrefixOccurrences(t *testing.T) {
+	f := func(raw [][]uint8) bool {
+		tr := New()
+		var txs [][]int
+		for _, r := range raw {
+			// Dedup and bound items to keep transactions well-formed.
+			seen := map[int]bool{}
+			var tx []int
+			for _, b := range r {
+				it := int(b % 6)
+				if !seen[it] {
+					seen[it] = true
+					tx = append(tx, it)
+				}
+			}
+			if len(tx) == 0 {
+				continue
+			}
+			txs = append(txs, tx)
+			tr.Update(tx)
+		}
+		okAll := true
+		tr.Walk(func(n *Node, stack []int) {
+			count := 0
+			for _, tx := range txs {
+				if len(tx) >= len(stack) {
+					match := true
+					for i := range stack {
+						if tx[i] != stack[i] {
+							match = false
+							break
+						}
+					}
+					if match {
+						count++
+					}
+				}
+			}
+			if count != n.Count {
+				okAll = false
+			}
+		})
+		return okAll
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,208 @@
+package golang
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	uast "namer/internal/ast"
+	"namer/internal/astplus"
+	"namer/internal/namepath"
+	"namer/internal/pattern"
+)
+
+const sample = `package sample
+
+import (
+	"fmt"
+	np "namer/pkg"
+)
+
+type Widget struct {
+	Base
+	name string
+	port int
+}
+
+type Store interface {
+	Get(key string) string
+}
+
+func NewWidget(name string, port int) *Widget {
+	w := &Widget{}
+	w.name = name
+	w.port = port
+	return w
+}
+
+func (w *Widget) Render(limit int) error {
+	total := 0
+	for i := 0; i < limit; i++ {
+		total += i
+	}
+	for key, value := range w.table() {
+		fmt.Println(key, value)
+	}
+	if total > limit {
+		return fmt.Errorf("overflow %d", total)
+	} else if total == 0 {
+		total = 1
+	} else {
+		total--
+	}
+	switch total {
+	case 1:
+		total = 2
+	default:
+		total = 0
+	}
+	items := []int{1, 2, 3}
+	m := map[string]int{"a": 1}
+	fn := func(x int) int { return x * 2 }
+	defer w.close()
+	go w.poll()
+	s := items[0:2]
+	_ = s
+	v, ok := m["a"]
+	_ = v
+	_ = ok
+	x := any(total)
+	if n, isInt := x.(int); isInt {
+		total = n
+	}
+	return np.Wrap(fn(total))
+}
+`
+
+func TestParseGoSample(t *testing.T) {
+	root, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root.Kind != uast.Module {
+		t.Fatalf("root = %v", root.Kind)
+	}
+	kinds := map[uast.Kind]int{}
+	root.Walk(func(n *uast.Node) bool {
+		kinds[n.Kind]++
+		return true
+	})
+	for _, want := range []uast.Kind{
+		uast.PackageDecl, uast.Import, uast.ClassDef, uast.InterfaceDef,
+		uast.FieldDecl, uast.FunctionDef, uast.Assign, uast.AugAssign,
+		uast.For, uast.ForEach, uast.If, uast.Elif, uast.Else, uast.Switch,
+		uast.CaseClause, uast.Call, uast.AttributeLoad, uast.AttributeStore,
+		uast.SubscriptLoad, uast.Lambda, uast.Cast, uast.Return,
+		uast.Compare, uast.BinOp, uast.ListLit, uast.DictItem,
+	} {
+		if kinds[want] == 0 {
+			t.Errorf("kind %v not produced", want)
+		}
+	}
+}
+
+func TestGoStatementsAndNamePaths(t *testing.T) {
+	root, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmts := uast.Statements(root)
+	if len(stmts) < 15 {
+		t.Fatalf("only %d statements projected", len(stmts))
+	}
+	// Downstream machinery runs unchanged: transform + extract + index.
+	total := 0
+	for _, s := range stmts {
+		plus := astplus.Transform(s, nil)
+		paths := namepath.Extract(plus, 10)
+		total += len(paths)
+		if len(paths) > 0 {
+			pattern.NewStatement(paths)
+		}
+	}
+	if total == 0 {
+		t.Fatal("no name paths extracted from Go code")
+	}
+	// The w.name = name store looks exactly like Python/Java consistency
+	// material: AttributeStore with matching attr/value subtokens.
+	found := false
+	for _, s := range stmts {
+		plus := astplus.Transform(s, nil)
+		paths := namepath.Extract(plus, 10)
+		var attrEnd, valEnd string
+		for _, p := range paths {
+			str := p.String()
+			if strings.Contains(str, "AttributeStore 1 Attr") {
+				attrEnd = p.End
+			}
+			if strings.Contains(str, "Assign 1 NameLoad") {
+				valEnd = p.End
+			}
+		}
+		if attrEnd == "name" && valEnd == "name" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("w.name = name did not yield consistency-shaped paths")
+	}
+}
+
+func TestGoReceiverIsFirstParam(t *testing.T) {
+	root, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var render *uast.Node
+	root.Walk(func(n *uast.Node) bool {
+		if n.Kind == uast.FunctionDef {
+			for _, c := range n.Children {
+				if c.Kind == uast.Ident && c.Value == "Render" {
+					render = n
+				}
+			}
+		}
+		return true
+	})
+	if render == nil {
+		t.Fatal("Render not found")
+	}
+	var params *uast.Node
+	for _, c := range render.Children {
+		if c.Kind == uast.Params {
+			params = c
+		}
+	}
+	if params == nil || len(params.Children) != 2 {
+		t.Fatalf("params: %v", params)
+	}
+	first := params.Children[0]
+	if first.Children[len(first.Children)-1].Value != "w" {
+		t.Errorf("receiver should be the first parameter, got %s", first)
+	}
+}
+
+func TestParseGoErrors(t *testing.T) {
+	if _, err := Parse("package p\nfunc broken( {\n"); err == nil {
+		t.Error("syntax error should be reported")
+	}
+}
+
+// The front end parses this repository's own source — the self-scan
+// workload of examples/selfscan.
+func TestParseOwnPackage(t *testing.T) {
+	for _, name := range []string{"golang.go", "stmt.go", "expr.go"} {
+		data, err := os.ReadFile(filepath.Join(".", name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		root, err := Parse(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(uast.Statements(root)) < 10 {
+			t.Errorf("%s: suspiciously few statements", name)
+		}
+	}
+}

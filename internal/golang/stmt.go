@@ -1,0 +1,221 @@
+package golang
+
+import (
+	goast "go/ast"
+	gotoken "go/token"
+
+	uast "namer/internal/ast"
+)
+
+// stmt converts one Go statement.
+func (c *converter) stmt(s goast.Stmt) *uast.Node {
+	switch x := s.(type) {
+	case *goast.AssignStmt:
+		return c.assign(x)
+	case *goast.ExprStmt:
+		return c.node(uast.ExprStmt, x, c.expr(x.X, false))
+	case *goast.ReturnStmt:
+		ret := c.node(uast.Return, x)
+		for _, r := range x.Results {
+			ret.Add(c.expr(r, false))
+		}
+		return ret
+	case *goast.IfStmt:
+		out := c.node(uast.If, x)
+		if x.Init != nil {
+			// Hoist the init statement in front via a Block.
+			blk := c.node(uast.Block, x, c.stmt(x.Init))
+			out.Add(c.expr(x.Cond, false))
+			out.Add(c.block(x.Body))
+			if x.Else != nil {
+				out.Add(c.elseClause(x.Else))
+			}
+			blk.Add(out)
+			return blk
+		}
+		out.Add(c.expr(x.Cond, false))
+		out.Add(c.block(x.Body))
+		if x.Else != nil {
+			out.Add(c.elseClause(x.Else))
+		}
+		return out
+	case *goast.ForStmt:
+		out := c.node(uast.For, x)
+		if x.Init != nil {
+			out.Add(c.stmt(x.Init))
+		}
+		if x.Cond != nil {
+			out.Add(c.expr(x.Cond, false))
+		}
+		if x.Post != nil {
+			out.Add(c.stmt(x.Post))
+		}
+		out.Add(c.block(x.Body))
+		return out
+	case *goast.RangeStmt:
+		out := c.node(uast.ForEach, x)
+		out.Add(c.node(uast.TypeRef, x, c.leaf(uast.Ident, "range", x)))
+		if x.Key != nil {
+			out.Add(c.storeTarget(x.Key))
+		} else {
+			out.Add(c.node(uast.NameStore, x, c.leaf(uast.Ident, "_", x)))
+		}
+		if x.Value != nil {
+			out.Add(c.storeTarget(x.Value))
+		}
+		out.Add(c.expr(x.X, false))
+		out.Add(c.block(x.Body))
+		return out
+	case *goast.SwitchStmt:
+		out := c.node(uast.Switch, x)
+		if x.Tag != nil {
+			out.Add(c.expr(x.Tag, false))
+		} else {
+			out.Add(c.node(uast.Bool, x, c.leaf(uast.BoolLit, "true", x)))
+		}
+		body := c.node(uast.Body, x)
+		for _, cc := range x.Body.List {
+			if clause, ok := cc.(*goast.CaseClause); ok {
+				cas := c.node(uast.CaseClause, clause)
+				for _, e := range clause.List {
+					cas.Add(c.expr(e, false))
+				}
+				for _, st := range clause.Body {
+					cas.Add(c.stmt(st))
+				}
+				body.Add(cas)
+			}
+		}
+		out.Add(body)
+		return out
+	case *goast.TypeSwitchStmt:
+		out := c.node(uast.Switch, x)
+		out.Add(c.node(uast.NameLoad, x, c.leaf(uast.Ident, "type", x)))
+		body := c.node(uast.Body, x)
+		for _, cc := range x.Body.List {
+			if clause, ok := cc.(*goast.CaseClause); ok {
+				cas := c.node(uast.CaseClause, clause)
+				for _, st := range clause.Body {
+					cas.Add(c.stmt(st))
+				}
+				body.Add(cas)
+			}
+		}
+		out.Add(body)
+		return out
+	case *goast.SelectStmt:
+		out := c.node(uast.Switch, x)
+		out.Add(c.node(uast.NameLoad, x, c.leaf(uast.Ident, "select", x)))
+		body := c.node(uast.Body, x)
+		for _, cc := range x.Body.List {
+			if clause, ok := cc.(*goast.CommClause); ok {
+				cas := c.node(uast.CaseClause, clause)
+				for _, st := range clause.Body {
+					cas.Add(c.stmt(st))
+				}
+				body.Add(cas)
+			}
+		}
+		out.Add(body)
+		return out
+	case *goast.BlockStmt:
+		return c.block(x)
+	case *goast.DeclStmt:
+		if gd, ok := x.Decl.(*goast.GenDecl); ok {
+			decls := c.genDecl(gd)
+			if len(decls) == 1 {
+				return decls[0]
+			}
+			blk := c.node(uast.Block, x)
+			blk.Add(decls...)
+			return blk
+		}
+		return c.node(uast.EmptyStmt, x)
+	case *goast.IncDecStmt:
+		op := "++"
+		if x.Tok == gotoken.DEC {
+			op = "--"
+		}
+		return c.node(uast.ExprStmt, x,
+			c.node(uast.UnaryOp, x, c.leaf(uast.OpTok, op, x), c.expr(x.X, false)))
+	case *goast.BranchStmt:
+		switch x.Tok {
+		case gotoken.BREAK:
+			return c.node(uast.Break, x)
+		case gotoken.CONTINUE:
+			return c.node(uast.Continue, x)
+		default:
+			return c.node(uast.EmptyStmt, x)
+		}
+	case *goast.DeferStmt:
+		return c.node(uast.ExprStmt, x, c.expr(x.Call, false))
+	case *goast.GoStmt:
+		return c.node(uast.ExprStmt, x, c.expr(x.Call, false))
+	case *goast.SendStmt:
+		return c.node(uast.ExprStmt, x,
+			c.node(uast.BinOp, x, c.leaf(uast.OpTok, "<-", x),
+				c.expr(x.Chan, false), c.expr(x.Value, false)))
+	case *goast.LabeledStmt:
+		return c.node(uast.LabeledStmt, x,
+			c.leaf(uast.Ident, x.Label.Name, x.Label), c.stmt(x.Stmt))
+	case *goast.EmptyStmt:
+		return c.node(uast.EmptyStmt, x)
+	}
+	return c.node(uast.EmptyStmt, s)
+}
+
+func (c *converter) block(b *goast.BlockStmt) *uast.Node {
+	body := c.node(uast.Body, b)
+	for _, st := range b.List {
+		body.Add(c.stmt(st))
+	}
+	return body
+}
+
+func (c *converter) elseClause(e goast.Stmt) *uast.Node {
+	switch x := e.(type) {
+	case *goast.IfStmt:
+		return c.node(uast.Elif, x, c.stmt(x))
+	case *goast.BlockStmt:
+		return c.node(uast.Else, x, c.block(x))
+	}
+	return c.node(uast.Else, e, c.node(uast.Body, e, c.stmt(e)))
+}
+
+var goAugOps = map[gotoken.Token]string{
+	gotoken.ADD_ASSIGN: "+=", gotoken.SUB_ASSIGN: "-=", gotoken.MUL_ASSIGN: "*=",
+	gotoken.QUO_ASSIGN: "/=", gotoken.REM_ASSIGN: "%=", gotoken.AND_ASSIGN: "&=",
+	gotoken.OR_ASSIGN: "|=", gotoken.XOR_ASSIGN: "^=", gotoken.SHL_ASSIGN: "<<=",
+	gotoken.SHR_ASSIGN: ">>=", gotoken.AND_NOT_ASSIGN: "&^=",
+}
+
+func (c *converter) assign(x *goast.AssignStmt) *uast.Node {
+	if op, ok := goAugOps[x.Tok]; ok {
+		return c.node(uast.AugAssign, x, c.storeTarget(x.Lhs[0]),
+			c.leaf(uast.OpTok, op, x), c.expr(x.Rhs[0], false))
+	}
+	out := c.node(uast.Assign, x)
+	if len(x.Lhs) == 1 {
+		out.Add(c.storeTarget(x.Lhs[0]))
+	} else {
+		tup := c.node(uast.TupleLit, x)
+		for _, l := range x.Lhs {
+			tup.Add(c.storeTarget(l))
+		}
+		out.Add(tup)
+	}
+	if len(x.Rhs) == 1 {
+		out.Add(c.expr(x.Rhs[0], false))
+	} else {
+		tup := c.node(uast.TupleLit, x)
+		for _, r := range x.Rhs {
+			tup.Add(c.expr(r, false))
+		}
+		out.Add(tup)
+	}
+	return out
+}
+
+func (c *converter) storeTarget(e goast.Expr) *uast.Node {
+	return c.expr(e, true)
+}

@@ -1,0 +1,199 @@
+// Package javalang implements a lexer and recursive-descent parser for a
+// substantial subset of Java, producing the unified AST of package ast.
+// Java constructs are normalized onto the same kind vocabulary used by the
+// Python front end (method calls become Call, field accesses become
+// AttributeLoad, `this` plays the role of `self`), so the name path and
+// name pattern machinery works identically across both languages.
+package javalang
+
+import (
+	"fmt"
+	"strings"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokName
+	tokNumber
+	tokString
+	tokChar
+	tokOp
+	tokKeyword
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "EOF"
+	case tokName:
+		return "NAME"
+	case tokNumber:
+		return "NUMBER"
+	case tokString:
+		return "STRING"
+	case tokChar:
+		return "CHAR"
+	case tokOp:
+		return "OP"
+	case tokKeyword:
+		return "KEYWORD"
+	}
+	return "?"
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+var javaKeywords = map[string]bool{
+	"abstract": true, "assert": true, "boolean": true, "break": true,
+	"byte": true, "case": true, "catch": true, "char": true, "class": true,
+	"const": true, "continue": true, "default": true, "do": true,
+	"double": true, "else": true, "enum": true, "extends": true,
+	"final": true, "finally": true, "float": true, "for": true,
+	"goto": true, "if": true, "implements": true, "import": true,
+	"instanceof": true, "int": true, "interface": true, "long": true,
+	"native": true, "new": true, "package": true, "private": true,
+	"protected": true, "public": true, "return": true, "short": true,
+	"static": true, "strictfp": true, "super": true, "switch": true,
+	"synchronized": true, "this": true, "throw": true, "throws": true,
+	"transient": true, "try": true, "void": true, "volatile": true,
+	"while": true, "true": true, "false": true, "null": true, "var": true,
+}
+
+var javaOps = []string{
+	">>>=", "<<=", ">>=", ">>>", "...",
+	"==", "!=", "<=", ">=", "&&", "||", "++", "--", "+=", "-=", "*=",
+	"/=", "%=", "&=", "|=", "^=", "<<", "->", "::",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+	"?", ":", "(", ")", "[", "]", "{", "}", ",", ".", ";", "@",
+}
+
+type lexError struct {
+	line int
+	msg  string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("line %d: %s", e.line, e.msg) }
+
+// lex tokenizes Java source. Comments are skipped; lines are tracked for
+// error reporting and AST positions.
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	i := 0
+	n := len(src)
+	for i < n {
+		c := src[i]
+		switch {
+		case c == '\n':
+			line++
+			i++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			j := i + 2
+			for j+1 < n && !(src[j] == '*' && src[j+1] == '/') {
+				if src[j] == '\n' {
+					line++
+				}
+				j++
+			}
+			if j+1 >= n {
+				return nil, &lexError{line, "unterminated block comment"}
+			}
+			i = j + 2
+		case isNameStart(c):
+			j := i
+			for j < n && isNameCont(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			if javaKeywords[word] {
+				toks = append(toks, token{tokKeyword, word, line})
+			} else {
+				toks = append(toks, token{tokName, word, line})
+			}
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			for j < n && (isNameCont(src[j]) || src[j] == '.' ||
+				((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E'))) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], line})
+			i = j
+		case c == '"':
+			j := i + 1
+			for j < n {
+				if src[j] == '\\' {
+					j += 2
+					continue
+				}
+				if src[j] == '"' {
+					break
+				}
+				if src[j] == '\n' {
+					return nil, &lexError{line, "unterminated string literal"}
+				}
+				j++
+			}
+			if j >= n {
+				return nil, &lexError{line, "unterminated string literal"}
+			}
+			toks = append(toks, token{tokString, src[i : j+1], line})
+			i = j + 1
+		case c == '\'':
+			j := i + 1
+			for j < n {
+				if src[j] == '\\' {
+					j += 2
+					continue
+				}
+				if src[j] == '\'' {
+					break
+				}
+				if src[j] == '\n' {
+					return nil, &lexError{line, "unterminated char literal"}
+				}
+				j++
+			}
+			if j >= n {
+				return nil, &lexError{line, "unterminated char literal"}
+			}
+			toks = append(toks, token{tokChar, src[i : j+1], line})
+			i = j + 1
+		default:
+			op := ""
+			for _, o := range javaOps {
+				if strings.HasPrefix(src[i:], o) {
+					op = o
+					break
+				}
+			}
+			if op == "" {
+				return nil, &lexError{line, fmt.Sprintf("unexpected character %q", c)}
+			}
+			toks = append(toks, token{tokOp, op, line})
+			i += len(op)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || c == '$' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= 0x80
+}
+
+func isNameCont(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9'
+}

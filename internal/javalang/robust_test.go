@@ -1,0 +1,86 @@
+package javalang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// Parse must never panic on any input.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", src, r)
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Mutated valid programs must also never panic.
+func TestParseMutatedSources(t *testing.T) {
+	base := `package p;
+import java.util.List;
+public class Widget<T extends Comparable<T>> extends Base implements Runnable {
+    private Map<String, List<T>> index = new HashMap<>();
+    public Widget(int port) { this.port = port; }
+    public void run() {
+        for (int i = 0; i < 10; i++) { total += i; }
+        try (Reader r = open()) { r.read(); }
+        catch (IOException | RuntimeException e) { e.printStackTrace(); }
+        Runnable fn = () -> use(index);
+        switch (total) { case 1: break; default: use(0); }
+    }
+}
+`
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 400; i++ {
+		b := []byte(base)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			pos := rng.Intn(len(b))
+			switch rng.Intn(3) {
+			case 0:
+				b[pos] = byte(rng.Intn(128))
+			case 1:
+				b = append(b[:pos], b[pos+1:]...)
+			default:
+				b = append(b[:pos], append([]byte{byte(33 + rng.Intn(90))}, b[pos:]...)...)
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated source: %v\n%s", r, b)
+				}
+			}()
+			_, _ = Parse(string(b))
+		}()
+	}
+}
+
+// Deep nesting does not blow the stack.
+func TestParsePathological(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("class T { void m() {\n")
+	for d := 0; d < 80; d++ {
+		sb.WriteString("if (x) {\n")
+	}
+	sb.WriteString("use(0);\n")
+	for d := 0; d < 80; d++ {
+		sb.WriteString("}\n")
+	}
+	sb.WriteString("} }\n")
+	if _, err := Parse(sb.String()); err != nil {
+		t.Fatalf("deep nesting: %v", err)
+	}
+	long := "class T { int x = " + strings.Repeat("1 + ", 2000) + "1; }"
+	if _, err := Parse(long); err != nil {
+		t.Fatalf("long expression: %v", err)
+	}
+}

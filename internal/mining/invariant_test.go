@@ -1,0 +1,104 @@
+package mining
+
+import (
+	"math/rand"
+	"testing"
+
+	"namer/internal/confusion"
+	"namer/internal/namepath"
+	"namer/internal/pattern"
+)
+
+// Invariant: every mined pattern satisfies the pruning contract on the
+// mining dataset itself — it matches at least once, its satisfaction
+// ratio is >= the configured threshold, its recorded stats equal a direct
+// recount, and its support meets MinPatternCount.
+func TestMinedPatternInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	pairs := confusion.NewPairSet()
+	pairs.Add("True", "Equal")
+	pairs.Add("xrange", "range")
+
+	// A randomized corpus of statements over a few statement shapes.
+	var stmts []*pattern.Statement
+	words := []string{"Equal", "Equal", "Equal", "True", "range", "range", "xrange"}
+	for i := 0; i < 400; i++ {
+		w := words[rng.Intn(len(words))]
+		paths := []namepath.Path{
+			path("NameLoad", 0, "self"),
+			path("Attr", rng.Intn(2), "assert"),
+			path("Word", 0, w),
+			path("Num", 0, "NUM"),
+		}
+		if rng.Intn(3) == 0 {
+			paths = paths[1:] // drop the self path sometimes
+		}
+		stmts = append(stmts, pattern.NewStatement(paths))
+	}
+
+	cfg := Config{
+		MinPathCount:           2,
+		MaxPathsPerStatement:   10,
+		MaxConditionPaths:      10,
+		MinPatternCount:        10,
+		MinSatisfactionRatio:   0.6,
+		MaxCombinationsPerNode: 16,
+	}
+	for _, typ := range []pattern.Type{pattern.ConfusingWord, pattern.Consistency} {
+		mined := MinePatterns(stmts, typ, pairs, cfg)
+		for _, p := range mined {
+			if !p.Valid() {
+				t.Errorf("%v: invalid pattern mined: %s", typ, p)
+			}
+			if p.Count < cfg.MinPatternCount {
+				t.Errorf("%v: support %d below threshold", typ, p.Count)
+			}
+			// Recount matches/satisfactions directly.
+			matches, satisfies := 0, 0
+			for _, s := range stmts {
+				if s.Matches(p) {
+					matches++
+					if s.Satisfied(p) {
+						satisfies++
+					}
+				}
+			}
+			if matches == 0 {
+				t.Errorf("%v: mined pattern never matches: %s", typ, p)
+				continue
+			}
+			if matches != p.MatchCount || satisfies != p.SatisfyCount {
+				t.Errorf("%v: recorded stats %d/%d, recount %d/%d",
+					typ, p.SatisfyCount, p.MatchCount, satisfies, matches)
+			}
+			if ratio := float64(satisfies) / float64(matches); ratio < cfg.MinSatisfactionRatio {
+				t.Errorf("%v: satisfaction ratio %.2f below %.2f for %s",
+					typ, ratio, cfg.MinSatisfactionRatio, p)
+			}
+		}
+	}
+}
+
+// Invariant: mining is deterministic — same statements, same output.
+func TestMiningDeterministic(t *testing.T) {
+	pairs := confusion.NewPairSet()
+	pairs.Add("True", "Equal")
+	var stmts []*pattern.Statement
+	for i := 0; i < 60; i++ {
+		w := "Equal"
+		if i%10 == 0 {
+			w = "True"
+		}
+		stmts = append(stmts, assertStmt(w))
+	}
+	a := MinePatterns(stmts, pattern.ConfusingWord, pairs, confusingConfig())
+	b := MinePatterns(stmts, pattern.ConfusingWord, pairs, confusingConfig())
+	if len(a) != len(b) {
+		t.Fatalf("pattern counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Key() != b[i].Key() || a[i].Count != b[i].Count {
+			t.Fatalf("pattern %d differs across runs", i)
+		}
+	}
+}

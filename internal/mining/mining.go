@@ -1,0 +1,362 @@
+// Package mining implements Algorithms 1 and 2 of §3.3: growing an FP tree
+// over the name paths of a corpus of statements, with each transaction
+// split into condition paths and deduction paths, then traversing the tree
+// to generate candidate name patterns, and finally pruning uncommon
+// patterns by their satisfaction/match ratio over the dataset.
+package mining
+
+import (
+	"sort"
+
+	"namer/internal/confusion"
+	"namer/internal/fptree"
+	"namer/internal/namepath"
+	"namer/internal/pattern"
+)
+
+// Config carries the regularization hyperparameters of §5.1.
+type Config struct {
+	// MinPathCount drops name paths occurring <= this many times in the
+	// dataset before mining (the paper uses 10, removing >99% of paths).
+	MinPathCount int
+	// MaxPathsPerStatement keeps only the first n paths per statement
+	// (the paper uses 10).
+	MaxPathsPerStatement int
+	// MaxConditionPaths bounds the condition size (the paper uses 10).
+	MaxConditionPaths int
+	// MinPatternCount prunes patterns below this FP-tree support (the
+	// paper uses 100 for Python, 500 for Java; scale to corpus size).
+	MinPatternCount int
+	// MinSatisfactionRatio is the pruneUncommon threshold (0.8).
+	MinSatisfactionRatio float64
+	// MaxCombinationsPerNode caps how many condition subsets are emitted
+	// per isLast node; 1 emits only the full ancestor condition.
+	MaxCombinationsPerNode int
+}
+
+// DefaultConfig returns the paper's hyperparameters with a pattern count
+// threshold suitable for corpus-scale runs (callers rescale it).
+func DefaultConfig() Config {
+	return Config{
+		MinPathCount:           10,
+		MaxPathsPerStatement:   10,
+		MaxConditionPaths:      10,
+		MinPatternCount:        100,
+		MinSatisfactionRatio:   0.8,
+		MaxCombinationsPerNode: 16,
+	}
+}
+
+// MinePatterns runs Algorithm 1 over the statements. For confusing-word
+// patterns, pairs supplies the mined confusing word pairs; it is ignored
+// for consistency patterns.
+func MinePatterns(stmts []*pattern.Statement, t pattern.Type,
+	pairs *confusion.PairSet, cfg Config) []*pattern.Pattern {
+
+	if cfg.MaxPathsPerStatement <= 0 {
+		cfg.MaxPathsPerStatement = 10
+	}
+	if cfg.MinSatisfactionRatio <= 0 {
+		cfg.MinSatisfactionRatio = 0.8
+	}
+
+	// Pass 1: path frequencies across the dataset.
+	freq := make(map[string]int)
+	for _, s := range stmts {
+		for _, p := range s.Paths {
+			freq[p.Key()]++
+		}
+	}
+
+	// Pass 2: grow the FP tree (Algorithm 1, lines 4-7).
+	in := namepath.NewInterner()
+	itemFreq := make(map[int]int)
+	intern := func(p namepath.Path) int {
+		id := in.Intern(p)
+		if _, ok := itemFreq[id]; !ok {
+			itemFreq[id] = freq[p.Key()]
+		}
+		return id
+	}
+	tree := fptree.New()
+	for _, s := range stmts {
+		paths := s.Paths
+		if len(paths) > cfg.MaxPathsPerStatement {
+			paths = paths[:cfg.MaxPathsPerStatement]
+		}
+		var frequent []namepath.Path
+		for _, p := range paths {
+			if freq[p.Key()] > cfg.MinPathCount {
+				frequent = append(frequent, p)
+			}
+		}
+		for _, split := range splitPaths(frequent, t, pairs) {
+			items := make([]int, 0, len(split.cond)+len(split.deduct))
+			for _, c := range split.cond {
+				items = append(items, intern(c))
+			}
+			sortItems(items, itemFreq)
+			deductStart := len(items)
+			for _, d := range split.deduct {
+				items = append(items, intern(d))
+			}
+			sort.Ints(items[deductStart:])
+			tree.Update(items)
+		}
+	}
+
+	// Algorithm 2: generate patterns from the FP tree.
+	deductLen := 1
+	if t == pattern.Consistency {
+		deductLen = 2
+	}
+	byKey := make(map[string]*pattern.Pattern)
+	tree.Walk(func(n *fptree.Node, stack []int) {
+		if !n.IsLast || len(stack) < deductLen {
+			return
+		}
+		deduct := make([]namepath.Path, deductLen)
+		for i := 0; i < deductLen; i++ {
+			deduct[i] = in.Path(stack[len(stack)-deductLen+i])
+		}
+		if !validDeduction(deduct, t, pairs) {
+			return
+		}
+		conds := stack[:len(stack)-deductLen]
+		if cfg.MaxConditionPaths > 0 && len(conds) > cfg.MaxConditionPaths {
+			conds = conds[len(conds)-cfg.MaxConditionPaths:]
+		}
+		for _, subset := range combinations(conds, cfg.MaxCombinationsPerNode) {
+			cond := make([]namepath.Path, len(subset))
+			for i, id := range subset {
+				cond[i] = in.Path(id)
+			}
+			p := &pattern.Pattern{Type: t, Condition: cond, Deduction: deduct, Count: n.Count}
+			k := p.Key()
+			if prev, ok := byKey[k]; ok {
+				prev.Count += n.Count
+			} else {
+				byKey[k] = p
+			}
+		}
+	})
+
+	var candidates []*pattern.Pattern
+	for _, p := range byKey {
+		if p.Count >= cfg.MinPatternCount {
+			candidates = append(candidates, p)
+		}
+	}
+	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Key() < candidates[j].Key() })
+
+	return PruneUncommon(candidates, stmts, cfg.MinSatisfactionRatio)
+}
+
+// PruneUncommon implements Algorithm 1 line 9: counts matches and
+// satisfactions for every candidate over the dataset and keeps patterns
+// whose satisfaction/match ratio is at least minRatio. Match and satisfy
+// counts are recorded on the surviving patterns (features 6 and 12).
+func PruneUncommon(candidates []*pattern.Pattern, stmts []*pattern.Statement,
+	minRatio float64) []*pattern.Pattern {
+
+	idx := newStmtIndex(stmts)
+	var out []*pattern.Pattern
+	for _, p := range candidates {
+		matches, satisfies := 0, 0
+		for _, s := range idx.candidates(p) {
+			if s.Matches(p) {
+				matches++
+				if s.Satisfied(p) {
+					satisfies++
+				}
+			}
+		}
+		if matches == 0 {
+			continue
+		}
+		if float64(satisfies)/float64(matches) < minRatio {
+			continue
+		}
+		p.MatchCount = matches
+		p.SatisfyCount = satisfies
+		out = append(out, p)
+	}
+	return out
+}
+
+type split struct {
+	cond   []namepath.Path
+	deduct []namepath.Path
+}
+
+// splitPaths enumerates the ways to split a statement's paths into
+// condition and deduction (Algorithm 1 line 6). For consistency patterns
+// the deduction is any pair of paths with equal end subtokens and distinct
+// prefixes (ends replaced by ϵ); for confusing-word patterns it is any
+// single path whose end is the correct word of a mined pair.
+func splitPaths(paths []namepath.Path, t pattern.Type, pairs *confusion.PairSet) []split {
+	var out []split
+	switch t {
+	case pattern.Consistency:
+		for i := 0; i < len(paths); i++ {
+			for j := i + 1; j < len(paths); j++ {
+				if paths[i].End != paths[j].End || paths[i].Same(paths[j]) {
+					continue
+				}
+				var cond []namepath.Path
+				for k, p := range paths {
+					if k != i && k != j {
+						cond = append(cond, p)
+					}
+				}
+				out = append(out, split{
+					cond:   cond,
+					deduct: []namepath.Path{paths[i].WithEnd(namepath.Epsilon), paths[j].WithEnd(namepath.Epsilon)},
+				})
+			}
+		}
+	case pattern.ConfusingWord:
+		if pairs == nil {
+			return nil
+		}
+		for i, p := range paths {
+			if !pairs.IsCorrectWord(p.End) {
+				continue
+			}
+			var cond []namepath.Path
+			for k, q := range paths {
+				if k != i {
+					cond = append(cond, q)
+				}
+			}
+			out = append(out, split{cond: cond, deduct: []namepath.Path{p}})
+		}
+	}
+	return out
+}
+
+func validDeduction(deduct []namepath.Path, t pattern.Type, pairs *confusion.PairSet) bool {
+	switch t {
+	case pattern.Consistency:
+		return len(deduct) == 2 && deduct[0].Symbolic() && deduct[1].Symbolic()
+	case pattern.ConfusingWord:
+		return len(deduct) == 1 && !deduct[0].Symbolic() &&
+			(pairs == nil || pairs.IsCorrectWord(deduct[0].End))
+	}
+	return false
+}
+
+// sortItems orders condition items by descending dataset frequency (ties
+// by id), the standard FP-tree ordering that maximizes prefix sharing.
+func sortItems(items []int, freq map[int]int) {
+	sort.Slice(items, func(i, j int) bool {
+		fi, fj := freq[items[i]], freq[items[j]]
+		if fi != fj {
+			return fi > fj
+		}
+		return items[i] < items[j]
+	})
+}
+
+// combinations enumerates condition subsets (Algorithm 2 line 7). The full
+// set is always emitted first; when the powerset is within maxOut, all
+// non-full subsets (including the empty condition) follow.
+func combinations(items []int, maxOut int) [][]int {
+	full := append([]int(nil), items...)
+	out := [][]int{full}
+	if maxOut <= 1 || len(items) == 0 {
+		return out
+	}
+	total := 1 << uint(len(items))
+	if total > maxOut {
+		return out
+	}
+	for mask := 0; mask < total-1; mask++ { // total-1 == full set, already emitted
+		var subset []int
+		for i := range items {
+			if mask&(1<<uint(i)) != 0 {
+				subset = append(subset, items[i])
+			}
+		}
+		out = append(out, subset)
+	}
+	return out
+}
+
+// stmtIndex is an inverted index from deduction prefix keys to statements,
+// so pruneUncommon and violation scans touch only plausible statements.
+type stmtIndex struct {
+	byPrefix map[string][]*pattern.Statement
+}
+
+func newStmtIndex(stmts []*pattern.Statement) *stmtIndex {
+	idx := &stmtIndex{byPrefix: make(map[string][]*pattern.Statement)}
+	for _, s := range stmts {
+		seen := map[string]bool{}
+		for _, p := range s.Paths {
+			pk := p.PrefixKey()
+			if !seen[pk] {
+				seen[pk] = true
+				idx.byPrefix[pk] = append(idx.byPrefix[pk], s)
+			}
+		}
+	}
+	return idx
+}
+
+// candidates returns the statements that contain the pattern's first
+// deduction prefix (a necessary condition for a match).
+func (idx *stmtIndex) candidates(p *pattern.Pattern) []*pattern.Statement {
+	if len(p.Deduction) == 0 {
+		return nil
+	}
+	best := idx.byPrefix[p.Deduction[0].PrefixKey()]
+	for _, d := range p.Deduction[1:] {
+		if alt := idx.byPrefix[d.PrefixKey()]; len(alt) < len(best) {
+			best = alt
+		}
+	}
+	return best
+}
+
+// Index provides fast candidate-pattern lookup per statement for the
+// violation scan at inference time: a pattern can only match a statement
+// that contains its deduction prefixes.
+type Index struct {
+	byPrefix map[string][]*pattern.Pattern
+}
+
+// NewIndex indexes patterns by their first deduction prefix key.
+func NewIndex(patterns []*pattern.Pattern) *Index {
+	idx := &Index{byPrefix: make(map[string][]*pattern.Pattern)}
+	for _, p := range patterns {
+		if len(p.Deduction) == 0 {
+			continue
+		}
+		k := p.Deduction[0].PrefixKey()
+		idx.byPrefix[k] = append(idx.byPrefix[k], p)
+	}
+	return idx
+}
+
+// Candidates returns the patterns whose deduction prefix occurs in the
+// statement, without duplicates.
+func (idx *Index) Candidates(s *pattern.Statement) []*pattern.Pattern {
+	var out []*pattern.Pattern
+	seen := map[*pattern.Pattern]bool{}
+	prefixSeen := map[string]bool{}
+	for _, p := range s.Paths {
+		pk := p.PrefixKey()
+		if prefixSeen[pk] {
+			continue
+		}
+		prefixSeen[pk] = true
+		for _, pat := range idx.byPrefix[pk] {
+			if !seen[pat] {
+				seen[pat] = true
+				out = append(out, pat)
+			}
+		}
+	}
+	return out
+}

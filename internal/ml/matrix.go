@@ -1,0 +1,282 @@
+// Package ml is a small, dependency-free machine-learning library backing
+// the defect classifier of §4.2 and §5.1: feature standardization,
+// principal component analysis, a linear support vector machine, logistic
+// regression, linear discriminant analysis, and the cross-validation
+// harness used for model selection. All training is deterministic given a
+// seed.
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense row-major float64 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices (which must be equal length).
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return NewMatrix(0, 0)
+	}
+	m := NewMatrix(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("ml: ragged rows: %d vs %d", len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:], r)
+	}
+	return m
+}
+
+// At returns m[i,j].
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns m[i,j].
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns a view of row i.
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// T returns the transpose.
+func (m *Matrix) T() *Matrix {
+	t := NewMatrix(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}
+
+// Mul returns m × n.
+func (m *Matrix) Mul(n *Matrix) *Matrix {
+	if m.Cols != n.Rows {
+		panic(fmt.Sprintf("ml: dimension mismatch %dx%d × %dx%d", m.Rows, m.Cols, n.Rows, n.Cols))
+	}
+	out := NewMatrix(m.Rows, n.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < n.Cols; j++ {
+				out.Data[i*out.Cols+j] += a * n.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// Dot returns the inner product of two vectors.
+func Dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// Covariance returns the sample covariance matrix of the rows of X.
+func Covariance(X [][]float64) *Matrix {
+	n := len(X)
+	if n == 0 {
+		return NewMatrix(0, 0)
+	}
+	d := len(X[0])
+	mean := make([]float64, d)
+	for _, row := range X {
+		for j, v := range row {
+			mean[j] += v
+		}
+	}
+	for j := range mean {
+		mean[j] /= float64(n)
+	}
+	cov := NewMatrix(d, d)
+	denom := float64(n - 1)
+	if denom <= 0 {
+		denom = 1
+	}
+	for _, row := range X {
+		for i := 0; i < d; i++ {
+			di := row[i] - mean[i]
+			for j := i; j < d; j++ {
+				cov.Data[i*d+j] += di * (row[j] - mean[j])
+			}
+		}
+	}
+	for i := 0; i < d; i++ {
+		for j := i; j < d; j++ {
+			v := cov.At(i, j) / denom
+			cov.Set(i, j, v)
+			cov.Set(j, i, v)
+		}
+	}
+	return cov
+}
+
+// JacobiEigen computes the eigendecomposition of a symmetric matrix with
+// the cyclic Jacobi method, returning eigenvalues and the matrix whose
+// columns are the corresponding eigenvectors, sorted by descending
+// eigenvalue.
+func JacobiEigen(a *Matrix, maxSweeps int) ([]float64, *Matrix) {
+	n := a.Rows
+	if n != a.Cols {
+		panic("ml: JacobiEigen needs a square matrix")
+	}
+	A := a.Clone()
+	V := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		V.Set(i, i, 1)
+	}
+	if maxSweeps <= 0 {
+		maxSweeps = 50
+	}
+	for sweep := 0; sweep < maxSweeps; sweep++ {
+		off := 0.0
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += A.At(i, j) * A.At(i, j)
+			}
+		}
+		if off < 1e-18 {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := A.At(p, q)
+				if math.Abs(apq) < 1e-15 {
+					continue
+				}
+				app, aqq := A.At(p, p), A.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := 1 / (math.Abs(theta) + math.Sqrt(theta*theta+1))
+				if theta < 0 {
+					t = -t
+				}
+				c := 1 / math.Sqrt(t*t+1)
+				s := t * c
+				// Rotate rows/cols p and q.
+				for k := 0; k < n; k++ {
+					akp, akq := A.At(k, p), A.At(k, q)
+					A.Set(k, p, c*akp-s*akq)
+					A.Set(k, q, s*akp+c*akq)
+				}
+				for k := 0; k < n; k++ {
+					apk, aqk := A.At(p, k), A.At(q, k)
+					A.Set(p, k, c*apk-s*aqk)
+					A.Set(q, k, s*apk+c*aqk)
+				}
+				for k := 0; k < n; k++ {
+					vkp, vkq := V.At(k, p), V.At(k, q)
+					V.Set(k, p, c*vkp-s*vkq)
+					V.Set(k, q, s*vkp+c*vkq)
+				}
+			}
+		}
+	}
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		vals[i] = A.At(i, i)
+	}
+	// Sort by descending eigenvalue, permuting eigenvector columns.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if vals[order[j]] > vals[order[i]] {
+				order[i], order[j] = order[j], order[i]
+			}
+		}
+	}
+	sortedVals := make([]float64, n)
+	sortedVecs := NewMatrix(n, n)
+	for c, idx := range order {
+		sortedVals[c] = vals[idx]
+		for r := 0; r < n; r++ {
+			sortedVecs.Set(r, c, V.At(r, idx))
+		}
+	}
+	return sortedVals, sortedVecs
+}
+
+// Invert returns the inverse of a square matrix via Gauss–Jordan
+// elimination with partial pivoting, adding ridge*I for stability.
+func Invert(a *Matrix, ridge float64) *Matrix {
+	n := a.Rows
+	if n != a.Cols {
+		panic("ml: Invert needs a square matrix")
+	}
+	aug := NewMatrix(n, 2*n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := a.At(i, j)
+			if i == j {
+				v += ridge
+			}
+			aug.Set(i, j, v)
+		}
+		aug.Set(i, n+i, 1)
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(aug.At(r, col)) > math.Abs(aug.At(pivot, col)) {
+				pivot = r
+			}
+		}
+		if pivot != col {
+			for j := 0; j < 2*n; j++ {
+				pv, cv := aug.At(pivot, j), aug.At(col, j)
+				aug.Set(pivot, j, cv)
+				aug.Set(col, j, pv)
+			}
+		}
+		pv := aug.At(col, col)
+		if math.Abs(pv) < 1e-12 {
+			pv = 1e-12
+		}
+		for j := 0; j < 2*n; j++ {
+			aug.Set(col, j, aug.At(col, j)/pv)
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := aug.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < 2*n; j++ {
+				aug.Set(r, j, aug.At(r, j)-f*aug.At(col, j))
+			}
+		}
+	}
+	inv := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			inv.Set(i, j, aug.At(i, n+j))
+		}
+	}
+	return inv
+}

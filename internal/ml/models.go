@@ -1,0 +1,250 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Classifier is a binary classifier over float feature vectors with labels
+// 0 (false positive) and 1 (true naming issue).
+type Classifier interface {
+	Fit(X [][]float64, y []int)
+	Predict(x []float64) int
+	// Decision returns the signed decision value (positive predicts 1).
+	Decision(x []float64) float64
+}
+
+// WeightedModel is implemented by linear models that expose their weight
+// vector (used for Table 9).
+type WeightedModel interface {
+	Weights() []float64
+	Bias() float64
+}
+
+// LinearSVM is a linear support vector machine trained with the Pegasos
+// stochastic subgradient method on the hinge loss.
+type LinearSVM struct {
+	Lambda float64 // regularization (default 0.01)
+	Epochs int     // passes over the data (default 200)
+	Seed   int64
+
+	w []float64
+	b float64
+}
+
+// Fit trains the SVM.
+func (m *LinearSVM) Fit(X [][]float64, y []int) {
+	if len(X) == 0 {
+		return
+	}
+	if m.Lambda <= 0 {
+		m.Lambda = 0.01
+	}
+	if m.Epochs <= 0 {
+		m.Epochs = 200
+	}
+	d := len(X[0])
+	m.w = make([]float64, d)
+	m.b = 0
+	rng := rand.New(rand.NewSource(m.Seed + 1))
+	t := 0
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		perm := rng.Perm(len(X))
+		for _, i := range perm {
+			t++
+			eta := 1 / (m.Lambda * float64(t))
+			yi := float64(2*y[i] - 1) // {0,1} -> {-1,+1}
+			margin := yi * (Dot(m.w, X[i]) + m.b)
+			for j := range m.w {
+				m.w[j] *= 1 - eta*m.Lambda
+			}
+			if margin < 1 {
+				for j := range m.w {
+					m.w[j] += eta * yi * X[i][j]
+				}
+				m.b += eta * yi
+			}
+		}
+	}
+}
+
+// Decision returns w·x + b.
+func (m *LinearSVM) Decision(x []float64) float64 { return Dot(m.w, x) + m.b }
+
+// Predict returns 1 when the decision value is positive.
+func (m *LinearSVM) Predict(x []float64) int {
+	if m.Decision(x) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Weights returns the learned weight vector.
+func (m *LinearSVM) Weights() []float64 { return m.w }
+
+// Bias returns the learned bias.
+func (m *LinearSVM) Bias() float64 { return m.b }
+
+// LogisticRegression is an L2-regularized logistic regression trained by
+// stochastic gradient descent.
+type LogisticRegression struct {
+	LR     float64 // learning rate (default 0.1)
+	Lambda float64 // L2 regularization (default 1e-3)
+	Epochs int     // default 200
+	Seed   int64
+
+	w []float64
+	b float64
+}
+
+// Fit trains the model.
+func (m *LogisticRegression) Fit(X [][]float64, y []int) {
+	if len(X) == 0 {
+		return
+	}
+	if m.LR <= 0 {
+		m.LR = 0.1
+	}
+	if m.Lambda <= 0 {
+		m.Lambda = 1e-3
+	}
+	if m.Epochs <= 0 {
+		m.Epochs = 200
+	}
+	d := len(X[0])
+	m.w = make([]float64, d)
+	m.b = 0
+	rng := rand.New(rand.NewSource(m.Seed + 2))
+	for epoch := 0; epoch < m.Epochs; epoch++ {
+		perm := rng.Perm(len(X))
+		lr := m.LR / (1 + 0.01*float64(epoch))
+		for _, i := range perm {
+			p := sigmoid(Dot(m.w, X[i]) + m.b)
+			g := p - float64(y[i])
+			for j := range m.w {
+				m.w[j] -= lr * (g*X[i][j] + m.Lambda*m.w[j])
+			}
+			m.b -= lr * g
+		}
+	}
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// Decision returns the logit.
+func (m *LogisticRegression) Decision(x []float64) float64 { return Dot(m.w, x) + m.b }
+
+// Predict returns 1 when the probability exceeds 0.5.
+func (m *LogisticRegression) Predict(x []float64) int {
+	if m.Decision(x) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Probability returns P(y=1 | x).
+func (m *LogisticRegression) Probability(x []float64) float64 {
+	return sigmoid(m.Decision(x))
+}
+
+// Weights returns the learned weight vector.
+func (m *LogisticRegression) Weights() []float64 { return m.w }
+
+// Bias returns the learned bias.
+func (m *LogisticRegression) Bias() float64 { return m.b }
+
+// LDA is two-class linear discriminant analysis with a shared (pooled)
+// covariance estimate.
+type LDA struct {
+	Ridge float64 // covariance ridge (default 1e-6)
+
+	w []float64
+	b float64
+}
+
+// Fit estimates the discriminant direction w = Σ⁻¹(μ₁ − μ₀) and a
+// threshold from the class means and priors.
+func (m *LDA) Fit(X [][]float64, y []int) {
+	if len(X) == 0 {
+		return
+	}
+	if m.Ridge <= 0 {
+		m.Ridge = 1e-6
+	}
+	d := len(X[0])
+	mu := [2][]float64{make([]float64, d), make([]float64, d)}
+	count := [2]int{}
+	for i, row := range X {
+		c := y[i]
+		count[c]++
+		for j, v := range row {
+			mu[c][j] += v
+		}
+	}
+	for c := 0; c < 2; c++ {
+		if count[c] == 0 {
+			m.w = make([]float64, d)
+			return
+		}
+		for j := range mu[c] {
+			mu[c][j] /= float64(count[c])
+		}
+	}
+	// Pooled within-class covariance.
+	cov := NewMatrix(d, d)
+	for i, row := range X {
+		c := y[i]
+		for a := 0; a < d; a++ {
+			da := row[a] - mu[c][a]
+			for b := a; b < d; b++ {
+				cov.Data[a*d+b] += da * (row[b] - mu[c][b])
+			}
+		}
+	}
+	denom := float64(len(X) - 2)
+	if denom <= 0 {
+		denom = 1
+	}
+	for a := 0; a < d; a++ {
+		for b := a; b < d; b++ {
+			v := cov.At(a, b) / denom
+			cov.Set(a, b, v)
+			cov.Set(b, a, v)
+		}
+	}
+	inv := Invert(cov, m.Ridge)
+	m.w = make([]float64, d)
+	diff := make([]float64, d)
+	for j := 0; j < d; j++ {
+		diff[j] = mu[1][j] - mu[0][j]
+	}
+	for a := 0; a < d; a++ {
+		for b := 0; b < d; b++ {
+			m.w[a] += inv.At(a, b) * diff[b]
+		}
+	}
+	mid := make([]float64, d)
+	for j := 0; j < d; j++ {
+		mid[j] = (mu[0][j] + mu[1][j]) / 2
+	}
+	prior := math.Log(float64(count[1])/float64(len(X))) -
+		math.Log(float64(count[0])/float64(len(X)))
+	m.b = -Dot(m.w, mid) + prior
+}
+
+// Decision returns the discriminant value.
+func (m *LDA) Decision(x []float64) float64 { return Dot(m.w, x) + m.b }
+
+// Predict returns 1 when the discriminant is positive.
+func (m *LDA) Predict(x []float64) int {
+	if m.Decision(x) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Weights returns the discriminant direction.
+func (m *LDA) Weights() []float64 { return m.w }
+
+// Bias returns the threshold term.
+func (m *LDA) Bias() float64 { return m.b }

@@ -1,0 +1,132 @@
+package ml
+
+import "math"
+
+// Standardizer rescales each feature to zero mean and unit variance, the
+// preprocessing step of §5.1.
+type Standardizer struct {
+	Mean []float64
+	Std  []float64
+}
+
+// Fit estimates per-feature means and standard deviations.
+func (s *Standardizer) Fit(X [][]float64) {
+	if len(X) == 0 {
+		return
+	}
+	d := len(X[0])
+	s.Mean = make([]float64, d)
+	s.Std = make([]float64, d)
+	for _, row := range X {
+		for j, v := range row {
+			s.Mean[j] += v
+		}
+	}
+	n := float64(len(X))
+	for j := range s.Mean {
+		s.Mean[j] /= n
+	}
+	for _, row := range X {
+		for j, v := range row {
+			d := v - s.Mean[j]
+			s.Std[j] += d * d
+		}
+	}
+	for j := range s.Std {
+		s.Std[j] = math.Sqrt(s.Std[j] / n)
+		if s.Std[j] < 1e-12 {
+			s.Std[j] = 1
+		}
+	}
+}
+
+// Transform standardizes one sample.
+func (s *Standardizer) Transform(x []float64) []float64 {
+	out := make([]float64, len(x))
+	for j, v := range x {
+		out[j] = (v - s.Mean[j]) / s.Std[j]
+	}
+	return out
+}
+
+// TransformAll standardizes a dataset.
+func (s *Standardizer) TransformAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = s.Transform(row)
+	}
+	return out
+}
+
+// PCA projects samples onto the top-k principal components of the training
+// covariance, the second preprocessing step of §5.1.
+type PCA struct {
+	K          int
+	Components *Matrix // d × k, columns are principal directions
+	Mean       []float64
+}
+
+// Fit computes the principal components of X. K <= 0 or K > d keeps all
+// components.
+func (p *PCA) Fit(X [][]float64) {
+	if len(X) == 0 {
+		return
+	}
+	d := len(X[0])
+	if p.K <= 0 || p.K > d {
+		p.K = d
+	}
+	p.Mean = make([]float64, d)
+	for _, row := range X {
+		for j, v := range row {
+			p.Mean[j] += v
+		}
+	}
+	for j := range p.Mean {
+		p.Mean[j] /= float64(len(X))
+	}
+	cov := Covariance(X)
+	_, vecs := JacobiEigen(cov, 60)
+	p.Components = NewMatrix(d, p.K)
+	for i := 0; i < d; i++ {
+		for j := 0; j < p.K; j++ {
+			p.Components.Set(i, j, vecs.At(i, j))
+		}
+	}
+}
+
+// Transform projects one sample.
+func (p *PCA) Transform(x []float64) []float64 {
+	out := make([]float64, p.K)
+	for j := 0; j < p.K; j++ {
+		s := 0.0
+		for i := range x {
+			s += (x[i] - p.Mean[i]) * p.Components.At(i, j)
+		}
+		out[j] = s
+	}
+	return out
+}
+
+// TransformAll projects a dataset.
+func (p *PCA) TransformAll(X [][]float64) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, row := range X {
+		out[i] = p.Transform(row)
+	}
+	return out
+}
+
+// BackProject maps a weight vector from component space back to the
+// original feature space: w_orig = C · w_pca. Used to report per-feature
+// classifier weights (Table 9).
+func (p *PCA) BackProject(w []float64) []float64 {
+	d := p.Components.Rows
+	out := make([]float64, d)
+	for i := 0; i < d; i++ {
+		for j := 0; j < p.K && j < len(w); j++ {
+			out[i] += p.Components.At(i, j) * w[j]
+		}
+	}
+	return out
+}

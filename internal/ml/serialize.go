@@ -1,0 +1,83 @@
+package ml
+
+import "fmt"
+
+// PipelineState is the serializable form of a trained Pipeline: the
+// preprocessing statistics and the linear decision function.
+type PipelineState struct {
+	Mean    []float64   `json:"mean"`
+	Std     []float64   `json:"std"`
+	UsePCA  bool        `json:"use_pca"`
+	PCAMean []float64   `json:"pca_mean,omitempty"`
+	PCACols [][]float64 `json:"pca_components,omitempty"` // d rows × k cols
+	Weights []float64   `json:"weights"`
+	Bias    float64     `json:"bias"`
+}
+
+// LinearModel is a frozen linear classifier restored from a
+// PipelineState.
+type LinearModel struct {
+	W []float64
+	B float64
+}
+
+// Fit is a no-op: LinearModel is always pre-trained.
+func (m *LinearModel) Fit(X [][]float64, y []int) {}
+
+// Decision returns w·x + b.
+func (m *LinearModel) Decision(x []float64) float64 { return Dot(m.W, x) + m.B }
+
+// Predict returns 1 when the decision value is positive.
+func (m *LinearModel) Predict(x []float64) int {
+	if m.Decision(x) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// Weights returns the weight vector.
+func (m *LinearModel) Weights() []float64 { return m.W }
+
+// Bias returns the bias.
+func (m *LinearModel) Bias() float64 { return m.B }
+
+// Export captures a trained pipeline's state. It fails if the underlying
+// model is not linear.
+func (p *Pipeline) Export() (*PipelineState, error) {
+	wm, ok := p.model.(WeightedModel)
+	if !ok {
+		return nil, fmt.Errorf("ml: model does not expose weights")
+	}
+	st := &PipelineState{
+		Mean:    append([]float64(nil), p.std.Mean...),
+		Std:     append([]float64(nil), p.std.Std...),
+		UsePCA:  p.UsePCA,
+		Weights: append([]float64(nil), wm.Weights()...),
+		Bias:    wm.Bias(),
+	}
+	if p.UsePCA {
+		st.PCAMean = append([]float64(nil), p.pca.Mean...)
+		for i := 0; i < p.pca.Components.Rows; i++ {
+			st.PCACols = append(st.PCACols, append([]float64(nil), p.pca.Components.Row(i)...))
+		}
+	}
+	return st, nil
+}
+
+// Restore rebuilds a pipeline from exported state.
+func Restore(st *PipelineState) *Pipeline {
+	p := &Pipeline{UsePCA: st.UsePCA}
+	p.std = Standardizer{Mean: st.Mean, Std: st.Std}
+	if st.UsePCA {
+		k := len(st.Weights)
+		comp := NewMatrix(len(st.PCACols), k)
+		for i, row := range st.PCACols {
+			for j := 0; j < k && j < len(row); j++ {
+				comp.Set(i, j, row[j])
+			}
+		}
+		p.pca = PCA{K: k, Mean: st.PCAMean, Components: comp}
+	}
+	p.model = &LinearModel{W: st.Weights, B: st.Bias}
+	return p
+}

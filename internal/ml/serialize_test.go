@@ -1,0 +1,72 @@
+package ml
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func TestPipelineExportRestore(t *testing.T) {
+	X, y := synthData(120, 21)
+	p := &Pipeline{UsePCA: true, NewModel: func() Classifier {
+		return &LinearSVM{Epochs: 80, Seed: 21}
+	}}
+	p.Fit(X, y)
+
+	st, err := p.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// JSON round trip, as the knowledge file does.
+	data, err := json.Marshal(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st2 PipelineState
+	if err := json.Unmarshal(data, &st2); err != nil {
+		t.Fatal(err)
+	}
+	q := Restore(&st2)
+
+	for i, x := range X {
+		if p.Predict(x) != q.Predict(x) {
+			t.Fatalf("prediction diverged at sample %d", i)
+		}
+		if math.Abs(p.Decision(x)-q.Decision(x)) > 1e-9 {
+			t.Fatalf("decision value diverged at sample %d: %g vs %g",
+				i, p.Decision(x), q.Decision(x))
+		}
+	}
+}
+
+func TestExportWithoutPCA(t *testing.T) {
+	X, y := synthData(80, 22)
+	p := &Pipeline{NewModel: func() Classifier {
+		return &LogisticRegression{Epochs: 60, Seed: 22}
+	}}
+	p.Fit(X, y)
+	st, err := p.Export()
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Restore(st)
+	for _, x := range X[:20] {
+		if p.Predict(x) != q.Predict(x) {
+			t.Fatal("prediction diverged without PCA")
+		}
+	}
+}
+
+func TestLinearModelInterfaces(t *testing.T) {
+	m := &LinearModel{W: []float64{1, -1}, B: 0.5}
+	if m.Predict([]float64{1, 0}) != 1 {
+		t.Error("positive decision should predict 1")
+	}
+	if m.Predict([]float64{0, 2}) != 0 {
+		t.Error("negative decision should predict 0")
+	}
+	if len(m.Weights()) != 2 || m.Bias() != 0.5 {
+		t.Error("weight accessors wrong")
+	}
+	m.Fit(nil, nil) // no-op must not panic
+}

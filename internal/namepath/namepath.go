@@ -1,0 +1,202 @@
+// Package namepath implements the name path abstraction of Definition 3.2:
+// a path from the root of a transformed statement AST (AST+) to a leaf
+// subtoken, recorded as a list of (node value, child index) pairs plus the
+// end subtoken. Name paths are the items over which name patterns are
+// defined and mined.
+package namepath
+
+import (
+	"strconv"
+	"strings"
+
+	"namer/internal/ast"
+)
+
+// Epsilon is the symbolic end node ϵ of Definition 3.2. A Path with
+// End == Epsilon is a symbolic name path: its end matches any subtoken.
+const Epsilon = ""
+
+// Elem is one step of a name path prefix: the value of a non-terminal node
+// and the index of the next node in its children list.
+type Elem struct {
+	Value string
+	Index int
+}
+
+// Path is a name path ⟨S, n⟩: Prefix is S, End is n (Epsilon when
+// symbolic).
+type Path struct {
+	Prefix []Elem
+	End    string
+}
+
+// Same implements the ~ operator of Definition 3.4: true iff the prefixes
+// are equal element-wise.
+func (p Path) Same(q Path) bool {
+	if len(p.Prefix) != len(q.Prefix) {
+		return false
+	}
+	for i := range p.Prefix {
+		if p.Prefix[i] != q.Prefix[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Eq implements the = operator of Definition 3.4: prefixes equal, and the
+// ends equal or either end symbolic.
+func (p Path) Eq(q Path) bool {
+	if !p.Same(q) {
+		return false
+	}
+	return p.End == Epsilon || q.End == Epsilon || p.End == q.End
+}
+
+// Symbolic reports whether the end node is ϵ.
+func (p Path) Symbolic() bool { return p.End == Epsilon }
+
+// WithEnd returns a copy of p with the given end node.
+func (p Path) WithEnd(end string) Path {
+	return Path{Prefix: p.Prefix, End: end}
+}
+
+// PrefixKey returns a canonical encoding of the prefix, used to group and
+// compare paths cheaply.
+func (p Path) PrefixKey() string {
+	var b strings.Builder
+	for i, e := range p.Prefix {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(e.Value)
+		b.WriteByte(' ')
+		b.WriteString(strconv.Itoa(e.Index))
+	}
+	return b.String()
+}
+
+// Key returns a canonical encoding of the full path (prefix and end). Two
+// paths are identical iff their keys are equal.
+func (p Path) Key() string {
+	if p.End == Epsilon {
+		return p.PrefixKey() + " ε"
+	}
+	return p.PrefixKey() + " " + p.End
+}
+
+// String renders the path in the paper's notation.
+func (p Path) String() string {
+	if p.End == Epsilon {
+		return p.PrefixKey() + " ϵ"
+	}
+	return p.PrefixKey() + " " + p.End
+}
+
+// Extract walks a transformed statement AST (AST+) top-down and returns
+// the concrete name paths to its terminal leaves, in left-to-right order.
+// Operator token leaves are skipped: name paths end at code-name subtokens
+// and abstracted literals (NUM/STR/BOOL/NULL). At most limit paths are
+// returned (the paper keeps the first 10); limit <= 0 means no limit.
+func Extract(root *ast.Node, limit int) []Path {
+	var out []Path
+	var prefix []Elem
+	var walk func(n *ast.Node)
+	walk = func(n *ast.Node) {
+		if limit > 0 && len(out) >= limit {
+			return
+		}
+		if n.IsTerminal() {
+			if n.Kind == ast.Subtoken {
+				p := Path{Prefix: append([]Elem(nil), prefix...), End: n.Value}
+				out = append(out, p)
+			}
+			return
+		}
+		for i, c := range n.Children {
+			prefix = append(prefix, Elem{Value: n.Value, Index: i})
+			walk(c)
+			prefix = prefix[:len(prefix)-1]
+		}
+	}
+	walk(root)
+	return out
+}
+
+// Dedup removes duplicate paths (by Key), preserving order. Statement path
+// sets are required to have pairwise-distinct prefixes; Dedup enforces the
+// weaker full-path uniqueness used when updating the FP tree.
+func Dedup(paths []Path) []Path {
+	seen := make(map[string]bool, len(paths))
+	out := paths[:0]
+	for _, p := range paths {
+		k := p.Key()
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, p)
+	}
+	return out
+}
+
+// ParsePath parses the paper's textual notation back into a Path: tokens
+// alternate value and index, ending with the end node ("ϵ" for symbolic).
+// It is the inverse of String for values without spaces and is used by
+// tests and tools.
+func ParsePath(s string) (Path, bool) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 || len(fields)%2 == 0 {
+		return Path{}, false
+	}
+	var p Path
+	for i := 0; i+1 < len(fields); i += 2 {
+		idx, err := strconv.Atoi(fields[i+1])
+		if err != nil {
+			return Path{}, false
+		}
+		p.Prefix = append(p.Prefix, Elem{Value: fields[i], Index: idx})
+	}
+	end := fields[len(fields)-1]
+	if end == "ϵ" || end == "ε" {
+		end = Epsilon
+	}
+	p.End = end
+	return p, true
+}
+
+// Interner assigns dense integer ids to paths so the FP-tree can store
+// items as ints.
+type Interner struct {
+	byKey map[string]int
+	paths []Path
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{byKey: make(map[string]int)}
+}
+
+// Intern returns the id for p, allocating one if needed.
+func (in *Interner) Intern(p Path) int {
+	k := p.Key()
+	if id, ok := in.byKey[k]; ok {
+		return id
+	}
+	id := len(in.paths)
+	in.byKey[k] = id
+	in.paths = append(in.paths, p)
+	return id
+}
+
+// Lookup returns the id for p and whether it is known.
+func (in *Interner) Lookup(p Path) (int, bool) {
+	id, ok := in.byKey[p.Key()]
+	return id, ok
+}
+
+// Path returns the path with the given id.
+func (in *Interner) Path(id int) Path { return in.paths[id] }
+
+// Len returns the number of interned paths.
+func (in *Interner) Len() int { return len(in.paths) }

@@ -1,0 +1,192 @@
+package namepath
+
+import (
+	"testing"
+	"testing/quick"
+
+	"namer/internal/ast"
+)
+
+func mkPath(end string, elems ...Elem) Path {
+	return Path{Prefix: elems, End: end}
+}
+
+func TestRelationalOperators(t *testing.T) {
+	// Example 3.3 / 3.5 of the paper.
+	prefix := []Elem{
+		{"NumArgs(2)", 0}, {"Call", 0}, {"AttributeLoad", 1}, {"Attr", 0},
+		{"NumST(2)", 1}, {"TestCase", 0},
+	}
+	np1 := Path{Prefix: prefix, End: "True"}
+	np2 := Path{Prefix: prefix, End: "Equal"}
+	np3 := Path{Prefix: prefix, End: Epsilon}
+
+	if !np1.Same(np2) {
+		t.Error("np1 ~ np2 should hold")
+	}
+	if np1.Eq(np2) {
+		t.Error("np1 = np2 should not hold")
+	}
+	if !np1.Same(np3) {
+		t.Error("np1 ~ np3 should hold")
+	}
+	if !np1.Eq(np3) {
+		t.Error("np1 = np3 should hold (ϵ matches anything)")
+	}
+	if !np3.Symbolic() || np1.Symbolic() {
+		t.Error("Symbolic flags wrong")
+	}
+}
+
+func TestSameRequiresEqualPrefixes(t *testing.T) {
+	a := mkPath("x", Elem{"Assign", 0}, Elem{"NameStore", 0})
+	b := mkPath("x", Elem{"Assign", 1}, Elem{"NameStore", 0})
+	c := mkPath("x", Elem{"Assign", 0})
+	if a.Same(b) {
+		t.Error("different indices should break ~")
+	}
+	if a.Same(c) {
+		t.Error("different lengths should break ~")
+	}
+}
+
+func TestKeyRoundTrip(t *testing.T) {
+	p := mkPath("self", Elem{"Call", 0}, Elem{"NameLoad", 0}, Elem{"NumST(1)", 0})
+	q, ok := ParsePath(p.String())
+	if !ok {
+		t.Fatalf("ParsePath(%q) failed", p.String())
+	}
+	if !q.Eq(p) || q.Key() != p.Key() {
+		t.Errorf("round trip: %q vs %q", q.Key(), p.Key())
+	}
+	// Symbolic round trip.
+	s := p.WithEnd(Epsilon)
+	q2, ok := ParsePath(s.String())
+	if !ok || !q2.Symbolic() {
+		t.Error("symbolic round trip failed")
+	}
+}
+
+func TestExtractOrderAndLimit(t *testing.T) {
+	// Tree: Assign(NameStore(NumST(a)), NumST(b, c))
+	tree := ast.NewNode(ast.Assign,
+		ast.NewNode(ast.NameStore,
+			&ast.Node{Kind: ast.NumST, Value: "NumST(1)", Children: []*ast.Node{
+				{Kind: ast.Subtoken, Value: "a"},
+			}}),
+		&ast.Node{Kind: ast.NumST, Value: "NumST(2)", Children: []*ast.Node{
+			{Kind: ast.Subtoken, Value: "b"},
+			{Kind: ast.Subtoken, Value: "c"},
+		}},
+	)
+	paths := Extract(tree, 0)
+	if len(paths) != 3 {
+		t.Fatalf("got %d paths, want 3", len(paths))
+	}
+	if paths[0].End != "a" || paths[1].End != "b" || paths[2].End != "c" {
+		t.Errorf("order: %v %v %v", paths[0].End, paths[1].End, paths[2].End)
+	}
+	if got := Extract(tree, 2); len(got) != 2 {
+		t.Errorf("limit ignored: %d", len(got))
+	}
+	// Prefixes of distinct leaves are distinct.
+	if paths[1].PrefixKey() == paths[2].PrefixKey() {
+		t.Error("sibling subtokens must have distinct prefixes (index differs)")
+	}
+}
+
+func TestExtractSkipsOperators(t *testing.T) {
+	tree := ast.NewNode(ast.BinOp,
+		&ast.Node{Kind: ast.OpTok, Value: "+"},
+		&ast.Node{Kind: ast.NumST, Value: "NumST(1)", Children: []*ast.Node{
+			{Kind: ast.Subtoken, Value: "x"},
+		}},
+		&ast.Node{Kind: ast.NumST, Value: "NumST(1)", Children: []*ast.Node{
+			{Kind: ast.Subtoken, Value: "y"},
+		}},
+	)
+	paths := Extract(tree, 0)
+	if len(paths) != 2 {
+		t.Fatalf("got %d paths, want 2 (operator leaf skipped)", len(paths))
+	}
+}
+
+func TestDedup(t *testing.T) {
+	p := mkPath("x", Elem{"Assign", 0})
+	q := mkPath("x", Elem{"Assign", 0})
+	r := mkPath("y", Elem{"Assign", 0})
+	out := Dedup([]Path{p, q, r})
+	if len(out) != 2 {
+		t.Errorf("Dedup = %d paths, want 2", len(out))
+	}
+}
+
+func TestInterner(t *testing.T) {
+	in := NewInterner()
+	p := mkPath("x", Elem{"Assign", 0})
+	q := mkPath("y", Elem{"Assign", 0})
+	idP := in.Intern(p)
+	idQ := in.Intern(q)
+	if idP == idQ {
+		t.Error("distinct paths must get distinct ids")
+	}
+	if in.Intern(p) != idP {
+		t.Error("interning not idempotent")
+	}
+	if got := in.Path(idP); got.Key() != p.Key() {
+		t.Error("Path round trip failed")
+	}
+	if _, ok := in.Lookup(mkPath("z", Elem{"Assign", 0})); ok {
+		t.Error("Lookup of unknown path should fail")
+	}
+	if in.Len() != 2 {
+		t.Errorf("Len = %d, want 2", in.Len())
+	}
+}
+
+// Properties of the relational operators.
+func TestOperatorProperties(t *testing.T) {
+	gen := func(vals []uint8, end string) Path {
+		var p Path
+		for i, v := range vals {
+			p.Prefix = append(p.Prefix, Elem{Value: string(rune('A' + v%4)), Index: i % 3})
+		}
+		p.End = end
+		return p
+	}
+	// ~ is an equivalence on prefixes: symmetric.
+	sym := func(a, b []uint8, e1, e2 string) bool {
+		p, q := gen(a, e1), gen(b, e2)
+		return p.Same(q) == q.Same(p)
+	}
+	if err := quick.Check(sym, nil); err != nil {
+		t.Error("~ symmetry:", err)
+	}
+	// = implies ~.
+	eqImpliesSame := func(a, b []uint8, e1, e2 string) bool {
+		p, q := gen(a, e1), gen(b, e2)
+		return !p.Eq(q) || p.Same(q)
+	}
+	if err := quick.Check(eqImpliesSame, nil); err != nil {
+		t.Error("= implies ~:", err)
+	}
+	// Any path = its symbolic version.
+	symbolicEq := func(a []uint8, e string) bool {
+		p := gen(a, e)
+		return p.Eq(p.WithEnd(Epsilon))
+	}
+	if err := quick.Check(symbolicEq, nil); err != nil {
+		t.Error("p = p[ϵ]:", err)
+	}
+	// Key uniqueness: equal keys iff Eq for concrete paths.
+	keyFaithful := func(a, b []uint8, e1, e2 string) bool {
+		if e1 == "" || e2 == "" {
+			return true
+		}
+		p, q := gen(a, e1), gen(b, e2)
+		return (p.Key() == q.Key()) == (p.Same(q) && p.End == q.End)
+	}
+	if err := quick.Check(keyFaithful, nil); err != nil {
+		t.Error("key faithfulness:", err)
+	}
+}

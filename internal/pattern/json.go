@@ -1,0 +1,74 @@
+package pattern
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"namer/internal/namepath"
+)
+
+// patternJSON is the serialized form of a Pattern; name paths use the
+// paper's textual notation.
+type patternJSON struct {
+	Type         string   `json:"type"`
+	Condition    []string `json:"condition"`
+	Deduction    []string `json:"deduction"`
+	Count        int      `json:"count"`
+	MatchCount   int      `json:"match_count"`
+	SatisfyCount int      `json:"satisfy_count"`
+}
+
+// MarshalJSON serializes the pattern.
+func (p *Pattern) MarshalJSON() ([]byte, error) {
+	out := patternJSON{
+		Type:         p.Type.String(),
+		Count:        p.Count,
+		MatchCount:   p.MatchCount,
+		SatisfyCount: p.SatisfyCount,
+	}
+	for _, c := range p.Condition {
+		out.Condition = append(out.Condition, c.String())
+	}
+	for _, d := range p.Deduction {
+		out.Deduction = append(out.Deduction, d.String())
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON deserializes the pattern.
+func (p *Pattern) UnmarshalJSON(data []byte) error {
+	var in patternJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	switch in.Type {
+	case Consistency.String():
+		p.Type = Consistency
+	case ConfusingWord.String():
+		p.Type = ConfusingWord
+	default:
+		return fmt.Errorf("pattern: unknown type %q", in.Type)
+	}
+	p.Condition, p.Deduction = nil, nil
+	for _, s := range in.Condition {
+		np, ok := namepath.ParsePath(s)
+		if !ok {
+			return fmt.Errorf("pattern: bad condition path %q", s)
+		}
+		p.Condition = append(p.Condition, np)
+	}
+	for _, s := range in.Deduction {
+		np, ok := namepath.ParsePath(s)
+		if !ok {
+			return fmt.Errorf("pattern: bad deduction path %q", s)
+		}
+		p.Deduction = append(p.Deduction, np)
+	}
+	p.Count = in.Count
+	p.MatchCount = in.MatchCount
+	p.SatisfyCount = in.SatisfyCount
+	if !p.Valid() {
+		return fmt.Errorf("pattern: deserialized pattern is invalid")
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+package pattern
+
+import (
+	"encoding/json"
+	"testing"
+
+	"namer/internal/namepath"
+)
+
+func TestPatternJSONRoundTrip(t *testing.T) {
+	cond, deduct, stmt := fig2Paths()
+	p := &Pattern{
+		Type: ConfusingWord, Condition: cond, Deduction: []namepath.Path{deduct},
+		Count: 42, MatchCount: 100, SatisfyCount: 90,
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Pattern
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if q.Key() != p.Key() {
+		t.Errorf("key changed: %q vs %q", q.Key(), p.Key())
+	}
+	if q.Count != 42 || q.MatchCount != 100 || q.SatisfyCount != 90 {
+		t.Errorf("counts lost: %+v", q)
+	}
+	// Semantics preserved.
+	if !q.Violated(stmt) {
+		t.Error("deserialized pattern lost its violation semantics")
+	}
+}
+
+func TestConsistencyPatternJSONRoundTrip(t *testing.T) {
+	mk := func(s string) namepath.Path {
+		p, _ := namepath.ParsePath(s)
+		return p
+	}
+	p := &Pattern{
+		Type:      Consistency,
+		Condition: []namepath.Path{mk("Assign 0 AttributeStore 0 NameLoad 0 NumST(1) 0 self")},
+		Deduction: []namepath.Path{
+			mk("Assign 0 AttributeStore 1 Attr 0 NumST(1) 0 ϵ"),
+			mk("Assign 1 NameLoad 0 NumST(1) 0 ϵ"),
+		},
+	}
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var q Pattern
+	if err := json.Unmarshal(data, &q); err != nil {
+		t.Fatal(err)
+	}
+	if !q.Valid() || !q.Deduction[0].Symbolic() {
+		t.Error("symbolic deduction lost in round trip")
+	}
+}
+
+func TestPatternUnmarshalErrors(t *testing.T) {
+	bad := []string{
+		`{"type":"alien","condition":[],"deduction":[]}`,
+		`{"type":"confusing-word","condition":["not a path"],"deduction":["A 0 x"]}`,
+		`{"type":"confusing-word","condition":[],"deduction":["A notanumber x"]}`,
+		`{"type":"confusing-word","condition":[],"deduction":[]}`, // invalid shape
+		`[1,2,3]`,
+	}
+	for _, s := range bad {
+		var p Pattern
+		if err := json.Unmarshal([]byte(s), &p); err == nil {
+			t.Errorf("Unmarshal(%s) should fail", s)
+		}
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	cond, deduct, _ := fig2Paths()
+	p := &Pattern{Type: ConfusingWord, Condition: cond, Deduction: []namepath.Path{deduct}}
+	s := p.String()
+	if len(s) == 0 || s[:10] != "Condition:" {
+		t.Errorf("String() = %q", s)
+	}
+}

@@ -1,0 +1,91 @@
+package pattern
+
+import "namer/internal/namepath"
+
+// Statement is an indexed view of a statement's name paths that answers
+// Matches/Satisfied/Violated queries in O(|C| + |D|) set lookups instead of
+// scanning all paths. Mining and matching over the whole corpus run
+// through this representation.
+type Statement struct {
+	Paths []namepath.Path
+	full  map[string]bool     // full path keys present
+	ends  map[string][]string // prefix key -> end subtokens (in order)
+}
+
+// NewStatement indexes a statement's (concrete) name paths.
+func NewStatement(paths []namepath.Path) *Statement {
+	s := &Statement{
+		Paths: paths,
+		full:  make(map[string]bool, len(paths)),
+		ends:  make(map[string][]string, len(paths)),
+	}
+	for _, p := range paths {
+		s.full[p.Key()] = true
+		pk := p.PrefixKey()
+		s.ends[pk] = append(s.ends[pk], p.End)
+	}
+	return s
+}
+
+// Matches mirrors Pattern.Matches.
+func (s *Statement) Matches(p *Pattern) bool {
+	for _, c := range p.Condition {
+		if c.Symbolic() {
+			if _, ok := s.ends[c.PrefixKey()]; !ok {
+				return false
+			}
+			continue
+		}
+		if !s.full[c.Key()] {
+			return false
+		}
+	}
+	for _, d := range p.Deduction {
+		if _, ok := s.ends[d.PrefixKey()]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Satisfied mirrors Pattern.Satisfied.
+func (s *Statement) Satisfied(p *Pattern) bool {
+	if !s.Matches(p) {
+		return false
+	}
+	switch p.Type {
+	case Consistency:
+		e1 := s.ends[p.Deduction[0].PrefixKey()]
+		e2 := s.ends[p.Deduction[1].PrefixKey()]
+		for _, a := range e1 {
+			for _, b := range e2 {
+				if a != b {
+					return false
+				}
+			}
+		}
+		return true
+	case ConfusingWord:
+		d := p.Deduction[0]
+		for _, e := range s.ends[d.PrefixKey()] {
+			if e != d.End {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}
+
+// Violated mirrors Pattern.Violated.
+func (s *Statement) Violated(p *Pattern) bool {
+	return s.Matches(p) && !s.Satisfied(p)
+}
+
+// Explain mirrors Pattern.Explain.
+func (s *Statement) Explain(p *Pattern) (Violation, bool) {
+	if !s.Violated(p) {
+		return Violation{}, false
+	}
+	return p.Explain(s.Paths)
+}

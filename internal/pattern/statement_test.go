@@ -1,0 +1,86 @@
+package pattern
+
+import (
+	"testing"
+	"testing/quick"
+
+	"namer/internal/namepath"
+)
+
+// genPaths derives a deterministic small path set from fuzz bytes.
+func genPaths(data []uint8) []namepath.Path {
+	var out []namepath.Path
+	for i := 0; i+2 < len(data); i += 3 {
+		p := namepath.Path{
+			Prefix: []namepath.Elem{
+				{Value: string(rune('A' + data[i]%3)), Index: int(data[i+1] % 2)},
+			},
+			End: string(rune('a' + data[i+2]%4)),
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Property: the indexed Statement agrees with the naive Pattern methods on
+// Matches, Satisfied, and Violated for both pattern types.
+func TestStatementAgreesWithPattern(t *testing.T) {
+	f := func(stmtData, condData []uint8, dedEnd uint8, consistency bool) bool {
+		paths := genPaths(stmtData)
+		if len(paths) == 0 {
+			return true
+		}
+		cond := genPaths(condData)
+		if len(cond) > 2 {
+			cond = cond[:2]
+		}
+		var p *Pattern
+		if consistency {
+			if len(paths) < 2 {
+				return true
+			}
+			p = &Pattern{
+				Type:      Consistency,
+				Condition: cond,
+				Deduction: []namepath.Path{
+					paths[0].WithEnd(namepath.Epsilon),
+					paths[len(paths)-1].WithEnd(namepath.Epsilon),
+				},
+			}
+		} else {
+			p = &Pattern{
+				Type:      ConfusingWord,
+				Condition: cond,
+				Deduction: []namepath.Path{paths[0].WithEnd(string(rune('a' + dedEnd%4)))},
+			}
+		}
+		s := NewStatement(paths)
+		return s.Matches(p) == p.Matches(paths) &&
+			s.Satisfied(p) == p.Satisfied(paths) &&
+			s.Violated(p) == p.Violated(paths)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatementExplainMatchesPattern(t *testing.T) {
+	mk := func(s string) namepath.Path {
+		p, _ := namepath.ParsePath(s)
+		return p
+	}
+	p := &Pattern{
+		Type:      ConfusingWord,
+		Condition: []namepath.Path{mk("Call 0 NameLoad 0 NumST(1) 0 self")},
+		Deduction: []namepath.Path{mk("Call 1 Attr 0 NumST(1) 0 range")},
+	}
+	paths := []namepath.Path{
+		mk("Call 0 NameLoad 0 NumST(1) 0 self"),
+		mk("Call 1 Attr 0 NumST(1) 0 xrange"),
+	}
+	s := NewStatement(paths)
+	v, ok := s.Explain(p)
+	if !ok || v.Original != "xrange" || v.Suggested != "range" {
+		t.Errorf("Explain = %+v, %v", v, ok)
+	}
+}

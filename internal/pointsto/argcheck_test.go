@@ -1,0 +1,96 @@
+package pointsto
+
+import (
+	"testing"
+
+	"namer/internal/ast"
+)
+
+func TestArgumentSelectionPython(t *testing.T) {
+	src := `def clamp(low, high):
+    return low if low < high else high
+
+class Box:
+    def resize(self, width, height):
+        self.width = width
+        self.height = height
+
+    def grow(self, width, height):
+        self.resize(height, width)
+
+def use(width, height, low, high):
+    clamp(high, low)
+    clamp(low, high)
+    clamp(low, width)
+`
+	root := parsePy(t, src)
+	swaps := CheckArgumentSelection(root, ast.Python)
+	if len(swaps) != 2 {
+		t.Fatalf("swaps = %+v, want 2", swaps)
+	}
+	// Method call swap (self skipped).
+	foundMethod, foundDirect := false, false
+	for _, sw := range swaps {
+		switch sw.Callee {
+		case "resize":
+			foundMethod = true
+			if sw.ArgA != "height" || sw.ArgB != "width" {
+				t.Errorf("resize swap = %+v", sw)
+			}
+		case "clamp":
+			foundDirect = true
+			if sw.ArgA != "high" || sw.ArgB != "low" {
+				t.Errorf("clamp swap = %+v", sw)
+			}
+		}
+	}
+	if !foundMethod || !foundDirect {
+		t.Errorf("missing swaps: %+v", swaps)
+	}
+}
+
+func TestArgumentSelectionJava(t *testing.T) {
+	src := `class Painter {
+    void render(int x, int y) { }
+
+    void paint(int x, int y) {
+        this.render(y, x);
+        this.render(x, y);
+    }
+}
+`
+	root := parseJava(t, src)
+	swaps := CheckArgumentSelection(root, ast.Java)
+	if len(swaps) != 1 {
+		t.Fatalf("swaps = %+v, want 1", swaps)
+	}
+	if swaps[0].Callee != "render" || swaps[0].ArgA != "y" {
+		t.Errorf("swap = %+v", swaps[0])
+	}
+}
+
+func TestArgumentSelectionNoFalsePositives(t *testing.T) {
+	src := `def pair(first, second):
+    return (first, second)
+
+def use(a, b, first, second):
+    pair(a, b)
+    pair(first, second)
+    pair(second, second)
+    other(second, first)
+`
+	root := parsePy(t, src)
+	if swaps := CheckArgumentSelection(root, ast.Python); len(swaps) != 0 {
+		t.Errorf("unexpected swaps: %+v", swaps)
+	}
+}
+
+func TestArgumentSelectionExternalCalleeIgnored(t *testing.T) {
+	src := `def use(low, high):
+    external(high, low)
+`
+	root := parsePy(t, src)
+	if swaps := CheckArgumentSelection(root, ast.Python); len(swaps) != 0 {
+		t.Errorf("external callee should be skipped: %+v", swaps)
+	}
+}

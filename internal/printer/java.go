@@ -1,0 +1,338 @@
+package printer
+
+import (
+	"strings"
+
+	"namer/internal/ast"
+)
+
+// javaModule renders a Java compilation unit.
+func (p *printer) javaModule(root *ast.Node) {
+	for _, c := range root.Children {
+		switch c.Kind {
+		case ast.PackageDecl:
+			p.line(0, "package "+c.Children[0].Value+";")
+		case ast.Import:
+			p.line(0, "import "+c.Children[0].Children[0].Value+";")
+		default:
+			p.javaType(c, 0)
+		}
+	}
+}
+
+func modifiers(n *ast.Node) string {
+	var out []string
+	for _, c := range n.Children {
+		if c.Kind == ast.Modifiers {
+			for _, m := range c.Children {
+				if m.Kind == ast.Modifier {
+					out = append(out, m.Children[0].Value)
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return ""
+	}
+	return strings.Join(out, " ") + " "
+}
+
+func (p *printer) javaType(n *ast.Node, depth int) {
+	kw := "class"
+	switch n.Kind {
+	case ast.InterfaceDef:
+		kw = "interface"
+	case ast.EnumDef:
+		kw = "enum"
+	}
+	name := ""
+	var bases []string
+	for _, c := range n.Children {
+		switch c.Kind {
+		case ast.Ident:
+			name = c.Value
+		case ast.Bases:
+			for _, b := range c.Children {
+				bases = append(bases, b.Children[0].Value)
+			}
+		}
+	}
+	head := modifiers(n) + kw + " " + name
+	if len(bases) > 0 {
+		head += " extends " + bases[0]
+		if len(bases) > 1 {
+			head += " implements " + strings.Join(bases[1:], ", ")
+		}
+	}
+	p.line(depth, head+" {")
+	if b := body(n); b != nil {
+		for _, m := range b.Children {
+			p.javaMember(m, depth+1)
+		}
+	}
+	p.line(depth, "}")
+}
+
+func (p *printer) javaMember(n *ast.Node, depth int) {
+	switch n.Kind {
+	case ast.FieldDecl:
+		p.javaVarDecl(n, depth, true)
+	case ast.FunctionDef, ast.CtorDef:
+		name, ret := "", ""
+		var params []string
+		for _, c := range n.Children {
+			switch c.Kind {
+			case ast.Ident:
+				name = c.Value
+			case ast.TypeRef:
+				ret = c.Children[0].Value
+			case ast.Params:
+				for _, prm := range c.Children {
+					params = append(params, p.javaParam(prm))
+				}
+			}
+		}
+		head := modifiers(n)
+		if ret != "" {
+			head += ret + " "
+		}
+		head += name + "(" + strings.Join(params, ", ") + ")"
+		p.line(depth, head+" {")
+		if b := body(n); b != nil {
+			for _, s := range b.Children {
+				p.javaStmt(s, depth+1)
+			}
+		}
+		p.line(depth, "}")
+	case ast.ClassDef, ast.InterfaceDef, ast.EnumDef:
+		p.javaType(n, depth)
+	case ast.Block:
+		for _, s := range n.Children {
+			p.javaStmt(s, depth)
+		}
+	}
+}
+
+func (p *printer) javaParam(n *ast.Node) string {
+	typ, name := "", ""
+	for _, c := range n.Children {
+		switch c.Kind {
+		case ast.TypeRef:
+			typ = c.Children[0].Value
+		case ast.Ident:
+			name = c.Value
+		}
+	}
+	if n.Kind == ast.VarArgParam {
+		return typ + "... " + name
+	}
+	if typ == "" {
+		return name
+	}
+	return typ + " " + name
+}
+
+func (p *printer) javaVarDecl(n *ast.Node, depth int, field bool) {
+	typ, name, init := "", "", ""
+	for _, c := range n.Children {
+		switch c.Kind {
+		case ast.TypeRef:
+			typ = c.Children[0].Value
+		case ast.NameStore:
+			name = c.Children[0].Value
+		case ast.Modifiers:
+		default:
+			init = p.expr(c)
+		}
+	}
+	s := modifiers(n) + typ + " " + name
+	if init != "" {
+		s += " = " + init
+	}
+	p.line(depth, s+";")
+}
+
+func (p *printer) javaBody(n *ast.Node, depth int) {
+	if b := body(n); b != nil {
+		for _, s := range b.Children {
+			p.javaStmt(s, depth)
+		}
+	}
+}
+
+func (p *printer) javaStmt(n *ast.Node, depth int) {
+	switch n.Kind {
+	case ast.LocalVarDecl, ast.FieldDecl:
+		p.javaVarDecl(n, depth, false)
+	case ast.ExprStmt:
+		p.line(depth, p.expr(n.Children[0])+";")
+	case ast.Assign:
+		p.line(depth, p.expr(n.Children[0])+" = "+p.expr(n.Children[len(n.Children)-1])+";")
+	case ast.AugAssign:
+		p.line(depth, p.expr(n.Children[0])+" "+n.Children[1].Value+" "+p.expr(n.Children[2])+";")
+	case ast.Return:
+		s := "return"
+		if len(n.Children) > 0 {
+			s += " " + p.expr(n.Children[0])
+		}
+		p.line(depth, s+";")
+	case ast.Throw:
+		p.line(depth, "throw "+p.expr(n.Children[0])+";")
+	case ast.Break:
+		s := "break"
+		if len(n.Children) > 0 {
+			s += " " + n.Children[0].Value
+		}
+		p.line(depth, s+";")
+	case ast.Continue:
+		s := "continue"
+		if len(n.Children) > 0 {
+			s += " " + n.Children[0].Value
+		}
+		p.line(depth, s+";")
+	case ast.If:
+		p.line(depth, "if ("+p.expr(n.Children[0])+") {")
+		p.javaBody(n, depth+1)
+		for _, c := range n.Children[1:] {
+			switch c.Kind {
+			case ast.Elif:
+				p.indent(depth)
+				p.b.WriteString("} else ")
+				// The nested If renders its own header; splice it inline.
+				inner := &printer{lang: p.lang}
+				inner.javaStmt(c.Children[0], 0)
+				s := inner.b.String()
+				p.b.WriteString(strings.TrimPrefix(s, ""))
+				return
+			case ast.Else:
+				p.line(depth, "} else {")
+				p.javaBody(c, depth+1)
+			}
+		}
+		p.line(depth, "}")
+	case ast.While:
+		p.line(depth, "while ("+p.expr(n.Children[0])+") {")
+		p.javaBody(n, depth+1)
+		p.line(depth, "}")
+	case ast.DoWhile:
+		p.line(depth, "do {")
+		p.javaBody(n, depth+1)
+		cond := ""
+		for _, c := range n.Children {
+			if c.Kind != ast.Body {
+				cond = p.expr(c)
+			}
+		}
+		p.line(depth, "} while ("+cond+");")
+	case ast.For:
+		var init, cond string
+		var updates []string
+		for _, c := range n.Children {
+			switch {
+			case c.Kind == ast.Body:
+			case c.Kind == ast.LocalVarDecl:
+				typ, name, iv := "", "", ""
+				for _, d := range c.Children {
+					switch d.Kind {
+					case ast.TypeRef:
+						typ = d.Children[0].Value
+					case ast.NameStore:
+						name = d.Children[0].Value
+					default:
+						iv = p.expr(d)
+					}
+				}
+				init = typ + " " + name + " = " + iv
+			case c.Kind == ast.Compare || c.Kind == ast.BoolOp:
+				cond = strings.TrimSuffix(strings.TrimPrefix(p.expr(c), "("), ")")
+			default:
+				updates = append(updates, p.expr(c))
+			}
+		}
+		p.line(depth, "for ("+init+"; "+cond+"; "+strings.Join(updates, ", ")+") {")
+		p.javaBody(n, depth+1)
+		p.line(depth, "}")
+	case ast.ForEach:
+		typ := n.Children[0].Children[0].Value
+		name := n.Children[1].Children[0].Value
+		p.line(depth, "for ("+typ+" "+name+" : "+p.expr(n.Children[2])+") {")
+		p.javaBody(n, depth+1)
+		p.line(depth, "}")
+	case ast.Try:
+		p.line(depth, "try {")
+		p.javaBody(n, depth+1)
+		for _, c := range n.Children {
+			switch c.Kind {
+			case ast.ExceptHandler:
+				var types []string
+				name := ""
+				for _, h := range c.Children {
+					switch h.Kind {
+					case ast.TypeRef:
+						types = append(types, h.Children[0].Value)
+					case ast.NameStore:
+						name = h.Children[0].Value
+					}
+				}
+				p.line(depth, "} catch ("+strings.Join(types, " | ")+" "+name+") {")
+				p.javaBody(c, depth+1)
+			case ast.Finally:
+				p.line(depth, "} finally {")
+				p.javaBody(c, depth+1)
+			}
+		}
+		p.line(depth, "}")
+	case ast.Switch:
+		p.line(depth, "switch ("+p.expr(n.Children[0])+") {")
+		if b := body(n); b != nil {
+			for _, cc := range b.Children {
+				if cc.Kind != ast.CaseClause {
+					continue
+				}
+				if len(cc.Children) > 0 && !ast.IsStatementKind(cc.Children[0].Kind) &&
+					cc.Children[0].Kind != ast.Break && cc.Children[0].Kind != ast.Block {
+					p.line(depth, "case "+p.expr(cc.Children[0])+":")
+					for _, s := range cc.Children[1:] {
+						p.javaStmt(s, depth+1)
+					}
+				} else {
+					p.line(depth, "default:")
+					for _, s := range cc.Children {
+						p.javaStmt(s, depth+1)
+					}
+				}
+			}
+		}
+		p.line(depth, "}")
+	case ast.SyncBlock:
+		p.line(depth, "synchronized ("+p.expr(n.Children[0])+") {")
+		p.javaBody(n, depth+1)
+		p.line(depth, "}")
+	case ast.AssertStmt:
+		s := "assert " + p.expr(n.Children[0])
+		if len(n.Children) > 1 {
+			s += " : " + p.expr(n.Children[1])
+		}
+		p.line(depth, s+";")
+	case ast.LabeledStmt:
+		p.line(depth, n.Children[0].Value+":")
+		p.javaStmt(n.Children[1], depth)
+	case ast.EmptyStmt:
+		p.line(depth, ";")
+	case ast.Block:
+		p.line(depth, "{")
+		for _, s := range n.Children {
+			switch s.Kind {
+			case ast.Body:
+				p.javaBody(n, depth+1)
+			default:
+				p.javaStmt(s, depth+1)
+			}
+		}
+		p.line(depth, "}")
+	case ast.ClassDef:
+		p.javaType(n, depth)
+	default:
+		p.line(depth, p.expr(n)+";")
+	}
+}

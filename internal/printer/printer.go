@@ -1,0 +1,459 @@
+// Package printer renders unified ASTs back to source text, for both
+// Python and Java. The output is canonical rather than byte-faithful
+// (comments are not part of the AST, and formatting is normalized), but
+// it round-trips: parsing the rendered text yields a structurally equal
+// AST. It backs report rendering, corpus tooling, and debugging.
+package printer
+
+import (
+	"fmt"
+	"strings"
+
+	"namer/internal/ast"
+)
+
+// Print renders a file AST to source text in the given language.
+func Print(root *ast.Node, lang ast.Language) string {
+	p := &printer{lang: lang}
+	if lang == ast.Python {
+		p.pyStmts(root.Children, 0)
+	} else {
+		p.javaModule(root)
+	}
+	return p.b.String()
+}
+
+// PrintStatement renders a single statement AST (body pruned or not).
+func PrintStatement(stmt *ast.Node, lang ast.Language) string {
+	p := &printer{lang: lang}
+	if lang == ast.Python {
+		p.pyStmt(stmt, 0)
+	} else {
+		p.javaStmt(stmt, 0)
+	}
+	return strings.TrimRight(p.b.String(), "\n")
+}
+
+type printer struct {
+	b    strings.Builder
+	lang ast.Language
+}
+
+func (p *printer) indent(depth int) {
+	for i := 0; i < depth; i++ {
+		p.b.WriteString("    ")
+	}
+}
+
+func (p *printer) line(depth int, s string) {
+	p.indent(depth)
+	p.b.WriteString(s)
+	p.b.WriteByte('\n')
+}
+
+// ---- Python ----
+
+func (p *printer) pyStmts(stmts []*ast.Node, depth int) {
+	for _, s := range stmts {
+		p.pyStmt(s, depth)
+	}
+}
+
+func body(n *ast.Node) *ast.Node {
+	for _, c := range n.Children {
+		if c.Kind == ast.Body {
+			return c
+		}
+	}
+	return nil
+}
+
+func (p *printer) pyBody(n *ast.Node, depth int) {
+	b := body(n)
+	if b == nil || len(b.Children) == 0 {
+		p.line(depth, "pass")
+		return
+	}
+	p.pyStmts(b.Children, depth)
+}
+
+func (p *printer) pyStmt(n *ast.Node, depth int) {
+	switch n.Kind {
+	case ast.Module:
+		p.pyStmts(n.Children, depth)
+	case ast.ClassDef:
+		name, bases := "", []string{}
+		for _, c := range n.Children {
+			switch c.Kind {
+			case ast.Ident:
+				name = c.Value
+			case ast.Decorator:
+				p.line(depth, "@"+p.expr(c.Children[0]))
+			case ast.Bases:
+				for _, b := range c.Children {
+					bases = append(bases, p.expr(b))
+				}
+			}
+		}
+		head := "class " + name
+		if len(bases) > 0 {
+			head += "(" + strings.Join(bases, ", ") + ")"
+		}
+		p.line(depth, head+":")
+		p.pyBody(n, depth+1)
+	case ast.FunctionDef, ast.CtorDef:
+		name := ""
+		params := []string{}
+		for _, c := range n.Children {
+			switch c.Kind {
+			case ast.Decorator:
+				p.line(depth, "@"+p.expr(c.Children[0]))
+			case ast.Ident:
+				name = c.Value
+			case ast.Params:
+				for _, prm := range c.Children {
+					params = append(params, p.pyParam(prm))
+				}
+			}
+		}
+		p.line(depth, "def "+name+"("+strings.Join(params, ", ")+"):")
+		p.pyBody(n, depth+1)
+	case ast.If, ast.While:
+		kw := "if"
+		if n.Kind == ast.While {
+			kw = "while"
+		}
+		p.line(depth, kw+" "+p.expr(n.Children[0])+":")
+		p.pyBody(n, depth+1)
+		for _, c := range n.Children[1:] {
+			switch c.Kind {
+			case ast.Elif:
+				p.line(depth, "elif "+p.expr(c.Children[0])+":")
+				p.pyBody(c, depth+1)
+			case ast.Else:
+				p.line(depth, "else:")
+				p.pyBody(c, depth+1)
+			}
+		}
+	case ast.For:
+		p.line(depth, "for "+p.expr(n.Children[0])+" in "+p.expr(n.Children[1])+":")
+		p.pyBody(n, depth+1)
+		for _, c := range n.Children[2:] {
+			if c.Kind == ast.Else {
+				p.line(depth, "else:")
+				p.pyBody(c, depth+1)
+			}
+		}
+	case ast.Try:
+		p.line(depth, "try:")
+		p.pyBody(n, depth+1)
+		for _, c := range n.Children {
+			switch c.Kind {
+			case ast.ExceptHandler:
+				head := "except"
+				var asName string
+				for _, h := range c.Children {
+					switch h.Kind {
+					case ast.Body:
+					case ast.NameStore:
+						asName = p.expr(h)
+					default:
+						head += " " + p.expr(h)
+					}
+				}
+				if asName != "" {
+					head += " as " + asName
+				}
+				p.line(depth, head+":")
+				p.pyBody(c, depth+1)
+			case ast.Else:
+				p.line(depth, "else:")
+				p.pyBody(c, depth+1)
+			case ast.Finally:
+				p.line(depth, "finally:")
+				p.pyBody(c, depth+1)
+			}
+		}
+	case ast.With:
+		var items []string
+		for _, c := range n.Children {
+			if c.Kind == ast.WithItem {
+				it := p.expr(c.Children[0])
+				if len(c.Children) > 1 {
+					it += " as " + p.expr(c.Children[1])
+				}
+				items = append(items, it)
+			}
+		}
+		p.line(depth, "with "+strings.Join(items, ", ")+":")
+		p.pyBody(n, depth+1)
+	case ast.Assign:
+		parts := make([]string, 0, len(n.Children))
+		for _, c := range n.Children {
+			parts = append(parts, p.expr(c))
+		}
+		p.line(depth, strings.Join(parts, " = "))
+	case ast.AugAssign:
+		p.line(depth, p.expr(n.Children[0])+" "+n.Children[1].Value+" "+p.expr(n.Children[2]))
+	case ast.AnnAssign:
+		s := p.expr(n.Children[0]) + ": " + p.expr(n.Children[1].Children[0])
+		if len(n.Children) > 2 {
+			s += " = " + p.expr(n.Children[2])
+		}
+		p.line(depth, s)
+	case ast.Return:
+		s := "return"
+		if len(n.Children) > 0 {
+			s += " " + p.expr(n.Children[0])
+		}
+		p.line(depth, s)
+	case ast.Pass:
+		p.line(depth, "pass")
+	case ast.Break:
+		p.line(depth, "break")
+	case ast.Continue:
+		p.line(depth, "continue")
+	case ast.Raise:
+		s := "raise"
+		for i, c := range n.Children {
+			if i == 0 {
+				s += " " + p.expr(c)
+			} else {
+				s += " from " + p.expr(c)
+			}
+		}
+		p.line(depth, s)
+	case ast.Global, ast.Nonlocal:
+		kw := "global"
+		if n.Kind == ast.Nonlocal {
+			kw = "nonlocal"
+		}
+		var names []string
+		for _, c := range n.Children {
+			names = append(names, c.Value)
+		}
+		p.line(depth, kw+" "+strings.Join(names, ", "))
+	case ast.AssertStmt:
+		s := "assert " + p.expr(n.Children[0])
+		if len(n.Children) > 1 {
+			s += ", " + p.expr(n.Children[1])
+		}
+		p.line(depth, s)
+	case ast.Delete:
+		var parts []string
+		for _, c := range n.Children {
+			parts = append(parts, p.expr(c))
+		}
+		p.line(depth, "del "+strings.Join(parts, ", "))
+	case ast.Import:
+		var parts []string
+		for _, al := range n.Children {
+			s := al.Children[0].Value
+			if len(al.Children) > 1 {
+				s += " as " + al.Children[1].Value
+			}
+			parts = append(parts, s)
+		}
+		p.line(depth, "import "+strings.Join(parts, ", "))
+	case ast.ImportFrom:
+		mod := n.Children[0].Value
+		var parts []string
+		for _, al := range n.Children[1:] {
+			s := al.Children[0].Value
+			if len(al.Children) > 1 {
+				s += " as " + al.Children[1].Value
+			}
+			parts = append(parts, s)
+		}
+		p.line(depth, "from "+mod+" import "+strings.Join(parts, ", "))
+	case ast.ExprStmt:
+		p.line(depth, p.expr(n.Children[0]))
+	case ast.Block:
+		p.pyStmts(n.Children, depth)
+	default:
+		p.line(depth, p.expr(n))
+	}
+}
+
+func (p *printer) pyParam(n *ast.Node) string {
+	switch n.Kind {
+	case ast.Param:
+		return n.Children[0].Value
+	case ast.DefaultParam:
+		name := n.Children[0].Value
+		return name + "=" + p.expr(n.Children[len(n.Children)-1])
+	case ast.VarArgParam:
+		return "*" + n.Children[0].Value
+	case ast.KwArgParam:
+		return "**" + n.Children[0].Value
+	}
+	return p.expr(n)
+}
+
+// ---- shared expressions ----
+
+func (p *printer) expr(n *ast.Node) string {
+	if n == nil {
+		return ""
+	}
+	switch n.Kind {
+	case ast.NameLoad, ast.NameStore, ast.NameParam:
+		return n.Children[0].Value
+	case ast.Num, ast.Str, ast.Bool, ast.Null:
+		return n.Children[0].Value
+	case ast.Ident, ast.NumLit, ast.StrLit, ast.BoolLit, ast.NullLit, ast.OpTok:
+		return n.Value
+	case ast.AttributeLoad, ast.AttributeStore:
+		return p.expr(n.Children[0]) + "." + n.Children[1].Children[0].Value
+	case ast.SubscriptLoad, ast.SubscriptStore:
+		idx := ""
+		for _, c := range n.Children[1:] {
+			idx = p.expr(c)
+		}
+		return p.expr(n.Children[0]) + "[" + idx + "]"
+	case ast.Index:
+		return p.expr(n.Children[0])
+	case ast.SliceRange:
+		var parts []string
+		for _, c := range n.Children {
+			parts = append(parts, p.expr(c))
+		}
+		return strings.Join(parts, ":")
+	case ast.Call:
+		var args []string
+		for _, c := range n.Children[1:] {
+			args = append(args, p.expr(c))
+		}
+		return p.expr(n.Children[0]) + "(" + strings.Join(args, ", ") + ")"
+	case ast.Keyword:
+		return n.Children[0].Value + "=" + p.expr(n.Children[1])
+	case ast.StarArg:
+		return "*" + p.expr(n.Children[0])
+	case ast.DoubleStarArg:
+		return "**" + p.expr(n.Children[0])
+	case ast.BinOp:
+		return "(" + p.expr(n.Children[1]) + " " + n.Children[0].Value + " " + p.expr(n.Children[2]) + ")"
+	case ast.BoolOp:
+		op := n.Children[0].Value
+		if p.lang == ast.Java {
+			// Java spells the operators differently only in the lexer;
+			// the AST keeps && and ||.
+			return "(" + p.expr(n.Children[1]) + " " + op + " " + p.expr(n.Children[2]) + ")"
+		}
+		return "(" + p.expr(n.Children[1]) + " " + op + " " + p.expr(n.Children[2]) + ")"
+	case ast.UnaryOp:
+		op := n.Children[0].Value
+		sep := ""
+		if op == "not" {
+			sep = " "
+		}
+		if op == "++" || op == "--" {
+			// Rendered as prefix; parse-equivalent for our grammar.
+			return op + p.expr(n.Children[1])
+		}
+		return op + sep + p.expr(n.Children[1])
+	case ast.Compare:
+		s := p.expr(n.Children[0])
+		for i := 1; i+1 < len(n.Children); i += 2 {
+			s += " " + n.Children[i].Value + " " + p.expr(n.Children[i+1])
+		}
+		return "(" + s + ")"
+	case ast.Ternary:
+		if p.lang == ast.Java {
+			return "(" + p.expr(n.Children[0]) + " ? " + p.expr(n.Children[1]) + " : " + p.expr(n.Children[2]) + ")"
+		}
+		return "(" + p.expr(n.Children[0]) + " if " + p.expr(n.Children[1]) + " else " + p.expr(n.Children[2]) + ")"
+	case ast.Lambda:
+		if p.lang == ast.Java {
+			var params []string
+			for _, prm := range n.Children[0].Children {
+				params = append(params, prm.Children[len(prm.Children)-1].Value)
+			}
+			bodyStr := ""
+			if len(n.Children) > 1 {
+				if n.Children[1].Kind == ast.Body {
+					bodyStr = "{ }"
+				} else {
+					bodyStr = p.expr(n.Children[1])
+				}
+			}
+			return "(" + strings.Join(params, ", ") + ") -> " + bodyStr
+		}
+		var params []string
+		for _, prm := range n.Children[0].Children {
+			params = append(params, p.pyParam(prm))
+		}
+		return "lambda " + strings.Join(params, ", ") + ": " + p.expr(n.Children[1])
+	case ast.ListLit:
+		return "[" + p.exprList(n.Children) + "]"
+	case ast.TupleLit:
+		if len(n.Children) == 1 {
+			return "(" + p.expr(n.Children[0]) + ",)"
+		}
+		return "(" + p.exprList(n.Children) + ")"
+	case ast.SetLit:
+		return "{" + p.exprList(n.Children) + "}"
+	case ast.DictLit:
+		var parts []string
+		for _, c := range n.Children {
+			parts = append(parts, p.expr(c))
+		}
+		return "{" + strings.Join(parts, ", ") + "}"
+	case ast.DictItem:
+		return p.expr(n.Children[0]) + ": " + p.expr(n.Children[1])
+	case ast.Comprehension:
+		s := p.expr(n.Children[0])
+		for _, c := range n.Children[1:] {
+			switch c.Kind {
+			case ast.CompFor:
+				s += " for " + p.expr(c.Children[0]) + " in " + p.expr(c.Children[1])
+			case ast.CompIf:
+				s += " if " + p.expr(c.Children[0])
+			}
+		}
+		return "[" + s + "]"
+	case ast.Yield:
+		if len(n.Children) == 0 {
+			return "yield"
+		}
+		return "yield " + p.expr(n.Children[0])
+	case ast.New:
+		typ := n.Children[0].Children[0].Value
+		var args []string
+		for _, c := range n.Children[1:] {
+			if c.Kind != ast.Body {
+				args = append(args, p.expr(c))
+			}
+		}
+		if strings.HasSuffix(typ, "[]") {
+			base := strings.TrimSuffix(typ, "[]")
+			if len(args) > 0 {
+				return "new " + base + "[" + args[0] + "]"
+			}
+			return "new " + base + "[0]"
+		}
+		return "new " + typ + "(" + strings.Join(args, ", ") + ")"
+	case ast.Cast:
+		return "((" + n.Children[0].Children[0].Value + ") " + p.expr(n.Children[1]) + ")"
+	case ast.InstanceOf:
+		return "(" + p.expr(n.Children[0]) + " instanceof " + n.Children[1].Children[0].Value + ")"
+	case ast.ArrayLit:
+		return "{" + p.exprList(n.Children) + "}"
+	case ast.TypeRef:
+		return n.Children[0].Value
+	case ast.Assign:
+		// Assignment in expression position (Java).
+		return p.expr(n.Children[0]) + " = " + p.expr(n.Children[1])
+	case ast.AugAssign:
+		return p.expr(n.Children[0]) + " " + n.Children[1].Value + " " + p.expr(n.Children[2])
+	}
+	return fmt.Sprintf("/*%s*/", n.Kind)
+}
+
+func (p *printer) exprList(nodes []*ast.Node) string {
+	var parts []string
+	for _, c := range nodes {
+		parts = append(parts, p.expr(c))
+	}
+	return strings.Join(parts, ", ")
+}

@@ -1,0 +1,140 @@
+package printer
+
+import (
+	"testing"
+
+	"namer/internal/ast"
+	"namer/internal/corpus"
+	"namer/internal/javalang"
+	"namer/internal/pylang"
+)
+
+// roundTripPy asserts parse(Print(parse(src))) is structurally equal to
+// parse(src).
+func roundTripPy(t *testing.T, src string) {
+	t.Helper()
+	a, err := pylang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	rendered := Print(a, ast.Python)
+	b, err := pylang.Parse(rendered)
+	if err != nil {
+		t.Fatalf("reparse: %v\nrendered:\n%s", err, rendered)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("round trip diverged\noriginal:\n%s\nrendered:\n%s\nA: %s\nB: %s",
+			src, rendered, a.Fingerprint(), b.Fingerprint())
+	}
+}
+
+func TestPythonRoundTripBasics(t *testing.T) {
+	srcs := []string{
+		"x = 1\n",
+		"x = y = 2\n",
+		"x += 1\n",
+		"x, y = y, x\n",
+		"def f(a, b=1, *args, **kwargs):\n    return a + b\n",
+		"class C(Base):\n    def m(self):\n        pass\n",
+		"for i in range(10):\n    use(i)\nelse:\n    done()\n",
+		"while x:\n    x -= 1\n",
+		"if a:\n    f()\nelif b:\n    g()\nelse:\n    h()\n",
+		"try:\n    risky()\nexcept ValueError as e:\n    handle(e)\nfinally:\n    cleanup()\n",
+		"with open(p) as f:\n    f.read()\n",
+		"import os\nimport numpy as np\nfrom a.b import c as d\n",
+		"assert x == 1, 'msg'\n",
+		"del x\nraise ValueError(m)\nglobal g\n",
+		"x = [1, 2, 3]\ny = (1, 2)\nz = {1: 2}\nw = {1, 2}\n",
+		"x = [v for v in vs if v]\n",
+		"f = lambda a, b=1: a + b\n",
+		"x = a if c else b\n",
+		"x = obj.attr[0](1, k=2, *a, **kw)\n",
+		"x = -y + (a * b) ** 2\n",
+		"x = a < b <= c\n",
+		"x = not a or b and c\n",
+		"x = s[1:2]\n",
+	}
+	for _, src := range srcs {
+		roundTripPy(t, src)
+	}
+}
+
+func TestPythonRoundTripCorpus(t *testing.T) {
+	cfg := corpus.DefaultConfig(ast.Python)
+	cfg.Repos = 4
+	cfg.FilesPerRepo = 3
+	cfg.IssueRate = 0.2
+	c := corpus.Generate(cfg)
+	for _, r := range c.Repos {
+		for _, f := range r.Files {
+			roundTripPy(t, f.Source)
+		}
+	}
+}
+
+func roundTripJava(t *testing.T, src string) {
+	t.Helper()
+	a, err := javalang.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v\n%s", err, src)
+	}
+	rendered := Print(a, ast.Java)
+	b, err := javalang.Parse(rendered)
+	if err != nil {
+		t.Fatalf("reparse: %v\nrendered:\n%s", err, rendered)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("round trip diverged\noriginal:\n%s\nrendered:\n%s", src, rendered)
+	}
+}
+
+func TestJavaRoundTripBasics(t *testing.T) {
+	srcs := []string{
+		"class T { int x = 1; }",
+		"package p;\nimport java.util.List;\nclass T { }",
+		"public class T extends B implements I, J { }",
+		"class T { void m(int a, String b) { return; } }",
+		"class T { T(int x) { this.x = x; } }",
+		"class T { void m() { for (int i = 0; i < 10; i++) { use(i); } } }",
+		"class T { void m(List items) { for (Object o : items) { use(o); } } }",
+		"class T { void m() { while (x) { x--; } } }",
+		"class T { void m() { do { x--; } while (x > 0); } }",
+		"class T { void m() { if (a) { f(); } else { g(); } } }",
+		"class T { void m() { try { f(); } catch (IOException | Error e) { g(); } finally { h(); } } }",
+		"class T { void m() { switch (x) { case 1: f(); break; default: g(); } } }",
+		"class T { void m() { synchronized (this) { x = 1; } } }",
+		"class T { void m() { assert x > 0 : \"neg\"; } }",
+		"class T { void m() { throw new IllegalStateException(\"bad\"); } }",
+		"class T { void m() { Object o = (Object) x; boolean b = o instanceof List; } }",
+		"class T { void m() { int c = a > b ? a : b; } }",
+		"class T { int[] xs = {1, 2, 3}; }",
+		"class T { void m() { x = obj.call(1, 2)[0]; } }",
+	}
+	for _, src := range srcs {
+		roundTripJava(t, src)
+	}
+}
+
+func TestJavaRoundTripCorpus(t *testing.T) {
+	cfg := corpus.DefaultConfig(ast.Java)
+	cfg.Repos = 4
+	cfg.FilesPerRepo = 3
+	cfg.IssueRate = 0.2
+	c := corpus.Generate(cfg)
+	for _, r := range c.Repos {
+		for _, f := range r.Files {
+			roundTripJava(t, f.Source)
+		}
+	}
+}
+
+func TestPrintStatement(t *testing.T) {
+	root, err := pylang.Parse("self.assertTrue(x, 90)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := PrintStatement(root.Children[0], ast.Python)
+	if got != "self.assertTrue(x, 90)" {
+		t.Errorf("PrintStatement = %q", got)
+	}
+}

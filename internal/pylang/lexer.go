@@ -1,0 +1,317 @@
+// Package pylang implements a lexer and recursive-descent parser for a
+// substantial subset of Python, producing the unified AST of package ast.
+// The subset covers everything the paper's examples and our Big Code corpus
+// exercise: classes, functions (decorators, defaults, *args/**kwargs),
+// compound statements, the full expression grammar with chained
+// comparisons, comprehensions, slices, and keyword arguments.
+package pylang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// tokKind classifies lexical tokens.
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokNewline
+	tokIndent
+	tokDedent
+	tokName
+	tokNumber
+	tokString
+	tokOp      // punctuation / operator
+	tokKeyword // reserved word
+)
+
+func (k tokKind) String() string {
+	switch k {
+	case tokEOF:
+		return "EOF"
+	case tokNewline:
+		return "NEWLINE"
+	case tokIndent:
+		return "INDENT"
+	case tokDedent:
+		return "DEDENT"
+	case tokName:
+		return "NAME"
+	case tokNumber:
+		return "NUMBER"
+	case tokString:
+		return "STRING"
+	case tokOp:
+		return "OP"
+	case tokKeyword:
+		return "KEYWORD"
+	}
+	return "?"
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+var pyKeywords = map[string]bool{
+	"False": true, "None": true, "True": true, "and": true, "as": true,
+	"assert": true, "break": true, "class": true, "continue": true,
+	"def": true, "del": true, "elif": true, "else": true, "except": true,
+	"finally": true, "for": true, "from": true, "global": true, "if": true,
+	"import": true, "in": true, "is": true, "lambda": true, "nonlocal": true,
+	"not": true, "or": true, "pass": true, "raise": true, "return": true,
+	"try": true, "while": true, "with": true, "yield": true, "print": false,
+}
+
+// multi-char operators ordered longest-first so maximal munch works.
+var pyOps = []string{
+	"**=", "//=", ">>=", "<<=", "...",
+	"==", "!=", "<=", ">=", "->", ":=", "+=", "-=", "*=", "/=", "%=",
+	"&=", "|=", "^=", "**", "//", "<<", ">>", "@=",
+	"+", "-", "*", "/", "%", "@", "&", "|", "^", "~", "<", ">",
+	"(", ")", "[", "]", "{", "}", ",", ":", ".", ";", "=",
+}
+
+// lexError describes a lexical error with its line.
+type lexError struct {
+	line int
+	msg  string
+}
+
+func (e *lexError) Error() string { return fmt.Sprintf("line %d: %s", e.line, e.msg) }
+
+// lex tokenizes Python source, emitting NEWLINE / INDENT / DEDENT tokens
+// per the language's layout rules. Blank lines and comment-only lines emit
+// nothing; brackets suppress NEWLINE (implicit line joining); a trailing
+// backslash joins physical lines.
+func lex(src string) ([]token, error) {
+	var toks []token
+	indents := []int{0}
+	line := 1
+	i := 0
+	n := len(src)
+	depth := 0 // bracket nesting
+	atLineStart := true
+
+	for i < n {
+		if atLineStart && depth == 0 {
+			// Measure indentation.
+			start := i
+			col := 0
+			for i < n {
+				if src[i] == ' ' {
+					col++
+					i++
+				} else if src[i] == '\t' {
+					col += 8 - col%8
+					i++
+				} else {
+					break
+				}
+			}
+			if i >= n {
+				break
+			}
+			if src[i] == '\n' {
+				i++
+				line++
+				continue // blank line
+			}
+			if src[i] == '#' {
+				for i < n && src[i] != '\n' {
+					i++
+				}
+				continue
+			}
+			if src[i] == '\r' {
+				i++
+				continue
+			}
+			cur := indents[len(indents)-1]
+			if col > cur {
+				indents = append(indents, col)
+				toks = append(toks, token{tokIndent, "", line})
+			} else if col < cur {
+				for len(indents) > 1 && indents[len(indents)-1] > col {
+					indents = indents[:len(indents)-1]
+					toks = append(toks, token{tokDedent, "", line})
+				}
+				if indents[len(indents)-1] != col {
+					return nil, &lexError{line, fmt.Sprintf("inconsistent dedent at column %d", col)}
+				}
+			}
+			atLineStart = false
+			_ = start
+			continue
+		}
+
+		c := src[i]
+		switch {
+		case c == '\n':
+			i++
+			if depth == 0 {
+				toks = append(toks, token{tokNewline, "", line})
+				atLineStart = true
+			}
+			line++
+		case c == ' ' || c == '\t' || c == '\r':
+			i++
+		case c == '#':
+			for i < n && src[i] != '\n' {
+				i++
+			}
+		case c == '\\' && i+1 < n && (src[i+1] == '\n' || src[i+1] == '\r'):
+			// Explicit line joining.
+			i++
+			if i < n && src[i] == '\r' {
+				i++
+			}
+			if i < n && src[i] == '\n' {
+				i++
+				line++
+			}
+		case isNameStart(c):
+			j := i
+			for j < n && isNameCont(src[j]) {
+				j++
+			}
+			word := src[i:j]
+			// String prefix? (r"", b'', f"", rb"", etc.)
+			if j < n && (src[j] == '"' || src[j] == '\'') && isStringPrefix(word) {
+				s, nl, err := lexString(src, j, line)
+				if err != nil {
+					return nil, err
+				}
+				toks = append(toks, token{tokString, src[i:s], line})
+				line = nl
+				i = s
+				continue
+			}
+			if pyKeywords[word] {
+				toks = append(toks, token{tokKeyword, word, line})
+			} else {
+				toks = append(toks, token{tokName, word, line})
+			}
+			i = j
+		case c >= '0' && c <= '9' || c == '.' && i+1 < n && src[i+1] >= '0' && src[i+1] <= '9':
+			j := i
+			for j < n && (isNameCont(src[j]) || src[j] == '.' ||
+				((src[j] == '+' || src[j] == '-') && j > i && (src[j-1] == 'e' || src[j-1] == 'E') && isNumericSoFar(src[i:j]))) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, src[i:j], line})
+			i = j
+		case c == '"' || c == '\'':
+			s, nl, err := lexString(src, i, line)
+			if err != nil {
+				return nil, err
+			}
+			toks = append(toks, token{tokString, src[i:s], line})
+			line = nl
+			i = s
+		default:
+			op := ""
+			for _, o := range pyOps {
+				if strings.HasPrefix(src[i:], o) {
+					op = o
+					break
+				}
+			}
+			if op == "" {
+				return nil, &lexError{line, fmt.Sprintf("unexpected character %q", c)}
+			}
+			switch op {
+			case "(", "[", "{":
+				depth++
+			case ")", "]", "}":
+				if depth > 0 {
+					depth--
+				}
+			}
+			toks = append(toks, token{tokOp, op, line})
+			i += len(op)
+		}
+	}
+	// Final NEWLINE if the last logical line lacks one.
+	if len(toks) > 0 && toks[len(toks)-1].kind != tokNewline {
+		toks = append(toks, token{tokNewline, "", line})
+	}
+	for len(indents) > 1 {
+		indents = indents[:len(indents)-1]
+		toks = append(toks, token{tokDedent, "", line})
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}
+
+func isNameStart(c byte) bool {
+	return c == '_' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= 0x80
+}
+
+func isNameCont(c byte) bool {
+	return isNameStart(c) || c >= '0' && c <= '9'
+}
+
+func isStringPrefix(w string) bool {
+	if len(w) > 3 {
+		return false
+	}
+	for _, r := range strings.ToLower(w) {
+		switch r {
+		case 'r', 'b', 'f', 'u':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+func isNumericSoFar(s string) bool {
+	for _, r := range s {
+		if !(r >= '0' && r <= '9' || r == '.' || r == 'e' || r == 'E' || r == 'x' || r == 'X' ||
+			r >= 'a' && r <= 'f' || r >= 'A' && r <= 'F' || r == '_' || r == 'o' || r == 'O' || r == 'j') {
+			return false
+		}
+	}
+	return true
+}
+
+// lexString scans a string literal starting at the opening quote at src[i]
+// and returns the index just past the closing quote plus the updated line
+// number. Triple-quoted strings are supported.
+func lexString(src string, i, line int) (int, int, error) {
+	n := len(src)
+	q := src[i]
+	if i+2 < n && src[i+1] == q && src[i+2] == q {
+		// Triple-quoted.
+		j := i + 3
+		for j+2 < n {
+			if src[j] == '\\' {
+				j += 2
+				continue
+			}
+			if src[j] == q && src[j+1] == q && src[j+2] == q {
+				return j + 3, line + strings.Count(src[i:j], "\n"), nil
+			}
+			j++
+		}
+		return 0, 0, &lexError{line, "unterminated triple-quoted string"}
+	}
+	j := i + 1
+	for j < n {
+		switch src[j] {
+		case '\\':
+			j += 2
+		case q:
+			return j + 1, line, nil
+		case '\n':
+			return 0, 0, &lexError{line, "unterminated string literal"}
+		default:
+			j++
+		}
+	}
+	return 0, 0, &lexError{line, "unterminated string literal"}
+}

@@ -1,0 +1,1080 @@
+package pylang
+
+import (
+	"fmt"
+
+	"namer/internal/ast"
+)
+
+// Parse parses Python source into a unified AST rooted at a Module node.
+func Parse(src string) (*ast.Node, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var root *ast.Node
+	err = p.recoverParse(func() {
+		root = p.parseModule()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return root, nil
+}
+
+type parseError struct {
+	line int
+	msg  string
+}
+
+func (e *parseError) Error() string { return fmt.Sprintf("line %d: %s", e.line, e.msg) }
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+func (p *parser) recoverParse(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if pe, ok := r.(*parseError); ok {
+				err = pe
+				return
+			}
+			panic(r)
+		}
+	}()
+	fn()
+	return nil
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) fail(format string, args ...any) {
+	panic(&parseError{p.cur().line, fmt.Sprintf(format, args...)})
+}
+
+func (p *parser) at(k tokKind, text string) bool {
+	t := p.cur()
+	return t.kind == k && (text == "" || t.text == text)
+}
+
+func (p *parser) atKw(kw string) bool { return p.at(tokKeyword, kw) }
+func (p *parser) atOp(op string) bool { return p.at(tokOp, op) }
+
+func (p *parser) eat(k tokKind, text string) token {
+	if !p.at(k, text) {
+		p.fail("expected %s %q, got %s %q", k, text, p.cur().kind, p.cur().text)
+	}
+	return p.next()
+}
+
+func (p *parser) eatOp(op string) token { return p.eat(tokOp, op) }
+func (p *parser) eatKw(kw string) token { return p.eat(tokKeyword, kw) }
+
+func (p *parser) accept(k tokKind, text string) bool {
+	if p.at(k, text) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) acceptOp(op string) bool { return p.accept(tokOp, op) }
+func (p *parser) acceptKw(kw string) bool { return p.accept(tokKeyword, kw) }
+
+func node(k ast.Kind, line int, children ...*ast.Node) *ast.Node {
+	n := ast.NewNode(k, children...)
+	n.Line = line
+	return n
+}
+
+func leaf(k ast.Kind, text string, line int) *ast.Node {
+	n := ast.NewLeaf(k, text)
+	n.Line = line
+	return n
+}
+
+// parseModule: statements until EOF.
+func (p *parser) parseModule() *ast.Node {
+	mod := node(ast.Module, 1)
+	for !p.at(tokEOF, "") {
+		if p.accept(tokNewline, "") {
+			continue
+		}
+		mod.Add(p.parseStatement())
+	}
+	return mod
+}
+
+// parseBlock parses either an indented suite or a simple statement list on
+// the same line (`if x: return y`).
+func (p *parser) parseBlock() *ast.Node {
+	body := node(ast.Body, p.cur().line)
+	p.eatOp(":")
+	if p.accept(tokNewline, "") {
+		p.eat(tokIndent, "")
+		for !p.at(tokDedent, "") && !p.at(tokEOF, "") {
+			if p.accept(tokNewline, "") {
+				continue
+			}
+			body.Add(p.parseStatement())
+		}
+		p.accept(tokDedent, "")
+		return body
+	}
+	// Inline suite: simple statements separated by ';'.
+	for {
+		body.Add(p.parseSimpleStatement())
+		if !p.acceptOp(";") {
+			break
+		}
+		if p.at(tokNewline, "") {
+			break
+		}
+	}
+	p.accept(tokNewline, "")
+	return body
+}
+
+func (p *parser) parseStatement() *ast.Node {
+	t := p.cur()
+	if t.kind == tokKeyword {
+		switch t.text {
+		case "def":
+			return p.parseFunctionDef(nil)
+		case "class":
+			return p.parseClassDef(nil)
+		case "if":
+			return p.parseIf()
+		case "for":
+			return p.parseFor()
+		case "while":
+			return p.parseWhile()
+		case "try":
+			return p.parseTry()
+		case "with":
+			return p.parseWith()
+		}
+	}
+	if p.atOp("@") {
+		return p.parseDecorated()
+	}
+	stmt := p.parseSimpleStatement()
+	for p.acceptOp(";") {
+		if p.at(tokNewline, "") {
+			break
+		}
+		// Additional simple statements on the same line: keep only by
+		// chaining into an ExprStmt sequence is wrong; emit them as
+		// siblings is impossible here, so wrap in a Body-free trick: we
+		// simply parse and discard position by attaching to a Block.
+		extra := p.parseSimpleStatement()
+		blk := node(ast.Block, stmt.Line, stmt, extra)
+		for p.acceptOp(";") {
+			if p.at(tokNewline, "") {
+				break
+			}
+			blk.Add(p.parseSimpleStatement())
+		}
+		p.accept(tokNewline, "")
+		return blk
+	}
+	p.accept(tokNewline, "")
+	return stmt
+}
+
+func (p *parser) parseDecorated() *ast.Node {
+	var decs []*ast.Node
+	for p.atOp("@") {
+		line := p.next().line
+		expr := p.parsePostfix(p.parseAtom())
+		decs = append(decs, node(ast.Decorator, line, expr))
+		p.accept(tokNewline, "")
+	}
+	if p.atKw("def") {
+		return p.parseFunctionDef(decs)
+	}
+	if p.atKw("class") {
+		return p.parseClassDef(decs)
+	}
+	p.fail("expected def or class after decorator")
+	return nil
+}
+
+func (p *parser) parseFunctionDef(decs []*ast.Node) *ast.Node {
+	line := p.eatKw("def").line
+	name := p.eat(tokName, "")
+	fn := node(ast.FunctionDef, line)
+	fn.Add(decs...)
+	fn.Add(leaf(ast.Ident, name.text, name.line))
+	fn.Add(p.parseParams())
+	if p.acceptOp("->") {
+		p.parseExpr() // return annotation, discarded
+	}
+	fn.Add(p.parseBlock())
+	return fn
+}
+
+func (p *parser) parseParams() *ast.Node {
+	params := node(ast.Params, p.cur().line)
+	p.eatOp("(")
+	for !p.atOp(")") {
+		line := p.cur().line
+		switch {
+		case p.acceptOp("*"):
+			if p.atOp(",") || p.atOp(")") {
+				// bare * separator
+			} else {
+				nm := p.eat(tokName, "")
+				params.Add(node(ast.VarArgParam, line, leaf(ast.Ident, nm.text, nm.line)))
+			}
+		case p.acceptOp("**"):
+			nm := p.eat(tokName, "")
+			params.Add(node(ast.KwArgParam, line, leaf(ast.Ident, nm.text, nm.line)))
+		default:
+			nm := p.eat(tokName, "")
+			par := node(ast.Param, line, leaf(ast.Ident, nm.text, nm.line))
+			if p.acceptOp(":") {
+				ann := p.parseExpr()
+				par.Add(node(ast.TypeRef, line, ann))
+			}
+			if p.acceptOp("=") {
+				def := p.parseExpr()
+				par = node(ast.DefaultParam, line, par.Children...)
+				par.Add(def)
+			}
+			params.Add(par)
+		}
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	p.eatOp(")")
+	return params
+}
+
+func (p *parser) parseClassDef(decs []*ast.Node) *ast.Node {
+	line := p.eatKw("class").line
+	name := p.eat(tokName, "")
+	cls := node(ast.ClassDef, line)
+	cls.Add(decs...)
+	cls.Add(leaf(ast.Ident, name.text, name.line))
+	bases := node(ast.Bases, line)
+	if p.acceptOp("(") {
+		for !p.atOp(")") {
+			if p.at(tokName, "") && p.toks[p.pos+1].kind == tokOp && p.toks[p.pos+1].text == "=" {
+				// metaclass=... keyword; parse and keep as Keyword node.
+				nm := p.next()
+				p.eatOp("=")
+				v := p.parseExpr()
+				bases.Add(node(ast.Keyword, nm.line, leaf(ast.Ident, nm.text, nm.line), v))
+			} else {
+				bases.Add(p.parseExpr())
+			}
+			if !p.acceptOp(",") {
+				break
+			}
+		}
+		p.eatOp(")")
+	}
+	cls.Add(bases)
+	cls.Add(p.parseBlock())
+	return cls
+}
+
+func (p *parser) parseIf() *ast.Node {
+	line := p.eatKw("if").line
+	stmt := node(ast.If, line, p.parseExpr(), p.parseBlock())
+	for p.atKw("elif") {
+		eline := p.next().line
+		stmt.Add(node(ast.Elif, eline, p.parseExpr(), p.parseBlock()))
+	}
+	if p.atKw("else") {
+		eline := p.next().line
+		stmt.Add(node(ast.Else, eline, p.parseBlock()))
+	}
+	return stmt
+}
+
+func (p *parser) parseFor() *ast.Node {
+	line := p.eatKw("for").line
+	target := toStore(p.parseTargetList())
+	p.eatKw("in")
+	iter := p.parseExprList()
+	stmt := node(ast.For, line, target, iter, p.parseBlock())
+	if p.atKw("else") {
+		eline := p.next().line
+		stmt.Add(node(ast.Else, eline, p.parseBlock()))
+	}
+	return stmt
+}
+
+func (p *parser) parseWhile() *ast.Node {
+	line := p.eatKw("while").line
+	stmt := node(ast.While, line, p.parseExpr(), p.parseBlock())
+	if p.atKw("else") {
+		eline := p.next().line
+		stmt.Add(node(ast.Else, eline, p.parseBlock()))
+	}
+	return stmt
+}
+
+func (p *parser) parseTry() *ast.Node {
+	line := p.eatKw("try").line
+	stmt := node(ast.Try, line, p.parseBlock())
+	for p.atKw("except") {
+		eline := p.next().line
+		h := node(ast.ExceptHandler, eline)
+		if !p.atOp(":") {
+			h.Add(p.parseExpr())
+			if p.acceptKw("as") {
+				nm := p.eat(tokName, "")
+				h.Add(node(ast.NameStore, nm.line, leaf(ast.Ident, nm.text, nm.line)))
+			}
+		}
+		h.Add(p.parseBlock())
+		stmt.Add(h)
+	}
+	if p.atKw("else") {
+		eline := p.next().line
+		stmt.Add(node(ast.Else, eline, p.parseBlock()))
+	}
+	if p.atKw("finally") {
+		fline := p.next().line
+		stmt.Add(node(ast.Finally, fline, p.parseBlock()))
+	}
+	return stmt
+}
+
+func (p *parser) parseWith() *ast.Node {
+	line := p.eatKw("with").line
+	stmt := node(ast.With, line)
+	for {
+		iline := p.cur().line
+		item := node(ast.WithItem, iline, p.parseExpr())
+		if p.acceptKw("as") {
+			item.Add(toStore(p.parseTarget()))
+		}
+		stmt.Add(item)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	stmt.Add(p.parseBlock())
+	return stmt
+}
+
+func (p *parser) parseSimpleStatement() *ast.Node {
+	t := p.cur()
+	if t.kind == tokKeyword {
+		switch t.text {
+		case "return":
+			p.next()
+			stmt := node(ast.Return, t.line)
+			if !p.at(tokNewline, "") && !p.atOp(";") && !p.at(tokEOF, "") && !p.at(tokDedent, "") {
+				stmt.Add(p.parseExprList())
+			}
+			return stmt
+		case "pass":
+			p.next()
+			return node(ast.Pass, t.line)
+		case "break":
+			p.next()
+			return node(ast.Break, t.line)
+		case "continue":
+			p.next()
+			return node(ast.Continue, t.line)
+		case "raise":
+			p.next()
+			stmt := node(ast.Raise, t.line)
+			if !p.at(tokNewline, "") && !p.atOp(";") && !p.at(tokEOF, "") {
+				stmt.Add(p.parseExpr())
+				if p.acceptKw("from") {
+					stmt.Add(p.parseExpr())
+				}
+			}
+			return stmt
+		case "import":
+			return p.parseImport()
+		case "from":
+			return p.parseFromImport()
+		case "global", "nonlocal":
+			p.next()
+			kind := ast.Global
+			if t.text == "nonlocal" {
+				kind = ast.Nonlocal
+			}
+			stmt := node(kind, t.line)
+			for {
+				nm := p.eat(tokName, "")
+				stmt.Add(leaf(ast.Ident, nm.text, nm.line))
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+			return stmt
+		case "assert":
+			p.next()
+			stmt := node(ast.AssertStmt, t.line, p.parseExpr())
+			if p.acceptOp(",") {
+				stmt.Add(p.parseExpr())
+			}
+			return stmt
+		case "del":
+			p.next()
+			stmt := node(ast.Delete, t.line)
+			for {
+				stmt.Add(p.parseTarget())
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+			return stmt
+		case "yield":
+			return node(ast.ExprStmt, t.line, p.parseYield())
+		}
+	}
+	return p.parseExprStatement()
+}
+
+func (p *parser) parseImport() *ast.Node {
+	line := p.eatKw("import").line
+	stmt := node(ast.Import, line)
+	for {
+		name := p.parseDottedName()
+		alias := node(ast.ImportAlias, line, leaf(ast.Ident, name, line))
+		if p.acceptKw("as") {
+			nm := p.eat(tokName, "")
+			alias.Add(leaf(ast.Ident, nm.text, nm.line))
+		}
+		stmt.Add(alias)
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	return stmt
+}
+
+func (p *parser) parseFromImport() *ast.Node {
+	line := p.eatKw("from").line
+	dots := ""
+	for p.atOp(".") || p.atOp("...") {
+		dots += p.next().text
+	}
+	mod := dots
+	if p.at(tokName, "") {
+		mod += p.parseDottedName()
+	}
+	stmt := node(ast.ImportFrom, line, leaf(ast.Ident, mod, line))
+	p.eatKw("import")
+	if p.acceptOp("*") {
+		stmt.Add(node(ast.ImportAlias, line, leaf(ast.Ident, "*", line)))
+		return stmt
+	}
+	paren := p.acceptOp("(")
+	for {
+		nm := p.eat(tokName, "")
+		alias := node(ast.ImportAlias, nm.line, leaf(ast.Ident, nm.text, nm.line))
+		if p.acceptKw("as") {
+			a := p.eat(tokName, "")
+			alias.Add(leaf(ast.Ident, a.text, a.line))
+		}
+		stmt.Add(alias)
+		if !p.acceptOp(",") {
+			break
+		}
+		if paren && p.atOp(")") {
+			break
+		}
+	}
+	if paren {
+		p.eatOp(")")
+	}
+	return stmt
+}
+
+func (p *parser) parseDottedName() string {
+	nm := p.eat(tokName, "").text
+	for p.atOp(".") && p.toks[p.pos+1].kind == tokName {
+		p.next()
+		nm += "." + p.next().text
+	}
+	return nm
+}
+
+var augOps = map[string]bool{
+	"+=": true, "-=": true, "*=": true, "/=": true, "//=": true, "%=": true,
+	"**=": true, ">>=": true, "<<=": true, "&=": true, "|=": true, "^=": true,
+	"@=": true,
+}
+
+func (p *parser) parseExprStatement() *ast.Node {
+	line := p.cur().line
+	first := p.parseExprList()
+	t := p.cur()
+	switch {
+	case t.kind == tokOp && t.text == "=":
+		stmt := node(ast.Assign, line, toStore(first))
+		for p.acceptOp("=") {
+			stmt.Add(p.parseExprListOrYield())
+		}
+		// All but the last are also targets.
+		for i := 1; i < len(stmt.Children)-1; i++ {
+			stmt.Children[i] = toStore(stmt.Children[i])
+		}
+		return stmt
+	case t.kind == tokOp && augOps[t.text]:
+		op := p.next()
+		return node(ast.AugAssign, line, toStore(first),
+			leaf(ast.OpTok, op.text, op.line), p.parseExprListOrYield())
+	case t.kind == tokOp && t.text == ":":
+		// Annotated assignment: target : type [= value]
+		p.next()
+		ann := p.parseExpr()
+		stmt := node(ast.AnnAssign, line, toStore(first), node(ast.TypeRef, line, ann))
+		if p.acceptOp("=") {
+			stmt.Add(p.parseExprListOrYield())
+		}
+		return stmt
+	}
+	return node(ast.ExprStmt, line, first)
+}
+
+func (p *parser) parseExprListOrYield() *ast.Node {
+	if p.atKw("yield") {
+		return p.parseYield()
+	}
+	return p.parseExprList()
+}
+
+func (p *parser) parseYield() *ast.Node {
+	line := p.eatKw("yield").line
+	y := node(ast.Yield, line)
+	if p.acceptKw("from") {
+		y.Add(p.parseExpr())
+		return y
+	}
+	if !p.at(tokNewline, "") && !p.atOp(")") && !p.atOp("]") && !p.atOp("}") &&
+		!p.atOp(";") && !p.at(tokEOF, "") && !p.at(tokDedent, "") && !p.atOp(",") {
+		y.Add(p.parseExprList())
+	}
+	return y
+}
+
+// parseExprList parses expr (, expr)* and wraps multiples in a TupleLit.
+// Starred expressions (`first, *rest = xs`) are allowed as list elements.
+func (p *parser) parseExprList() *ast.Node {
+	first := p.parseStarredExpr()
+	if !p.atOp(",") {
+		return first
+	}
+	line := first.Line
+	tup := node(ast.TupleLit, line, first)
+	for p.acceptOp(",") {
+		if p.exprFollows() {
+			tup.Add(p.parseStarredExpr())
+		} else {
+			break
+		}
+	}
+	return tup
+}
+
+func (p *parser) parseStarredExpr() *ast.Node {
+	if p.atOp("*") {
+		line := p.next().line
+		return node(ast.StarArg, line, p.parseExpr())
+	}
+	return p.parseExpr()
+}
+
+func (p *parser) exprFollows() bool {
+	t := p.cur()
+	switch t.kind {
+	case tokName, tokNumber, tokString:
+		return true
+	case tokKeyword:
+		switch t.text {
+		case "True", "False", "None", "not", "lambda":
+			return true
+		}
+		return false
+	case tokOp:
+		switch t.text {
+		case "(", "[", "{", "-", "+", "~", "*", "**":
+			return true
+		}
+		return false
+	}
+	return false
+}
+
+// parseTargetList parses assignment/for targets.
+func (p *parser) parseTargetList() *ast.Node {
+	first := p.parseTarget()
+	if !p.atOp(",") {
+		return first
+	}
+	tup := node(ast.TupleLit, first.Line, first)
+	for p.acceptOp(",") {
+		if !p.exprFollows() {
+			break
+		}
+		tup.Add(p.parseTarget())
+	}
+	return tup
+}
+
+func (p *parser) parseTarget() *ast.Node {
+	if p.acceptOp("(") {
+		t := p.parseTargetList()
+		p.eatOp(")")
+		return t
+	}
+	if p.acceptOp("*") {
+		return node(ast.StarArg, p.cur().line, p.parseTarget())
+	}
+	return p.parsePostfix(p.parseAtom())
+}
+
+// toStore converts load-context nodes to their store-context kinds,
+// recursing into tuple/list displays and star targets.
+func toStore(n *ast.Node) *ast.Node {
+	switch n.Kind {
+	case ast.NameLoad:
+		n.Kind = ast.NameStore
+		n.Value = ast.NameStore.String()
+	case ast.AttributeLoad:
+		n.Kind = ast.AttributeStore
+		n.Value = ast.AttributeStore.String()
+	case ast.SubscriptLoad:
+		n.Kind = ast.SubscriptStore
+		n.Value = ast.SubscriptStore.String()
+	case ast.TupleLit, ast.ListLit, ast.StarArg:
+		for _, c := range n.Children {
+			toStore(c)
+		}
+	}
+	return n
+}
+
+// Expression grammar, precedence climbing.
+
+func (p *parser) parseExpr() *ast.Node { return p.parseTernary() }
+
+func (p *parser) parseTernary() *ast.Node {
+	if p.atKw("lambda") {
+		return p.parseLambda()
+	}
+	body := p.parseOr()
+	if p.atKw("if") {
+		line := p.next().line
+		cond := p.parseOr()
+		p.eatKw("else")
+		orelse := p.parseExpr()
+		return node(ast.Ternary, line, body, cond, orelse)
+	}
+	return body
+}
+
+func (p *parser) parseLambda() *ast.Node {
+	line := p.eatKw("lambda").line
+	params := node(ast.Params, line)
+	for !p.atOp(":") {
+		pline := p.cur().line
+		switch {
+		case p.acceptOp("*"):
+			nm := p.eat(tokName, "")
+			params.Add(node(ast.VarArgParam, pline, leaf(ast.Ident, nm.text, nm.line)))
+		case p.acceptOp("**"):
+			nm := p.eat(tokName, "")
+			params.Add(node(ast.KwArgParam, pline, leaf(ast.Ident, nm.text, nm.line)))
+		default:
+			nm := p.eat(tokName, "")
+			par := node(ast.Param, pline, leaf(ast.Ident, nm.text, nm.line))
+			if p.acceptOp("=") {
+				def := p.parseExpr()
+				par = node(ast.DefaultParam, pline, par.Children...)
+				par.Add(def)
+			}
+			params.Add(par)
+		}
+		if !p.acceptOp(",") {
+			break
+		}
+	}
+	p.eatOp(":")
+	return node(ast.Lambda, line, params, p.parseExpr())
+}
+
+func (p *parser) parseOr() *ast.Node {
+	left := p.parseAnd()
+	for p.atKw("or") {
+		op := p.next()
+		right := p.parseAnd()
+		left = node(ast.BoolOp, op.line, leaf(ast.OpTok, "or", op.line), left, right)
+	}
+	return left
+}
+
+func (p *parser) parseAnd() *ast.Node {
+	left := p.parseNot()
+	for p.atKw("and") {
+		op := p.next()
+		right := p.parseNot()
+		left = node(ast.BoolOp, op.line, leaf(ast.OpTok, "and", op.line), left, right)
+	}
+	return left
+}
+
+func (p *parser) parseNot() *ast.Node {
+	if p.atKw("not") {
+		op := p.next()
+		return node(ast.UnaryOp, op.line, leaf(ast.OpTok, "not", op.line), p.parseNot())
+	}
+	return p.parseComparison()
+}
+
+var compareOps = map[string]bool{
+	"==": true, "!=": true, "<": true, ">": true, "<=": true, ">=": true,
+}
+
+func (p *parser) parseComparison() *ast.Node {
+	left := p.parseBitOr()
+	var cmp *ast.Node
+	for {
+		var opText string
+		t := p.cur()
+		switch {
+		case t.kind == tokOp && compareOps[t.text]:
+			opText = p.next().text
+		case p.atKw("in"):
+			p.next()
+			opText = "in"
+		case p.atKw("is"):
+			p.next()
+			opText = "is"
+			if p.acceptKw("not") {
+				opText = "is not"
+			}
+		case p.atKw("not"):
+			p.next()
+			p.eatKw("in")
+			opText = "not in"
+		default:
+			if cmp != nil {
+				return cmp
+			}
+			return left
+		}
+		right := p.parseBitOr()
+		if cmp == nil {
+			cmp = node(ast.Compare, t.line, left)
+		}
+		cmp.Add(leaf(ast.OpTok, opText, t.line), right)
+	}
+}
+
+func (p *parser) parseBitOr() *ast.Node { return p.parseBinLevel(0) }
+
+// binary operator precedence levels, loosest first.
+var binLevels = [][]string{
+	{"|"},
+	{"^"},
+	{"&"},
+	{"<<", ">>"},
+	{"+", "-"},
+	{"*", "/", "//", "%", "@"},
+}
+
+func (p *parser) parseBinLevel(level int) *ast.Node {
+	if level >= len(binLevels) {
+		return p.parseUnary()
+	}
+	left := p.parseBinLevel(level + 1)
+	for {
+		matched := ""
+		for _, op := range binLevels[level] {
+			if p.atOp(op) {
+				matched = op
+				break
+			}
+		}
+		if matched == "" {
+			return left
+		}
+		op := p.next()
+		right := p.parseBinLevel(level + 1)
+		left = node(ast.BinOp, op.line, leaf(ast.OpTok, matched, op.line), left, right)
+	}
+}
+
+func (p *parser) parseUnary() *ast.Node {
+	if p.atOp("-") || p.atOp("+") || p.atOp("~") {
+		op := p.next()
+		return node(ast.UnaryOp, op.line, leaf(ast.OpTok, op.text, op.line), p.parseUnary())
+	}
+	return p.parsePower()
+}
+
+func (p *parser) parsePower() *ast.Node {
+	base := p.parsePostfix(p.parseAtom())
+	if p.atOp("**") {
+		op := p.next()
+		exp := p.parseUnary()
+		return node(ast.BinOp, op.line, leaf(ast.OpTok, "**", op.line), base, exp)
+	}
+	return base
+}
+
+// parsePostfix handles call, attribute and subscript suffixes.
+func (p *parser) parsePostfix(expr *ast.Node) *ast.Node {
+	for {
+		switch {
+		case p.atOp("("):
+			line := p.next().line
+			call := node(ast.Call, line, expr)
+			for !p.atOp(")") {
+				call.Add(p.parseCallArg())
+				if !p.acceptOp(",") {
+					break
+				}
+			}
+			p.eatOp(")")
+			expr = call
+		case p.atOp(".") && p.toks[p.pos+1].kind == tokName:
+			line := p.next().line
+			nm := p.next()
+			expr = node(ast.AttributeLoad, line, expr,
+				node(ast.Attr, nm.line, leaf(ast.Ident, nm.text, nm.line)))
+		case p.atOp("["):
+			line := p.next().line
+			idx := p.parseSubscript(line)
+			p.eatOp("]")
+			expr = node(ast.SubscriptLoad, line, expr, idx)
+		default:
+			return expr
+		}
+	}
+}
+
+func (p *parser) parseCallArg() *ast.Node {
+	line := p.cur().line
+	switch {
+	case p.acceptOp("*"):
+		return node(ast.StarArg, line, p.parseExpr())
+	case p.acceptOp("**"):
+		return node(ast.DoubleStarArg, line, p.parseExpr())
+	case p.at(tokName, "") && p.toks[p.pos+1].kind == tokOp && p.toks[p.pos+1].text == "=":
+		nm := p.next()
+		p.eatOp("=")
+		return node(ast.Keyword, nm.line, leaf(ast.Ident, nm.text, nm.line), p.parseExpr())
+	}
+	e := p.parseExpr()
+	if p.atKw("for") {
+		// Generator expression argument.
+		return p.parseComprehensionTail(e, e.Line)
+	}
+	return e
+}
+
+func (p *parser) parseSubscript(line int) *ast.Node {
+	// [a], [a:b], [a:b:c], [:], [::2], ...
+	var lo, hi, step *ast.Node
+	if !p.atOp(":") {
+		lo = p.parseExpr()
+		if !p.atOp(":") {
+			if p.atOp(",") {
+				tup := node(ast.TupleLit, line, lo)
+				for p.acceptOp(",") {
+					if p.atOp("]") {
+						break
+					}
+					tup.Add(p.parseExpr())
+				}
+				return node(ast.Index, line, tup)
+			}
+			return node(ast.Index, line, lo)
+		}
+	}
+	p.eatOp(":")
+	if !p.atOp("]") && !p.atOp(":") {
+		hi = p.parseExpr()
+	}
+	if p.acceptOp(":") {
+		if !p.atOp("]") {
+			step = p.parseExpr()
+		}
+	}
+	sl := node(ast.SliceRange, line)
+	for _, part := range []*ast.Node{lo, hi, step} {
+		if part != nil {
+			sl.Add(part)
+		}
+	}
+	return sl
+}
+
+func (p *parser) parseAtom() *ast.Node {
+	t := p.cur()
+	switch t.kind {
+	case tokName:
+		p.next()
+		return node(ast.NameLoad, t.line, leaf(ast.Ident, t.text, t.line))
+	case tokNumber:
+		p.next()
+		return node(ast.Num, t.line, leaf(ast.NumLit, t.text, t.line))
+	case tokString:
+		p.next()
+		// Adjacent string concatenation.
+		text := t.text
+		for p.at(tokString, "") {
+			text += p.next().text
+		}
+		return node(ast.Str, t.line, leaf(ast.StrLit, text, t.line))
+	case tokKeyword:
+		switch t.text {
+		case "True", "False":
+			p.next()
+			return node(ast.Bool, t.line, leaf(ast.BoolLit, t.text, t.line))
+		case "None":
+			p.next()
+			return node(ast.Null, t.line, leaf(ast.NullLit, "None", t.line))
+		case "lambda":
+			return p.parseLambda()
+		case "yield":
+			return p.parseYield()
+		}
+	case tokOp:
+		switch t.text {
+		case "(":
+			p.next()
+			if p.acceptOp(")") {
+				return node(ast.TupleLit, t.line)
+			}
+			e := p.parseExpr()
+			if p.atKw("for") {
+				c := p.parseComprehensionTail(e, t.line)
+				p.eatOp(")")
+				return c
+			}
+			if p.atOp(",") {
+				tup := node(ast.TupleLit, t.line, e)
+				for p.acceptOp(",") {
+					if p.atOp(")") {
+						break
+					}
+					tup.Add(p.parseExpr())
+				}
+				p.eatOp(")")
+				return tup
+			}
+			p.eatOp(")")
+			return e
+		case "[":
+			p.next()
+			lst := node(ast.ListLit, t.line)
+			if p.acceptOp("]") {
+				return lst
+			}
+			e := p.parseExpr()
+			if p.atKw("for") {
+				c := p.parseComprehensionTail(e, t.line)
+				p.eatOp("]")
+				return c
+			}
+			lst.Add(e)
+			for p.acceptOp(",") {
+				if p.atOp("]") {
+					break
+				}
+				lst.Add(p.parseExpr())
+			}
+			p.eatOp("]")
+			return lst
+		case "{":
+			p.next()
+			if p.acceptOp("}") {
+				return node(ast.DictLit, t.line)
+			}
+			if p.acceptOp("**") {
+				d := node(ast.DictLit, t.line, node(ast.DoubleStarArg, t.line, p.parseExpr()))
+				for p.acceptOp(",") {
+					if p.atOp("}") {
+						break
+					}
+					d.Add(p.parseDictItem())
+				}
+				p.eatOp("}")
+				return d
+			}
+			k := p.parseExpr()
+			if p.acceptOp(":") {
+				v := p.parseExpr()
+				item := node(ast.DictItem, t.line, k, v)
+				if p.atKw("for") {
+					c := p.parseComprehensionTail(item, t.line)
+					p.eatOp("}")
+					return c
+				}
+				d := node(ast.DictLit, t.line, item)
+				for p.acceptOp(",") {
+					if p.atOp("}") {
+						break
+					}
+					d.Add(p.parseDictItem())
+				}
+				p.eatOp("}")
+				return d
+			}
+			if p.atKw("for") {
+				c := p.parseComprehensionTail(k, t.line)
+				p.eatOp("}")
+				return c
+			}
+			s := node(ast.SetLit, t.line, k)
+			for p.acceptOp(",") {
+				if p.atOp("}") {
+					break
+				}
+				s.Add(p.parseExpr())
+			}
+			p.eatOp("}")
+			return s
+		case "...":
+			p.next()
+			return node(ast.NameLoad, t.line, leaf(ast.Ident, "Ellipsis", t.line))
+		}
+	}
+	p.fail("unexpected token %s %q", t.kind, t.text)
+	return nil
+}
+
+func (p *parser) parseDictItem() *ast.Node {
+	line := p.cur().line
+	if p.acceptOp("**") {
+		return node(ast.DoubleStarArg, line, p.parseExpr())
+	}
+	k := p.parseExpr()
+	p.eatOp(":")
+	return node(ast.DictItem, line, k, p.parseExpr())
+}
+
+func (p *parser) parseComprehensionTail(elt *ast.Node, line int) *ast.Node {
+	comp := node(ast.Comprehension, line, elt)
+	for p.atKw("for") {
+		fline := p.next().line
+		target := toStore(p.parseTargetList())
+		p.eatKw("in")
+		iter := p.parseOr()
+		comp.Add(node(ast.CompFor, fline, target, iter))
+		for p.atKw("if") {
+			iline := p.next().line
+			comp.Add(node(ast.CompIf, iline, p.parseOr()))
+		}
+	}
+	return comp
+}

@@ -1,0 +1,369 @@
+package pylang
+
+import (
+	"strings"
+	"testing"
+
+	"namer/internal/ast"
+)
+
+func mustParse(t *testing.T, src string) *ast.Node {
+	t.Helper()
+	root, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return root
+}
+
+func TestParseSimpleAssign(t *testing.T) {
+	root := mustParse(t, "x = 1\n")
+	if root.Kind != ast.Module || len(root.Children) != 1 {
+		t.Fatalf("bad module: %s", root)
+	}
+	stmt := root.Children[0]
+	if stmt.Kind != ast.Assign {
+		t.Fatalf("want Assign, got %v", stmt.Kind)
+	}
+	if stmt.Children[0].Kind != ast.NameStore {
+		t.Errorf("target should be NameStore, got %v", stmt.Children[0].Kind)
+	}
+	if stmt.Children[1].Kind != ast.Num {
+		t.Errorf("value should be Num, got %v", stmt.Children[1].Kind)
+	}
+}
+
+func TestParseFigure2Snippet(t *testing.T) {
+	src := `class TestPicture(TestCase):
+    def test_angle_picture(self):
+        rotated_picture_name = "IMG_2259.jpg"
+        for picture in self.slide.pictures:
+            if picture.relative_path \
+                    == rotated_picture_name:
+                picture = self.slide.pictures[0]
+                self.assertTrue(picture.rotate_angle, 90)
+                break
+`
+	root := mustParse(t, src)
+	cls := root.Children[0]
+	if cls.Kind != ast.ClassDef {
+		t.Fatalf("want ClassDef, got %v", cls.Kind)
+	}
+	// Class name and base.
+	if cls.Children[0].Value != "TestPicture" {
+		t.Errorf("class name = %q", cls.Children[0].Value)
+	}
+	bases := cls.Children[1]
+	if bases.Kind != ast.Bases || len(bases.Children) != 1 {
+		t.Fatalf("bases wrong: %s", bases)
+	}
+	if bases.Children[0].Children[0].Value != "TestCase" {
+		t.Errorf("base = %q", bases.Children[0].Children[0].Value)
+	}
+	// Find the assertTrue call statement.
+	var call *ast.Node
+	root.Walk(func(n *ast.Node) bool {
+		if n.Kind == ast.Call {
+			if att := n.Children[0]; att.Kind == ast.AttributeLoad &&
+				len(att.Children) == 2 && att.Children[1].Children[0].Value == "assertTrue" {
+				call = n
+			}
+		}
+		return true
+	})
+	if call == nil {
+		t.Fatal("assertTrue call not found")
+	}
+	if len(call.Children) != 3 { // receiver-attr, arg1, arg2
+		t.Fatalf("call arity: %s", call)
+	}
+	if call.Children[2].Kind != ast.Num {
+		t.Errorf("second arg should be Num, got %v", call.Children[2].Kind)
+	}
+	recv := call.Children[0].Children[0]
+	if recv.Kind != ast.NameLoad || recv.Children[0].Value != "self" {
+		t.Errorf("receiver = %s", recv)
+	}
+}
+
+func TestParseStatementsKinds(t *testing.T) {
+	tests := []struct {
+		src  string
+		kind ast.Kind
+	}{
+		{"return x\n", ast.Return},
+		{"return\n", ast.Return},
+		{"pass\n", ast.Pass},
+		{"break\n", ast.Break},
+		{"continue\n", ast.Continue},
+		{"raise ValueError(msg)\n", ast.Raise},
+		{"import os\n", ast.Import},
+		{"import os.path as osp\n", ast.Import},
+		{"from unittest import TestCase\n", ast.ImportFrom},
+		{"from . import mod\n", ast.ImportFrom},
+		{"from os.path import (join, split)\n", ast.ImportFrom},
+		{"global counter\n", ast.Global},
+		{"nonlocal x\n", ast.Nonlocal},
+		{"assert x == 1, 'oops'\n", ast.AssertStmt},
+		{"del x[0]\n", ast.Delete},
+		{"x += 1\n", ast.AugAssign},
+		{"x: int = 5\n", ast.AnnAssign},
+		{"foo(1, 2)\n", ast.ExprStmt},
+		{"x = yield v\n", ast.Assign},
+	}
+	for _, tt := range tests {
+		root := mustParse(t, tt.src)
+		if len(root.Children) == 0 {
+			t.Fatalf("%q: empty module", tt.src)
+		}
+		if got := root.Children[0].Kind; got != tt.kind {
+			t.Errorf("%q: kind = %v, want %v", tt.src, got, tt.kind)
+		}
+	}
+}
+
+func TestParseCompound(t *testing.T) {
+	src := `if a:
+    x = 1
+elif b:
+    x = 2
+else:
+    x = 3
+while cond:
+    tick()
+else:
+    done()
+for i in range(10):
+    use(i)
+try:
+    risky()
+except ValueError as e:
+    handle(e)
+except Exception:
+    pass
+else:
+    ok()
+finally:
+    cleanup()
+with open(path) as f, lock:
+    f.read()
+`
+	root := mustParse(t, src)
+	kinds := []ast.Kind{ast.If, ast.While, ast.For, ast.Try, ast.With}
+	if len(root.Children) != len(kinds) {
+		t.Fatalf("got %d top-level statements, want %d", len(root.Children), len(kinds))
+	}
+	for i, k := range kinds {
+		if root.Children[i].Kind != k {
+			t.Errorf("stmt %d kind = %v, want %v", i, root.Children[i].Kind, k)
+		}
+	}
+	// Try has handlers, else, finally.
+	try := root.Children[3]
+	var handlers, elses, finals int
+	for _, c := range try.Children {
+		switch c.Kind {
+		case ast.ExceptHandler:
+			handlers++
+		case ast.Else:
+			elses++
+		case ast.Finally:
+			finals++
+		}
+	}
+	if handlers != 2 || elses != 1 || finals != 1 {
+		t.Errorf("try structure: %d handlers %d else %d finally", handlers, elses, finals)
+	}
+}
+
+func TestParseExpressions(t *testing.T) {
+	srcs := []string{
+		"x = a or b and not c\n",
+		"x = a < b <= c\n",
+		"x = a in xs and b not in ys and c is None and d is not None\n",
+		"x = -a + b * c ** 2 // d % e\n",
+		"x = (a | b) & (c ^ d) << 2 >> 1\n",
+		"x = f(a, b=1, *args, **kwargs)\n",
+		"x = obj.attr.method(arg)[0][1:2][::2][a:b:c]\n",
+		"x = [1, 2, 3]\n",
+		"x = (1, 2)\n",
+		"x = {}\n",
+		"x = {'k': v, **extra}\n",
+		"x = {1, 2, 3}\n",
+		"x = [y for y in ys if y > 0]\n",
+		"x = {k: v for k, v in items}\n",
+		"x = (y for y in ys)\n",
+		"total = sum(v for v in vals)\n",
+		"f = lambda a, b=2, *args, **kw: a + b\n",
+		"x = a if cond else b\n",
+		"s = 'abc' \"def\"\n",
+		"s = f'{x} items'\n",
+		"s = r'\\d+'\n",
+		"s = '''triple\nline'''\n",
+		"n = 0x1F + 0o17 + 0b101 + 1_000 + 1.5e-3 + 2j\n",
+		"x = ...\n",
+		"a, b = b, a\n",
+		"a = b = c = 0\n",
+		"(a, b), c = pair, z\n",
+		"x[k] = v\n",
+		"obj.field = v\n",
+		"first, *rest = xs\n",
+	}
+	for _, src := range srcs {
+		mustParse(t, src)
+	}
+}
+
+func TestParseDecorators(t *testing.T) {
+	src := `@decorator
+@mod.wrap(arg)
+def f(x, y=1, *args, **kwargs):
+    return x
+`
+	root := mustParse(t, src)
+	fn := root.Children[0]
+	if fn.Kind != ast.FunctionDef {
+		t.Fatalf("want FunctionDef, got %v", fn.Kind)
+	}
+	decs := 0
+	for _, c := range fn.Children {
+		if c.Kind == ast.Decorator {
+			decs++
+		}
+	}
+	if decs != 2 {
+		t.Errorf("decorators = %d, want 2", decs)
+	}
+	// Params include default, vararg, kwarg.
+	var params *ast.Node
+	for _, c := range fn.Children {
+		if c.Kind == ast.Params {
+			params = c
+		}
+	}
+	if params == nil || len(params.Children) != 4 {
+		t.Fatalf("params: %s", params)
+	}
+	if params.Children[1].Kind != ast.DefaultParam ||
+		params.Children[2].Kind != ast.VarArgParam ||
+		params.Children[3].Kind != ast.KwArgParam {
+		t.Errorf("param kinds: %s", params)
+	}
+}
+
+func TestParseInlineSuite(t *testing.T) {
+	root := mustParse(t, "if x: y = 1\n")
+	ifStmt := root.Children[0]
+	if ifStmt.Kind != ast.If {
+		t.Fatalf("want If, got %v", ifStmt.Kind)
+	}
+	var sawAssign bool
+	ifStmt.Walk(func(n *ast.Node) bool {
+		if n.Kind == ast.Assign {
+			sawAssign = true
+		}
+		return true
+	})
+	if !sawAssign {
+		t.Error("inline suite lost the assignment")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"def f(:\n    pass\n",
+		"x = (1,\n", // unterminated paren: EOF inside expr
+		"class :\n    pass\n",
+		"x = 'unterminated\n",
+		"if x\n    pass\n",
+		"x = !!\n",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+}
+
+func TestParseIndentation(t *testing.T) {
+	src := "def f():\n\tif x:\n\t\treturn 1\n\treturn 0\n"
+	root := mustParse(t, src)
+	if root.Children[0].Kind != ast.FunctionDef {
+		t.Fatal("tab-indented function failed")
+	}
+	// Inconsistent dedent.
+	if _, err := Parse("if x:\n        a = 1\n   b = 2\n"); err == nil {
+		t.Error("inconsistent dedent should fail")
+	}
+}
+
+func TestParseLineNumbers(t *testing.T) {
+	src := "a = 1\n\nb = 2\n"
+	root := mustParse(t, src)
+	if root.Children[0].Line != 1 || root.Children[1].Line != 3 {
+		t.Errorf("lines = %d, %d; want 1, 3", root.Children[0].Line, root.Children[1].Line)
+	}
+}
+
+func TestParseClassKeywordBase(t *testing.T) {
+	root := mustParse(t, "class C(Base, metaclass=Meta):\n    pass\n")
+	bases := root.Children[0].Children[1]
+	if len(bases.Children) != 2 {
+		t.Fatalf("bases: %s", bases)
+	}
+	if bases.Children[1].Kind != ast.Keyword {
+		t.Errorf("metaclass should be Keyword, got %v", bases.Children[1].Kind)
+	}
+}
+
+func TestStatementsOnParsedFile(t *testing.T) {
+	src := `class C(Base):
+    def m(self, a):
+        x = a + 1
+        if x:
+            return x
+        return 0
+`
+	root := mustParse(t, src)
+	stmts := ast.Statements(root)
+	// class, def, x=a+1, if, return x, return 0
+	if len(stmts) != 6 {
+		for _, s := range stmts {
+			t.Log(s.Root.Fingerprint())
+		}
+		t.Fatalf("got %d statements, want 6", len(stmts))
+	}
+	if stmts[2].EnclosingClass != "C" || stmts[2].EnclosingFunc != "m" {
+		t.Errorf("context = (%q, %q)", stmts[2].EnclosingClass, stmts[2].EnclosingFunc)
+	}
+}
+
+func TestParseSemicolons(t *testing.T) {
+	root := mustParse(t, "a = 1; b = 2; c = 3\n")
+	blk := root.Children[0]
+	if blk.Kind != ast.Block || len(blk.Children) != 3 {
+		t.Fatalf("semicolon block: %s", blk)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "# leading comment\nx = 1  # trailing\n# only comment line\ny = 2\n"
+	root := mustParse(t, src)
+	if len(root.Children) != 2 {
+		t.Fatalf("got %d statements, want 2", len(root.Children))
+	}
+}
+
+func TestParseDeepNesting(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("x = ")
+	for i := 0; i < 50; i++ {
+		sb.WriteString("(")
+	}
+	sb.WriteString("1")
+	for i := 0; i < 50; i++ {
+		sb.WriteString(")")
+	}
+	sb.WriteString("\n")
+	mustParse(t, sb.String())
+}

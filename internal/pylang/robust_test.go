@@ -1,0 +1,110 @@
+package pylang
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"namer/internal/ast"
+)
+
+// Parse must never panic: it either returns a tree or an error, on any
+// input.
+func TestParseNeverPanics(t *testing.T) {
+	f := func(src string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("panic on %q: %v", src, r)
+			}
+		}()
+		_, _ = Parse(src)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Mutated valid programs (random byte edits) must also never panic.
+func TestParseMutatedSources(t *testing.T) {
+	base := `class Widget(Base):
+    def __init__(self, name, port=80, *args, **kwargs):
+        self.name = name
+        for i in range(10):
+            if i % 2 == 0:
+                self.total += i
+        try:
+            risky({'k': [1, 2.5e3, 0x1F]})
+        except ValueError as e:
+            raise RuntimeError('bad') from e
+        return lambda x: x + 1
+`
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 400; i++ {
+		b := []byte(base)
+		for k := 0; k < 1+rng.Intn(4); k++ {
+			pos := rng.Intn(len(b))
+			switch rng.Intn(3) {
+			case 0:
+				b[pos] = byte(rng.Intn(128))
+			case 1:
+				b = append(b[:pos], b[pos+1:]...)
+			default:
+				b = append(b[:pos], append([]byte{byte(33 + rng.Intn(90))}, b[pos:]...)...)
+			}
+		}
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("panic on mutated source: %v\n%s", r, b)
+				}
+			}()
+			_, _ = Parse(string(b))
+		}()
+	}
+}
+
+// Parsed output never contains empty-valued non-terminal nodes and always
+// roots at Module.
+func TestParseWellFormedOutput(t *testing.T) {
+	srcs := []string{
+		"x = 1\n",
+		"def f():\n    pass\n",
+		"class C:\n    pass\n",
+		"for i in range(3):\n    print(i)\n",
+	}
+	for _, src := range srcs {
+		root, err := Parse(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if root.Value != "Module" {
+			t.Errorf("root = %q", root.Value)
+		}
+		root.Walk(func(n *ast.Node) bool {
+			if !n.IsTerminal() && n.Value == "" {
+				t.Errorf("empty non-terminal value in %q", src)
+			}
+			return true
+		})
+	}
+}
+
+// Deep indentation and long lines do not blow the stack.
+func TestParsePathological(t *testing.T) {
+	var sb strings.Builder
+	for d := 0; d < 60; d++ {
+		sb.WriteString(strings.Repeat("    ", d))
+		sb.WriteString("if x:\n")
+	}
+	sb.WriteString(strings.Repeat("    ", 60))
+	sb.WriteString("pass\n")
+	if _, err := Parse(sb.String()); err != nil {
+		t.Fatalf("deep nesting: %v", err)
+	}
+	long := "x = " + strings.Repeat("1 + ", 2000) + "1\n"
+	if _, err := Parse(long); err != nil {
+		t.Fatalf("long expression: %v", err)
+	}
+}

@@ -1,0 +1,131 @@
+package subtoken
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplit(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"self", []string{"self"}},
+		{"assertTrue", []string{"assert", "True"}},
+		{"assertEqual", []string{"assert", "Equal"}},
+		{"rotate_angle", []string{"rotate", "angle"}},
+		{"snake_case_name", []string{"snake", "case", "name"}},
+		{"camelCaseName", []string{"camel", "Case", "Name"}},
+		{"PascalCase", []string{"Pascal", "Case"}},
+		{"HTTPServer", []string{"HTTP", "Server"}},
+		{"parseURL", []string{"parse", "URL"}},
+		{"utf8", []string{"utf", "8"}},
+		{"base64Encode", []string{"base", "64", "Encode"}},
+		{"SCREAMING_SNAKE", []string{"SCREAMING", "SNAKE"}},
+		{"__dunder__", []string{"dunder"}},
+		{"_private", []string{"private"}},
+		{"a", []string{"a"}},
+		{"A", []string{"A"}},
+		{"x2", []string{"x", "2"}},
+		{"$jquery", []string{"jquery"}},
+		{"num_or_process", []string{"num", "or", "process"}},
+		{"publickKey", []string{"publick", "Key"}},
+		{"progDialog", []string{"prog", "Dialog"}},
+		{"getStackTrace", []string{"get", "Stack", "Trace"}},
+		{"___", nil},
+		{"ABClass", []string{"AB", "Class"}},
+	}
+	for _, tt := range tests {
+		if got := Split(tt.in); !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("Split(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestCount(t *testing.T) {
+	if got := Count("assertTrue"); got != 2 {
+		t.Errorf("Count(assertTrue) = %d, want 2", got)
+	}
+	if got := Count("self"); got != 1 {
+		t.Errorf("Count(self) = %d, want 1", got)
+	}
+	if got := Count(""); got != 0 {
+		t.Errorf("Count(\"\") = %d, want 0", got)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	tests := []struct {
+		orig string
+		subs []string
+		want string
+	}{
+		{"assertTrue", []string{"assert", "Equal"}, "assertEqual"},
+		{"rotate_angle", []string{"rotate", "speed"}, "rotate_speed"},
+		{"num_or_process", []string{"num", "of", "process"}, "num_of_process"},
+		{"progDialog", []string{"progress", "Dialog"}, "progressDialog"},
+		{"x", []string{"y"}, "y"},
+		{"x", nil, ""},
+	}
+	for _, tt := range tests {
+		if got := Join(tt.orig, tt.subs); got != tt.want {
+			t.Errorf("Join(%q, %v) = %q, want %q", tt.orig, tt.subs, got, tt.want)
+		}
+	}
+}
+
+// Property: splitting never produces empty subtokens and every subtoken's
+// runes appear in the input in order.
+func TestSplitProperties(t *testing.T) {
+	f := func(s string) bool {
+		subs := Split(s)
+		for _, sub := range subs {
+			if sub == "" {
+				return false
+			}
+		}
+		// Concatenated subtokens must be a subsequence of the input.
+		joined := ""
+		for _, sub := range subs {
+			joined += sub
+		}
+		ri := []rune(s)
+		rj := []rune(joined)
+		i := 0
+		for _, r := range rj {
+			found := false
+			for i < len(ri) {
+				if ri[i] == r {
+					found = true
+					i++
+					break
+				}
+				i++
+			}
+			if !found {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: splitting a snake_case join of clean lowercase words recovers
+// the words.
+func TestSplitJoinRoundTrip(t *testing.T) {
+	words := [][]string{
+		{"alpha"}, {"alpha", "beta"}, {"read", "file", "lines"},
+		{"x", "y", "z"}, {"value"},
+	}
+	for _, ws := range words {
+		snake := Join("has_underscore", ws)
+		if got := Split(snake); !reflect.DeepEqual(got, ws) {
+			t.Errorf("Split(Join snake %v) = %v", ws, got)
+		}
+	}
+}

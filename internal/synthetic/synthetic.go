@@ -1,0 +1,191 @@
+// Package synthetic implements the synthetic variable-misuse corpus the
+// neural baselines are trained on (§5.6): clean functions become positive
+// examples; corrupting one variable use with another in-scope variable
+// produces buggy examples whose injected location and original name are
+// the localization/repair targets. The paper's central finding is that
+// models trained on this distribution do not transfer to real naming
+// issues; package eval reproduces that comparison.
+package synthetic
+
+import (
+	"math/rand"
+
+	"namer/internal/ast"
+	"namer/internal/graphs"
+)
+
+// MaxCandidates caps the repair candidate set per sample.
+const MaxCandidates = 10
+
+// Sample is one variable-misuse example.
+type Sample struct {
+	G *graphs.Graph
+	// Slot is the graph node index of the examined variable use.
+	Slot int
+	// Candidates are the in-scope variable names (vocabulary ids in
+	// CandIDs align with Candidates).
+	Candidates []string
+	CandIDs    []int
+	// Correct indexes Candidates: the name that should appear at Slot.
+	Correct int
+	// Buggy marks corrupted samples (Slot's current name != correct).
+	Buggy bool
+	// Line is the source line of the slot (for report judging).
+	Line int
+}
+
+// CurrentIndex returns the candidate index of the name currently at the
+// slot, or -1.
+func (s *Sample) CurrentIndex() int {
+	cur := s.G.VarName[s.Slot]
+	for i, c := range s.Candidates {
+		if c == cur {
+			return i
+		}
+	}
+	return -1
+}
+
+// Functions extracts the function subtrees of a file AST.
+func Functions(root *ast.Node) []*ast.Node {
+	var out []*ast.Node
+	root.Walk(func(n *ast.Node) bool {
+		if n.Kind == ast.FunctionDef || n.Kind == ast.CtorDef {
+			out = append(out, n)
+			return false // no nested functions
+		}
+		return true
+	})
+	return out
+}
+
+// buildSample constructs a Sample for a slot in fn's graph.
+func buildSample(g *graphs.Graph, fn *ast.Node, slot int, correctName string, buggy bool, vocab *graphs.Vocab) *Sample {
+	names, _ := g.Variables()
+	if len(names) > MaxCandidates {
+		names = names[:MaxCandidates]
+	}
+	// Ensure the correct and current names are among the candidates.
+	ensure := func(nm string) {
+		for _, c := range names {
+			if c == nm {
+				return
+			}
+		}
+		names = append(names, nm)
+	}
+	ensure(correctName)
+	ensure(g.VarName[slot])
+	correct := -1
+	for i, c := range names {
+		if c == correctName {
+			correct = i
+		}
+	}
+	ids := make([]int, len(names))
+	for i, c := range names {
+		ids[i] = vocab.ID(c)
+	}
+	line := 0
+	for n, id := range g.NodeOf {
+		if id == slot {
+			line = n.Line
+		}
+	}
+	return &Sample{
+		G: g, Slot: slot, Candidates: names, CandIDs: ids,
+		Correct: correct, Buggy: buggy, Line: line,
+	}
+}
+
+// CleanSamples returns one non-buggy sample per variable-use slot of the
+// function (capped at max; 0 means all).
+func CleanSamples(fn *ast.Node, vocab *graphs.Vocab, max int) []*Sample {
+	g := graphs.Build(fn, vocab)
+	uses := g.VarUses()
+	if max > 0 && len(uses) > max {
+		uses = uses[:max]
+	}
+	var out []*Sample
+	for _, u := range uses {
+		names, _ := g.Variables()
+		if len(names) < 2 {
+			continue
+		}
+		out = append(out, buildSample(g, fn, u, g.VarName[u], false, vocab))
+	}
+	return out
+}
+
+// Inject corrupts one random variable use in a clone of fn, replacing its
+// name with a different in-scope variable, and returns the buggy sample
+// (ok=false when the function has too few variables or uses).
+func Inject(fn *ast.Node, vocab *graphs.Vocab, rng *rand.Rand) (*Sample, bool) {
+	clone := fn.Clone()
+	g0 := graphs.Build(clone, vocab)
+	uses := g0.VarUses()
+	names, _ := g0.Variables()
+	if len(uses) == 0 || len(names) < 2 {
+		return nil, false
+	}
+	slot := uses[rng.Intn(len(uses))]
+	origName := g0.VarName[slot]
+	// Pick a different name.
+	var alternatives []string
+	for _, n := range names {
+		if n != origName {
+			alternatives = append(alternatives, n)
+		}
+	}
+	if len(alternatives) == 0 {
+		return nil, false
+	}
+	wrong := alternatives[rng.Intn(len(alternatives))]
+	// Mutate the AST node and rebuild so every edge reflects the bug.
+	var slotNode *ast.Node
+	for n, id := range g0.NodeOf {
+		if id == slot {
+			slotNode = n
+		}
+	}
+	if slotNode == nil {
+		return nil, false
+	}
+	slotNode.Value = wrong
+	g := graphs.Build(clone, vocab)
+	newSlot, ok := g.NodeOf[slotNode]
+	if !ok {
+		return nil, false
+	}
+	return buildSample(g, clone, newSlot, origName, true, vocab), true
+}
+
+// Scorer scores a sample's candidates; both baselines implement it.
+type Scorer interface {
+	// Score returns one score per candidate of the sample.
+	Score(s *Sample) []float64
+}
+
+// Wrongness returns the model's belief that the slot is a misuse: the
+// best alternative candidate's score minus the current name's score.
+func Wrongness(m Scorer, s *Sample) (float64, int) {
+	scores := m.Score(s)
+	cur := s.CurrentIndex()
+	curScore := 0.0
+	if cur >= 0 && cur < len(scores) {
+		curScore = scores[cur]
+	}
+	best, bestIdx := 0.0, -1
+	for i, sc := range scores {
+		if i == cur {
+			continue
+		}
+		if bestIdx == -1 || sc > best {
+			best, bestIdx = sc, i
+		}
+	}
+	if bestIdx == -1 {
+		return 0, cur
+	}
+	return best - curScore, bestIdx
+}

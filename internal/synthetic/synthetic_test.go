@@ -1,0 +1,151 @@
+package synthetic
+
+import (
+	"math/rand"
+	"testing"
+
+	"namer/internal/ast"
+	"namer/internal/graphs"
+	"namer/internal/pylang"
+)
+
+const fileSrc = `def alpha(a, b):
+    c = a + b
+    return c
+
+def beta(x, y):
+    z = x * y
+    if z > x:
+        return z
+    return y
+
+class C:
+    def method(self, items, limit):
+        total = 0
+        for item in items:
+            total += item
+        if total > limit:
+            return limit
+        return total
+`
+
+func parseFile(t *testing.T) *ast.Node {
+	t.Helper()
+	root, err := pylang.Parse(fileSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+func TestFunctions(t *testing.T) {
+	fns := Functions(parseFile(t))
+	if len(fns) != 3 {
+		t.Fatalf("functions = %d, want 3", len(fns))
+	}
+}
+
+func TestCleanSamples(t *testing.T) {
+	fns := Functions(parseFile(t))
+	v := graphs.NewVocab()
+	samples := CleanSamples(fns[0], v, 0)
+	if len(samples) == 0 {
+		t.Fatal("no clean samples")
+	}
+	for _, s := range samples {
+		if s.Buggy {
+			t.Error("clean sample marked buggy")
+		}
+		if s.Correct < 0 || s.Correct >= len(s.Candidates) {
+			t.Errorf("bad correct index %d of %d", s.Correct, len(s.Candidates))
+		}
+		if s.Candidates[s.Correct] != s.G.VarName[s.Slot] {
+			t.Error("clean sample's correct name must be the slot's name")
+		}
+		if s.CurrentIndex() != s.Correct {
+			t.Error("clean sample current index should equal correct")
+		}
+		if len(s.CandIDs) != len(s.Candidates) {
+			t.Error("candidate ids misaligned")
+		}
+	}
+}
+
+func TestInject(t *testing.T) {
+	fns := Functions(parseFile(t))
+	v := graphs.NewVocab()
+	rng := rand.New(rand.NewSource(1))
+	injected := 0
+	for i := 0; i < 20; i++ {
+		for _, fn := range fns {
+			s, ok := Inject(fn, v, rng)
+			if !ok {
+				continue
+			}
+			injected++
+			if !s.Buggy {
+				t.Error("injected sample not marked buggy")
+			}
+			if s.CurrentIndex() == s.Correct {
+				t.Error("injected slot still holds the correct name")
+			}
+			if s.Candidates[s.Correct] == s.G.VarName[s.Slot] {
+				t.Error("correct candidate equals the corrupted name")
+			}
+		}
+	}
+	if injected == 0 {
+		t.Fatal("no injections succeeded")
+	}
+	// Original functions must be untouched (Inject clones).
+	again := Functions(parseFile(t))
+	for i, fn := range Functions(parseFile(t)) {
+		if !fn.Equal(again[i]) {
+			t.Error("source AST mutated")
+		}
+	}
+}
+
+func TestWrongness(t *testing.T) {
+	fns := Functions(parseFile(t))
+	v := graphs.NewVocab()
+	samples := CleanSamples(fns[1], v, 0)
+	if len(samples) == 0 {
+		t.Fatal("need samples")
+	}
+	s := samples[0]
+	// A scorer that always prefers the current name: wrongness <= 0.
+	lover := scorerFunc(func(sm *Sample) []float64 {
+		out := make([]float64, len(sm.Candidates))
+		if c := sm.CurrentIndex(); c >= 0 {
+			out[c] = 10
+		}
+		return out
+	})
+	w, _ := Wrongness(lover, s)
+	if w >= 0 {
+		t.Errorf("wrongness = %f, want negative", w)
+	}
+	// A scorer that hates the current name.
+	hater := scorerFunc(func(sm *Sample) []float64 {
+		out := make([]float64, len(sm.Candidates))
+		for i := range out {
+			out[i] = 5
+		}
+		if c := sm.CurrentIndex(); c >= 0 {
+			out[c] = -5
+		}
+		return out
+	})
+	w2, alt := Wrongness(hater, s)
+	if w2 <= 0 {
+		t.Errorf("wrongness = %f, want positive", w2)
+	}
+	if alt == s.CurrentIndex() {
+		t.Error("suggested alternative is the current name")
+	}
+}
+
+type scorerFunc func(*Sample) []float64
+
+func (f scorerFunc) Score(s *Sample) []float64 { return f(s) }

@@ -1,0 +1,83 @@
+// Package treediff implements the AST diff matching used to extract
+// confusing word pairs from commit histories (§3.2): nodes of the before
+// and after trees are aligned structurally, and aligned identifier
+// terminals whose names differ are reported as renames.
+package treediff
+
+import "namer/internal/ast"
+
+// Rename is one aligned identifier change: Before was renamed to After.
+type Rename struct {
+	Before string
+	After  string
+}
+
+// Diff aligns the two trees and returns the identifier renames between
+// matched terminal nodes. The alignment recurses through nodes of equal
+// kind, using a longest-common-subsequence alignment over child kinds when
+// the child lists differ.
+func Diff(before, after *ast.Node) []Rename {
+	var out []Rename
+	matchNodes(before, after, &out)
+	return out
+}
+
+func matchNodes(a, b *ast.Node, out *[]Rename) {
+	if a == nil || b == nil || a.Kind != b.Kind {
+		return
+	}
+	if a.IsTerminal() && b.IsTerminal() {
+		if a.Kind == ast.Ident && a.Value != b.Value {
+			*out = append(*out, Rename{Before: a.Value, After: b.Value})
+		}
+		return
+	}
+	if len(a.Children) == len(b.Children) {
+		for i := range a.Children {
+			matchNodes(a.Children[i], b.Children[i], out)
+		}
+		return
+	}
+	// Different child counts: align by LCS over child kinds.
+	pairs := lcsAlign(a.Children, b.Children)
+	for _, p := range pairs {
+		matchNodes(p[0], p[1], out)
+	}
+}
+
+// lcsAlign computes an LCS alignment of two child lists keyed by node kind,
+// returning the matched pairs.
+func lcsAlign(xs, ys []*ast.Node) [][2]*ast.Node {
+	n, m := len(xs), len(ys)
+	// dp[i][j] = LCS length of xs[i:], ys[j:].
+	dp := make([][]int, n+1)
+	for i := range dp {
+		dp[i] = make([]int, m+1)
+	}
+	for i := n - 1; i >= 0; i-- {
+		for j := m - 1; j >= 0; j-- {
+			if xs[i].Kind == ys[j].Kind {
+				dp[i][j] = dp[i+1][j+1] + 1
+			} else if dp[i+1][j] >= dp[i][j+1] {
+				dp[i][j] = dp[i+1][j]
+			} else {
+				dp[i][j] = dp[i][j+1]
+			}
+		}
+	}
+	var pairs [][2]*ast.Node
+	i, j := 0, 0
+	for i < n && j < m {
+		switch {
+		case xs[i].Kind == ys[j].Kind:
+			pairs = append(pairs, [2]*ast.Node{xs[i], ys[j]})
+			i++
+			j++
+		case dp[i+1][j] >= dp[i][j+1]:
+			i++
+		default:
+			j++
+		}
+	}
+	return pairs
+}

@@ -1,0 +1,97 @@
+package treediff
+
+import (
+	"testing"
+
+	"namer/internal/ast"
+	"namer/internal/javalang"
+	"namer/internal/pylang"
+)
+
+func TestSimpleRename(t *testing.T) {
+	before, err := pylang.Parse("self.assertTrue(vec, 4)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := pylang.Parse("self.assertEqual(vec, 4)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	renames := Diff(before, after)
+	if len(renames) != 1 {
+		t.Fatalf("renames = %v, want 1", renames)
+	}
+	if renames[0].Before != "assertTrue" || renames[0].After != "assertEqual" {
+		t.Errorf("rename = %+v", renames[0])
+	}
+}
+
+func TestNoRenameOnIdenticalTrees(t *testing.T) {
+	src := "def f(a, b):\n    return a + b\n"
+	before, _ := pylang.Parse(src)
+	after, _ := pylang.Parse(src)
+	if renames := Diff(before, after); len(renames) != 0 {
+		t.Errorf("identical trees produced renames: %v", renames)
+	}
+}
+
+func TestStructuralInsertionAligned(t *testing.T) {
+	// A statement inserted between two others must not misalign the rest.
+	before, _ := pylang.Parse("x = compute()\ny = por\n")
+	after, _ := pylang.Parse("x = compute()\nlog()\ny = port\n")
+	renames := Diff(before, after)
+	found := false
+	for _, r := range renames {
+		if r.Before == "por" && r.After == "port" {
+			found = true
+		}
+		if r.Before == "compute" && r.After != "compute" {
+			t.Errorf("spurious rename %+v", r)
+		}
+	}
+	if !found {
+		t.Errorf("por -> port not detected: %v", renames)
+	}
+}
+
+func TestMultipleRenames(t *testing.T) {
+	before, _ := pylang.Parse("a = min(xs)\nb = min(ys)\n")
+	after, _ := pylang.Parse("a = min(xs)\nb = max(ys)\n")
+	renames := Diff(before, after)
+	if len(renames) != 1 || renames[0].Before != "min" || renames[0].After != "max" {
+		t.Errorf("renames = %v", renames)
+	}
+}
+
+func TestJavaRename(t *testing.T) {
+	before, err := javalang.Parse("class T { void m() { this.publicKey = publickKey; } }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := javalang.Parse("class T { void m() { this.publicKey = publicKey; } }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	renames := Diff(before, after)
+	if len(renames) != 1 || renames[0].Before != "publickKey" {
+		t.Errorf("renames = %v", renames)
+	}
+}
+
+func TestDifferentKindsNotMatched(t *testing.T) {
+	before, _ := pylang.Parse("x = 1\n")
+	after, _ := pylang.Parse("def x():\n    pass\n")
+	if renames := Diff(before, after); len(renames) != 0 {
+		t.Errorf("kind-mismatched trees produced renames: %v", renames)
+	}
+}
+
+func TestNilSafe(t *testing.T) {
+	if renames := Diff(nil, nil); renames != nil {
+		t.Error("nil trees should produce no renames")
+	}
+	root := ast.NewNode(ast.Module)
+	if renames := Diff(root, nil); renames != nil {
+		t.Error("nil after should produce no renames")
+	}
+}
