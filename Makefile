@@ -1,0 +1,28 @@
+# Tier-1 verification and developer shortcuts. `make tier1` is the gate
+# every PR must keep green; it race-checks the concurrent pipeline stages
+# (file processing, sharded mining, parallel scan) on top of the plain
+# build-and-test cycle.
+
+GO ?= go
+
+.PHONY: tier1 build vet test race bench
+
+tier1: build vet race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Benchmarks of the parallel pipeline: compare the serial reference path
+# against the all-CPU path (BenchmarkScan, BenchmarkPruneUncommon,
+# BenchmarkMinePatterns show the speedup on multi-core runners).
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkScan$$|BenchmarkPruneUncommon|BenchmarkMinePatterns' -benchmem .

@@ -21,8 +21,10 @@ import (
 	"namer/internal/fptree"
 	"namer/internal/golang"
 	"namer/internal/javalang"
+	"namer/internal/mining"
 	"namer/internal/ml"
 	"namer/internal/namepath"
+	"namer/internal/pattern"
 	"namer/internal/pointsto"
 	"namer/internal/pylang"
 	"namer/internal/subtoken"
@@ -234,6 +236,83 @@ func BenchmarkMinePatterns(b *testing.B) {
 		if len(sys.Patterns) == 0 {
 			b.Fatal("no patterns")
 		}
+	}
+}
+
+// benchCorpusFiles materializes the bench corpus as input files.
+func benchCorpusFiles(c *corpus.Corpus) []*core.InputFile {
+	var files []*core.InputFile
+	for _, r := range c.Repos {
+		for _, f := range r.Files {
+			files = append(files, &core.InputFile{Repo: r.Name, Path: f.Path, Source: f.Source, Root: f.Root})
+		}
+	}
+	return files
+}
+
+// benchScanVariants names the serial reference path and the all-CPU
+// parallel path; the outputs are asserted byte-identical by
+// core.TestParallelPipelineMatchesSerial, so these benches measure pure
+// speedup.
+var benchScanVariants = []struct {
+	name        string
+	parallelism int
+}{
+	{"serial", 1},
+	{"parallel", 0},
+}
+
+// --- Scan & PruneUncommon: the corpus-scale hot paths ---
+
+func BenchmarkScan(b *testing.B) {
+	opts := benchOptions(ast.Python)
+	c := corpus.Generate(opts.Corpus)
+	files := benchCorpusFiles(c)
+	for _, v := range benchScanVariants {
+		cfg := opts.System
+		cfg.Parallelism = v.parallelism
+		sys := core.NewSystem(cfg)
+		sys.MinePairs(c.Commits)
+		sys.ProcessFiles(files)
+		sys.MinePatterns()
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if vs := sys.Scan(); len(vs) == 0 {
+					b.Fatal("no violations")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPruneUncommon(b *testing.B) {
+	opts := benchOptions(ast.Python)
+	c := corpus.Generate(opts.Corpus)
+	files := benchCorpusFiles(c)
+	sys := core.NewSystem(opts.System)
+	sys.MinePairs(c.Commits)
+	sys.ProcessFiles(files)
+	// Recover an unpruned candidate set by mining with a ratio low enough
+	// that PruneUncommon keeps everything.
+	mcfg := opts.System.Mining
+	mcfg.MinSatisfactionRatio = 1e-9
+	var stmts []*pattern.Statement
+	for _, ps := range sys.Stmts {
+		stmts = append(stmts, ps.PS)
+	}
+	candidates := mining.MinePatterns(stmts, pattern.Consistency, nil, mcfg)
+	if len(candidates) == 0 {
+		b.Fatal("no candidate patterns")
+	}
+	for _, v := range benchScanVariants {
+		workers := v.parallelism
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if out := mining.PruneUncommon(candidates, stmts, 0.8, workers); len(out) == 0 {
+					b.Fatal("all candidates pruned")
+				}
+			}
+		})
 	}
 }
 

@@ -25,6 +25,8 @@ func main() {
 		"FP-tree support threshold (0 = scale with corpus size)")
 	minPairCount := flag.Int("min-pair-count", 3, "confusing-pair support threshold")
 	noAnalysis := flag.Bool("no-analysis", false, "disable the points-to analyses (the w/o A ablation)")
+	parallelism := flag.Int("parallelism", 0,
+		"worker count for file processing and mining (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 
 	l, err := parseLang(*lang)
@@ -42,6 +44,7 @@ func main() {
 	cfg := core.DefaultConfig(l)
 	cfg.UseAnalysis = !*noAnalysis
 	cfg.MinPairCount = *minPairCount
+	cfg.Parallelism = *parallelism
 	if *minPatternCount > 0 {
 		cfg.Mining.MinPatternCount = *minPatternCount
 	} else {

@@ -25,6 +25,8 @@ func main() {
 	knowledge := flag.String("knowledge", "knowledge.json", "knowledge file from namer-mine/namer-train")
 	all := flag.Bool("all", false, "report every violation, bypassing the classifier (the w/o C ablation)")
 	fix := flag.Bool("fix", false, "rewrite the reported identifiers in place")
+	parallelism := flag.Int("parallelism", 0,
+		"worker count for file processing and scanning (0 = all CPUs, 1 = serial)")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: namer [-lang python|java] [-knowledge file] [-all] path...")
@@ -35,7 +37,9 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	sys := core.NewSystem(core.DefaultConfig(l))
+	cfg := core.DefaultConfig(l)
+	cfg.Parallelism = *parallelism
+	sys := core.NewSystem(cfg)
 	if err := sys.LoadKnowledge(*knowledge); err != nil {
 		fatal(fmt.Errorf("loading knowledge: %w (run namer-mine first)", err))
 	}

@@ -10,11 +10,8 @@
 package core
 
 import (
-	"runtime"
-	"sort"
 	"strconv"
 	"strings"
-	"sync"
 
 	"namer/internal/ast"
 	"namer/internal/astplus"
@@ -23,6 +20,7 @@ import (
 	"namer/internal/mining"
 	"namer/internal/ml"
 	"namer/internal/namepath"
+	"namer/internal/parallel"
 	"namer/internal/pattern"
 	"namer/internal/pointsto"
 )
@@ -41,6 +39,11 @@ type Config struct {
 	MinPairCount int
 	// Seed drives classifier training.
 	Seed int64
+	// Parallelism is the worker count for the corpus-scale stages (file
+	// processing, mining, and the violation scan): 0 uses every CPU, 1
+	// forces the serial reference path. Outputs are byte-identical at any
+	// setting. Mining.Parallelism, when zero, inherits this value.
+	Parallelism int
 }
 
 // DefaultConfig mirrors §5.1 with corpus-scale mining thresholds.
@@ -114,22 +117,15 @@ func (s *System) MinePairs(commits []confusion.Commit) {
 }
 
 // ProcessFiles runs the per-file front end (analysis, transformation, name
-// path extraction) in parallel across files, in deterministic output
-// order, and records statement statistics for features 2-3.
+// path extraction) on a fixed pool of Parallelism workers (not one
+// goroutine per file, which bursts unboundedly on large corpora), then
+// appends results in deterministic input order and records statement
+// statistics for features 2-3.
 func (s *System) ProcessFiles(files []*InputFile) {
 	results := make([][]*ProcStmt, len(files))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.NumCPU())
-	for i, f := range files {
-		wg.Add(1)
-		go func(i int, f *InputFile) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			results[i] = s.ProcessFile(f)
-		}(i, f)
-	}
-	wg.Wait()
+	parallel.ForEach(len(files), parallel.Degree(s.cfg.Parallelism), func(i int) {
+		results[i] = s.ProcessFile(files[i])
+	})
 	for _, stmts := range results {
 		for _, ps := range stmts {
 			s.Stmts = append(s.Stmts, ps)
@@ -175,8 +171,12 @@ func (s *System) MinePatterns() {
 	for i, ps := range s.Stmts {
 		stmts[i] = ps.PS
 	}
-	cons := mining.MinePatterns(stmts, pattern.Consistency, nil, s.cfg.Mining)
-	conf := mining.MinePatterns(stmts, pattern.ConfusingWord, s.Pairs, s.cfg.Mining)
+	mcfg := s.cfg.Mining
+	if mcfg.Parallelism == 0 {
+		mcfg.Parallelism = s.cfg.Parallelism
+	}
+	cons := mining.MinePatterns(stmts, pattern.Consistency, nil, mcfg)
+	conf := mining.MinePatterns(stmts, pattern.ConfusingWord, s.Pairs, mcfg)
 	s.Patterns = append(cons, conf...)
 	s.index = mining.NewIndex(s.Patterns)
 }
@@ -184,26 +184,47 @@ func (s *System) MinePatterns() {
 // Scan matches every statement against the mined patterns, populating the
 // statistics index (features 4-12) and returning all violations in
 // deterministic order.
+//
+// The statement list is split into contiguous shards, one worker per
+// shard; each shard accumulates violations and pattern observations into
+// private storage (no locks on the match loop), and the per-shard results
+// are folded into the output and s.StatsIx in shard order. Concatenating
+// in-order shards reproduces the serial violation order exactly, and the
+// statistics merge is additive, so Scan is deterministic at any
+// Parallelism.
 func (s *System) Scan() []*Violation {
-	var out []*Violation
-	for _, ps := range s.Stmts {
-		cands := s.index.Candidates(ps.PS)
-		sort.Slice(cands, func(i, j int) bool { return cands[i].Key() < cands[j].Key() })
-		for _, p := range cands {
-			if !ps.PS.Matches(p) {
-				continue
+	type shardOut struct {
+		violations []*Violation
+		stats      *features.Index
+	}
+	shards := parallel.Shards(len(s.Stmts), parallel.Degree(s.cfg.Parallelism))
+	outs := make([]shardOut, len(shards))
+	parallel.ForEach(len(shards), len(shards), func(shard int) {
+		stats := features.NewIndex()
+		var vs []*Violation
+		for _, ps := range s.Stmts[shards[shard].Lo:shards[shard].Hi] {
+			for _, p := range s.index.Candidates(ps.PS) {
+				if !ps.PS.Matches(p) {
+					continue
+				}
+				satisfied := ps.PS.Satisfied(p)
+				stats.AddObservation(ps.Repo, ps.Path, p, satisfied)
+				if satisfied {
+					continue
+				}
+				detail, ok := ps.PS.Explain(p)
+				if !ok {
+					continue
+				}
+				vs = append(vs, &Violation{Stmt: ps, Pattern: p, Detail: detail})
 			}
-			satisfied := ps.PS.Satisfied(p)
-			s.StatsIx.AddObservation(ps.Repo, ps.Path, p, satisfied)
-			if satisfied {
-				continue
-			}
-			detail, ok := ps.PS.Explain(p)
-			if !ok {
-				continue
-			}
-			out = append(out, &Violation{Stmt: ps, Pattern: p, Detail: detail})
 		}
+		outs[shard] = shardOut{violations: vs, stats: stats}
+	})
+	var out []*Violation
+	for _, o := range outs {
+		out = append(out, o.violations...)
+		s.StatsIx.Merge(o.stats)
 	}
 	return out
 }

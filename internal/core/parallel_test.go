@@ -1,0 +1,63 @@
+package core
+
+import (
+	"testing"
+
+	"namer/internal/ast"
+)
+
+// The parallel pipeline (worker-pool file processing, sharded mining,
+// sharded scan with per-shard statistics) must be byte-identical to the
+// serial reference path: same patterns in the same order, same violations
+// in the same order, and the same feature vectors (which read the merged
+// statistics index).
+func TestParallelPipelineMatchesSerial(t *testing.T) {
+	ccfg := smallCorpusConfig(ast.Python)
+	serialCfg := smallSystemConfig(ast.Python)
+	serialCfg.Parallelism = 1
+	parallelCfg := smallSystemConfig(ast.Python)
+	parallelCfg.Parallelism = 8
+
+	serialSys, _, serialVs := buildSystem(t, ast.Python, serialCfg, ccfg)
+	parSys, _, parVs := buildSystem(t, ast.Python, parallelCfg, ccfg)
+
+	if len(serialSys.Patterns) == 0 {
+		t.Fatal("no patterns mined, nothing compared")
+	}
+	if len(serialSys.Patterns) != len(parSys.Patterns) {
+		t.Fatalf("pattern counts differ: serial %d, parallel %d",
+			len(serialSys.Patterns), len(parSys.Patterns))
+	}
+	for i := range serialSys.Patterns {
+		if serialSys.Patterns[i].Key() != parSys.Patterns[i].Key() {
+			t.Fatalf("pattern %d differs:\n serial   %s\n parallel %s",
+				i, serialSys.Patterns[i].Key(), parSys.Patterns[i].Key())
+		}
+	}
+
+	if len(serialVs) == 0 {
+		t.Fatal("no violations found, nothing compared")
+	}
+	if len(serialVs) != len(parVs) {
+		t.Fatalf("violation counts differ: serial %d, parallel %d", len(serialVs), len(parVs))
+	}
+	for i := range serialVs {
+		sv, pv := serialVs[i], parVs[i]
+		if sv.Stmt.Repo != pv.Stmt.Repo || sv.Stmt.Path != pv.Stmt.Path ||
+			sv.Stmt.Line != pv.Stmt.Line ||
+			sv.Pattern.Key() != pv.Pattern.Key() ||
+			sv.Detail.Original != pv.Detail.Original ||
+			sv.Detail.Suggested != pv.Detail.Suggested {
+			t.Fatalf("violation %d differs:\n serial   %s\n parallel %s",
+				i, sv.Report(), pv.Report())
+		}
+		sf := serialSys.FeatureVector(sv)
+		pf := parSys.FeatureVector(pv)
+		for j := range sf {
+			if sf[j] != pf[j] {
+				t.Fatalf("violation %d feature %d differs: serial %v, parallel %v",
+					i, j, sf[j], pf[j])
+			}
+		}
+	}
+}

@@ -120,6 +120,49 @@ func statsFor(m map[string]map[string]*PatternStats, outer, key string) *Pattern
 	return st
 }
 
+// Merge folds another index's counts into ix. The scan pipeline gives each
+// statement shard a private Index (no locks on the hot path) and merges
+// them shard-by-shard afterwards; all counts are additive, so the merged
+// totals equal a serial pass regardless of shard boundaries.
+func (ix *Index) Merge(other *Index) {
+	for outer, mm := range other.fileStmts {
+		for inner, n := range mm {
+			bumpN(ix.fileStmts, outer, inner, n)
+		}
+	}
+	for outer, mm := range other.repoStmts {
+		for inner, n := range mm {
+			bumpN(ix.repoStmts, outer, inner, n)
+		}
+	}
+	mergePatternLevel(ix.filePat, other.filePat)
+	mergePatternLevel(ix.repoPat, other.repoPat)
+	for k, st := range other.dataPat {
+		dst := ix.dataStats(k)
+		dst.Matches += st.Matches
+		dst.Satisfactions += st.Satisfactions
+	}
+}
+
+func bumpN(m map[string]map[string]int, outer, inner string, n int) {
+	mm, ok := m[outer]
+	if !ok {
+		mm = make(map[string]int)
+		m[outer] = mm
+	}
+	mm[inner] += n
+}
+
+func mergePatternLevel(dst, src map[string]map[string]*PatternStats) {
+	for outer, mm := range src {
+		for key, st := range mm {
+			d := statsFor(dst, outer, key)
+			d.Matches += st.Matches
+			d.Satisfactions += st.Satisfactions
+		}
+	}
+}
+
 func (ix *Index) dataStats(key string) *PatternStats {
 	st, ok := ix.dataPat[key]
 	if !ok {

@@ -18,6 +18,7 @@ type Node struct {
 	Count    int
 	IsLast   bool
 	children map[int]*Node
+	sorted   []*Node // item-ordered child cache, invalidated by Update
 }
 
 // New returns an empty tree.
@@ -38,6 +39,7 @@ func (t *Tree) Update(items []int) {
 		if !ok {
 			c = &Node{Item: it, children: make(map[int]*Node)}
 			n.children[it] = c
+			n.sorted = nil // new child invalidates the ordered cache
 			t.size++
 		}
 		c.Count++
@@ -50,13 +52,19 @@ func (t *Tree) Update(items []int) {
 func (t *Tree) Size() int { return t.size }
 
 // Children returns the node's children ordered by item id, for
-// deterministic traversal.
+// deterministic traversal. The ordering is computed once and cached until
+// the next Update adds a child under this node, so repeated Walks (pattern
+// generation visits every node) do not re-sort the tree.
 func (n *Node) Children() []*Node {
+	if n.sorted != nil && len(n.sorted) == len(n.children) {
+		return n.sorted
+	}
 	out := make([]*Node, 0, len(n.children))
 	for _, c := range n.children {
 		out = append(out, c)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Item < out[j].Item })
+	n.sorted = out
 	return out
 }
 

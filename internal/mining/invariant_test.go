@@ -1,6 +1,7 @@
 package mining
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -74,6 +75,72 @@ func TestMinedPatternInvariants(t *testing.T) {
 			if ratio := float64(satisfies) / float64(matches); ratio < cfg.MinSatisfactionRatio {
 				t.Errorf("%v: satisfaction ratio %.2f below %.2f for %s",
 					typ, ratio, cfg.MinSatisfactionRatio, p)
+			}
+		}
+	}
+}
+
+// Invariant: the parallel mining path (sharded pass-1 counting, fanned-out
+// candidate pruning) produces byte-identical patterns, in identical order,
+// to the serial reference path, for both pattern types.
+func TestParallelMiningMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	pairs := confusion.NewPairSet()
+	pairs.Add("True", "Equal")
+
+	// ~90% of statements use the correct word and consistent field names,
+	// so both pattern types survive the 0.6 satisfaction threshold.
+	var stmts []*pattern.Statement
+	for i := 0; i < 500; i++ {
+		w := "Equal"
+		if rng.Intn(10) == 0 {
+			w = "True"
+		}
+		name := fmt.Sprintf("field%d", rng.Intn(5))
+		value := name
+		if rng.Intn(10) == 0 {
+			value = "mismatch"
+		}
+		paths := []namepath.Path{
+			path("NameLoad", 0, "self"),
+			path("Attr", 0, name),
+			path("Value", 0, value),
+			path("Word", 0, w),
+		}
+		if rng.Intn(4) == 0 {
+			paths = paths[1:]
+		}
+		stmts = append(stmts, pattern.NewStatement(paths))
+	}
+
+	cfg := Config{
+		MinPathCount:           2,
+		MaxPathsPerStatement:   10,
+		MaxConditionPaths:      10,
+		MinPatternCount:        10,
+		MinSatisfactionRatio:   0.6,
+		MaxCombinationsPerNode: 16,
+	}
+	for _, typ := range []pattern.Type{pattern.ConfusingWord, pattern.Consistency} {
+		serialCfg, parallelCfg := cfg, cfg
+		serialCfg.Parallelism = 1
+		parallelCfg.Parallelism = 8
+		serial := MinePatterns(stmts, typ, pairs, serialCfg)
+		par := MinePatterns(stmts, typ, pairs, parallelCfg)
+		if len(serial) != len(par) {
+			t.Fatalf("%v: pattern counts differ: serial %d, parallel %d", typ, len(serial), len(par))
+		}
+		if len(serial) == 0 {
+			t.Fatalf("%v: no patterns mined, nothing compared", typ)
+		}
+		for i := range serial {
+			s, p := serial[i], par[i]
+			if s.Key() != p.Key() {
+				t.Errorf("%v: pattern %d keys differ:\n serial   %s\n parallel %s", typ, i, s.Key(), p.Key())
+			}
+			if s.Count != p.Count || s.MatchCount != p.MatchCount || s.SatisfyCount != p.SatisfyCount {
+				t.Errorf("%v: pattern %d stats differ: serial %d/%d/%d, parallel %d/%d/%d",
+					typ, i, s.Count, s.MatchCount, s.SatisfyCount, p.Count, p.MatchCount, p.SatisfyCount)
 			}
 		}
 	}

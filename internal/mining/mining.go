@@ -11,6 +11,7 @@ import (
 	"namer/internal/confusion"
 	"namer/internal/fptree"
 	"namer/internal/namepath"
+	"namer/internal/parallel"
 	"namer/internal/pattern"
 )
 
@@ -32,6 +33,11 @@ type Config struct {
 	// MaxCombinationsPerNode caps how many condition subsets are emitted
 	// per isLast node; 1 emits only the full ancestor condition.
 	MaxCombinationsPerNode int
+	// Parallelism is the worker count for the sharded mining stages
+	// (pass-1 path counting and candidate pruning): 0 uses every CPU, 1
+	// forces the serial reference path. Outputs are byte-identical at any
+	// setting.
+	Parallelism int
 }
 
 // DefaultConfig returns the paper's hyperparameters with a pattern count
@@ -60,13 +66,12 @@ func MinePatterns(stmts []*pattern.Statement, t pattern.Type,
 		cfg.MinSatisfactionRatio = 0.8
 	}
 
-	// Pass 1: path frequencies across the dataset.
-	freq := make(map[string]int)
-	for _, s := range stmts {
-		for _, p := range s.Paths {
-			freq[p.Key()]++
-		}
-	}
+	workers := parallel.Degree(cfg.Parallelism)
+
+	// Pass 1: path frequencies across the dataset, counted on per-shard
+	// maps and summed shard-by-shard. Addition commutes, so the merged
+	// counts are identical to a serial pass regardless of scheduling.
+	freq := countPathFrequencies(stmts, workers)
 
 	// Pass 2: grow the FP tree (Algorithm 1, lines 4-7).
 	in := namepath.NewInterner()
@@ -149,28 +154,74 @@ func MinePatterns(stmts []*pattern.Statement, t pattern.Type,
 	}
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Key() < candidates[j].Key() })
 
-	return PruneUncommon(candidates, stmts, cfg.MinSatisfactionRatio)
+	return PruneUncommon(candidates, stmts, cfg.MinSatisfactionRatio, workers)
+}
+
+// countPathFrequencies is the sharded pass 1 of Algorithm 1: each worker
+// counts path occurrences over a contiguous statement range into a private
+// map, and the per-shard maps are folded together in shard order.
+func countPathFrequencies(stmts []*pattern.Statement, workers int) map[string]int {
+	shards := parallel.Shards(len(stmts), workers)
+	if len(shards) <= 1 {
+		freq := make(map[string]int)
+		for _, s := range stmts {
+			for _, p := range s.Paths {
+				freq[p.Key()]++
+			}
+		}
+		return freq
+	}
+	parts := make([]map[string]int, len(shards))
+	parallel.ForEachShard(len(stmts), workers, func(shard, lo, hi int) {
+		local := make(map[string]int)
+		for _, s := range stmts[lo:hi] {
+			for _, p := range s.Paths {
+				local[p.Key()]++
+			}
+		}
+		parts[shard] = local
+	})
+	freq := parts[0]
+	for _, part := range parts[1:] {
+		for k, n := range part {
+			freq[k] += n
+		}
+	}
+	return freq
 }
 
 // PruneUncommon implements Algorithm 1 line 9: counts matches and
 // satisfactions for every candidate over the dataset and keeps patterns
 // whose satisfaction/match ratio is at least minRatio. Match and satisfy
 // counts are recorded on the surviving patterns (features 6 and 12).
+//
+// Candidates are independent of each other, so the counting fans out
+// across `workers` goroutines (0 = all CPUs, 1 = serial); each worker
+// writes only its own candidate's slot and pattern, and the final filter
+// runs serially in candidate order, so output is identical at any degree.
 func PruneUncommon(candidates []*pattern.Pattern, stmts []*pattern.Statement,
-	minRatio float64) []*pattern.Pattern {
+	minRatio float64, workers int) []*pattern.Pattern {
 
-	idx := newStmtIndex(stmts)
-	var out []*pattern.Pattern
 	for _, p := range candidates {
-		matches, satisfies := 0, 0
+		p.Key() // warm the identity caches before sharing across workers
+	}
+	idx := newStmtIndex(stmts)
+	type stat struct{ matches, satisfies int }
+	stats := make([]stat, len(candidates))
+	parallel.ForEach(len(candidates), parallel.Degree(workers), func(i int) {
+		p := candidates[i]
 		for _, s := range idx.candidates(p) {
 			if s.Matches(p) {
-				matches++
+				stats[i].matches++
 				if s.Satisfied(p) {
-					satisfies++
+					stats[i].satisfies++
 				}
 			}
 		}
+	})
+	var out []*pattern.Pattern
+	for i, p := range candidates {
+		matches, satisfies := stats[i].matches, stats[i].satisfies
 		if matches == 0 {
 			continue
 		}
@@ -321,29 +372,47 @@ func (idx *stmtIndex) candidates(p *pattern.Pattern) []*pattern.Statement {
 
 // Index provides fast candidate-pattern lookup per statement for the
 // violation scan at inference time: a pattern can only match a statement
-// that contains its deduction prefixes.
+// that contains its deduction prefixes. Building the index assigns every
+// pattern a dense rank in ascending Key order and pre-sorts each prefix
+// bucket by that rank, so Candidates returns a deterministically ordered
+// list without any string comparisons on the scan's per-statement path.
+// A built Index is immutable and safe for concurrent readers.
 type Index struct {
-	byPrefix map[string][]*pattern.Pattern
+	byPrefix map[string][]rankedPattern
 }
 
-// NewIndex indexes patterns by their first deduction prefix key.
+type rankedPattern struct {
+	rank int
+	pat  *pattern.Pattern
+}
+
+// NewIndex indexes patterns by their first deduction prefix key. It also
+// warms every pattern's Key cache, so the patterns can subsequently be
+// shared across scan workers without synchronization.
 func NewIndex(patterns []*pattern.Pattern) *Index {
-	idx := &Index{byPrefix: make(map[string][]*pattern.Pattern)}
-	for _, p := range patterns {
+	ordered := make([]*pattern.Pattern, len(patterns))
+	copy(ordered, patterns)
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].Key() < ordered[j].Key() })
+	idx := &Index{byPrefix: make(map[string][]rankedPattern)}
+	for rank, p := range ordered {
 		if len(p.Deduction) == 0 {
 			continue
 		}
 		k := p.Deduction[0].PrefixKey()
-		idx.byPrefix[k] = append(idx.byPrefix[k], p)
+		idx.byPrefix[k] = append(idx.byPrefix[k], rankedPattern{rank: rank, pat: p})
 	}
+	// Buckets are filled in ascending rank order already (the loop runs
+	// over the rank-sorted slice), so each bucket is sorted by construction.
 	return idx
 }
 
 // Candidates returns the patterns whose deduction prefix occurs in the
-// statement, without duplicates.
+// statement, without duplicates, in ascending pattern-Key order. Each
+// pattern lives in exactly one prefix bucket, so deduplication only has to
+// skip repeated statement prefixes; the final ordering is a cheap integer
+// sort over the pre-ranked buckets.
 func (idx *Index) Candidates(s *pattern.Statement) []*pattern.Pattern {
-	var out []*pattern.Pattern
-	seen := map[*pattern.Pattern]bool{}
+	var ranked []rankedPattern
 	prefixSeen := map[string]bool{}
 	for _, p := range s.Paths {
 		pk := p.PrefixKey()
@@ -351,12 +420,12 @@ func (idx *Index) Candidates(s *pattern.Statement) []*pattern.Pattern {
 			continue
 		}
 		prefixSeen[pk] = true
-		for _, pat := range idx.byPrefix[pk] {
-			if !seen[pat] {
-				seen[pat] = true
-				out = append(out, pat)
-			}
-		}
+		ranked = append(ranked, idx.byPrefix[pk]...)
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].rank < ranked[j].rank })
+	out := make([]*pattern.Pattern, len(ranked))
+	for i, rp := range ranked {
+		out[i] = rp.pat
 	}
 	return out
 }

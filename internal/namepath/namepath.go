@@ -23,11 +23,24 @@ type Elem struct {
 	Index int
 }
 
+// pathMemo caches the canonical encodings of a path. It is written once at
+// construction time and read-only afterwards, so memoized paths can be
+// shared freely across goroutines.
+type pathMemo struct {
+	prefixKey string
+	key       string
+}
+
 // Path is a name path ⟨S, n⟩: Prefix is S, End is n (Epsilon when
 // symbolic).
 type Path struct {
 	Prefix []Elem
 	End    string
+
+	// memo holds the precomputed PrefixKey/Key. Paths built by Extract,
+	// ParsePath, and WithEnd carry it; zero-value paths compute keys on
+	// demand.
+	memo *pathMemo
 }
 
 // Same implements the ~ operator of Definition 3.4: true iff the prefixes
@@ -56,16 +69,31 @@ func (p Path) Eq(q Path) bool {
 // Symbolic reports whether the end node is ϵ.
 func (p Path) Symbolic() bool { return p.End == Epsilon }
 
-// WithEnd returns a copy of p with the given end node.
+// WithEnd returns a copy of p with the given end node, preserving (and
+// adjusting) the key memo when present.
 func (p Path) WithEnd(end string) Path {
-	return Path{Prefix: p.Prefix, End: end}
+	q := Path{Prefix: p.Prefix, End: end}
+	if p.memo != nil {
+		q.memo = &pathMemo{prefixKey: p.memo.prefixKey, key: fullKey(p.memo.prefixKey, end)}
+	}
+	return q
 }
 
-// PrefixKey returns a canonical encoding of the prefix, used to group and
-// compare paths cheaply.
-func (p Path) PrefixKey() string {
+// Memoized returns p with its canonical encodings precomputed, so that
+// subsequent PrefixKey/Key calls are constant-time map-key reads. It is
+// idempotent and the memo is immutable, making memoized paths safe to
+// share across goroutines.
+func (p Path) Memoized() Path {
+	if p.memo == nil {
+		pk := computePrefixKey(p.Prefix)
+		p.memo = &pathMemo{prefixKey: pk, key: fullKey(pk, p.End)}
+	}
+	return p
+}
+
+func computePrefixKey(prefix []Elem) string {
 	var b strings.Builder
-	for i, e := range p.Prefix {
+	for i, e := range prefix {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
@@ -76,13 +104,29 @@ func (p Path) PrefixKey() string {
 	return b.String()
 }
 
+func fullKey(prefixKey, end string) string {
+	if end == Epsilon {
+		return prefixKey + " ε"
+	}
+	return prefixKey + " " + end
+}
+
+// PrefixKey returns a canonical encoding of the prefix, used to group and
+// compare paths cheaply.
+func (p Path) PrefixKey() string {
+	if p.memo != nil {
+		return p.memo.prefixKey
+	}
+	return computePrefixKey(p.Prefix)
+}
+
 // Key returns a canonical encoding of the full path (prefix and end). Two
 // paths are identical iff their keys are equal.
 func (p Path) Key() string {
-	if p.End == Epsilon {
-		return p.PrefixKey() + " ε"
+	if p.memo != nil {
+		return p.memo.key
 	}
-	return p.PrefixKey() + " " + p.End
+	return fullKey(p.PrefixKey(), p.End)
 }
 
 // String renders the path in the paper's notation.
@@ -101,6 +145,10 @@ func (p Path) String() string {
 func Extract(root *ast.Node, limit int) []Path {
 	var out []Path
 	var prefix []Elem
+	// The canonical prefix encoding is grown incrementally alongside the
+	// walk, so every emitted path carries its PrefixKey/Key memo without a
+	// per-path re-encoding of the whole prefix.
+	var keyBuf []byte
 	var walk func(n *ast.Node)
 	walk = func(n *ast.Node) {
 		if limit > 0 && len(out) >= limit {
@@ -108,14 +156,27 @@ func Extract(root *ast.Node, limit int) []Path {
 		}
 		if n.IsTerminal() {
 			if n.Kind == ast.Subtoken {
-				p := Path{Prefix: append([]Elem(nil), prefix...), End: n.Value}
+				pk := string(keyBuf)
+				p := Path{
+					Prefix: append([]Elem(nil), prefix...),
+					End:    n.Value,
+					memo:   &pathMemo{prefixKey: pk, key: fullKey(pk, n.Value)},
+				}
 				out = append(out, p)
 			}
 			return
 		}
 		for i, c := range n.Children {
 			prefix = append(prefix, Elem{Value: n.Value, Index: i})
+			mark := len(keyBuf)
+			if mark > 0 {
+				keyBuf = append(keyBuf, ' ')
+			}
+			keyBuf = append(keyBuf, n.Value...)
+			keyBuf = append(keyBuf, ' ')
+			keyBuf = strconv.AppendInt(keyBuf, int64(i), 10)
 			walk(c)
+			keyBuf = keyBuf[:mark]
 			prefix = prefix[:len(prefix)-1]
 		}
 	}
@@ -162,7 +223,7 @@ func ParsePath(s string) (Path, bool) {
 		end = Epsilon
 	}
 	p.End = end
-	return p, true
+	return p.Memoized(), true
 }
 
 // Interner assigns dense integer ids to paths so the FP-tree can store

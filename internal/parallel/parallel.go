@@ -1,0 +1,96 @@
+// Package parallel provides the worker-pool and sharding primitives shared
+// by the corpus-scale stages of the pipeline (file processing, pass-1 path
+// counting, candidate pruning, and the violation scan). All helpers take an
+// explicit worker count so callers can force the serial reference path
+// (workers = 1) when asserting determinism against the parallel one.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Degree resolves a Parallelism configuration knob: values <= 0 mean "use
+// every CPU" (runtime.NumCPU), 1 forces the serial reference path, and any
+// other value is taken literally.
+func Degree(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// ForEach runs fn(i) for every i in [0, n) on a fixed pool of at most
+// `workers` goroutines pulling indices from a channel. It never spawns more
+// goroutines than items. workers <= 1 runs inline with no goroutines at
+// all, which is the serial reference path.
+func ForEach(n, workers int, fn func(i int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	idx := make(chan int, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// Shard is a contiguous index range [Lo, Hi).
+type Shard struct {
+	Lo, Hi int
+}
+
+// Shards splits n items into at most `workers` contiguous, near-equal
+// ranges covering [0, n) in order. It returns nil when n == 0.
+func Shards(n, workers int) []Shard {
+	if n <= 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	out := make([]Shard, 0, workers)
+	base, rem := n/workers, n%workers
+	lo := 0
+	for s := 0; s < workers; s++ {
+		size := base
+		if s < rem {
+			size++
+		}
+		out = append(out, Shard{Lo: lo, Hi: lo + size})
+		lo += size
+	}
+	return out
+}
+
+// ForEachShard partitions [0, n) into Shards(n, workers) and runs
+// fn(shard, lo, hi) for each range, one goroutine per shard. Shard indices
+// identify the range's position so callers can merge per-shard results in
+// deterministic order afterwards.
+func ForEachShard(n, workers int, fn func(shard, lo, hi int)) int {
+	shards := Shards(n, workers)
+	ForEach(len(shards), workers, func(s int) {
+		fn(s, shards[s].Lo, shards[s].Hi)
+	})
+	return len(shards)
+}

@@ -1,0 +1,81 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestDegree(t *testing.T) {
+	if Degree(1) != 1 || Degree(7) != 7 {
+		t.Error("explicit degrees must pass through")
+	}
+	if Degree(0) < 1 || Degree(-3) < 1 {
+		t.Error("auto degree must be at least 1")
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		var hits [57]int32
+		ForEach(len(hits), workers, func(i int) {
+			atomic.AddInt32(&hits[i], 1)
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+	ran := false
+	ForEach(0, 4, func(int) { ran = true })
+	if ran {
+		t.Error("ForEach over zero items must not call fn")
+	}
+}
+
+func TestShardsPartition(t *testing.T) {
+	for _, tc := range []struct{ n, workers int }{
+		{0, 4}, {1, 4}, {4, 4}, {5, 4}, {100, 7}, {3, 1},
+	} {
+		shards := Shards(tc.n, tc.workers)
+		if tc.n == 0 {
+			if shards != nil {
+				t.Errorf("n=0: want nil shards, got %v", shards)
+			}
+			continue
+		}
+		if len(shards) > tc.workers || len(shards) > tc.n {
+			t.Errorf("n=%d workers=%d: %d shards", tc.n, tc.workers, len(shards))
+		}
+		lo := 0
+		for _, s := range shards {
+			if s.Lo != lo || s.Hi <= s.Lo {
+				t.Fatalf("n=%d workers=%d: bad shard %+v at lo=%d", tc.n, tc.workers, s, lo)
+			}
+			lo = s.Hi
+		}
+		if lo != tc.n {
+			t.Errorf("n=%d workers=%d: shards cover [0,%d)", tc.n, tc.workers, lo)
+		}
+	}
+}
+
+func TestForEachShardOrderableMerge(t *testing.T) {
+	n := 103
+	sums := make([]int, 8)
+	got := ForEachShard(n, 8, func(shard, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			sums[shard] += i
+		}
+	})
+	if got != len(Shards(n, 8)) {
+		t.Fatalf("shard count mismatch")
+	}
+	total := 0
+	for _, s := range sums {
+		total += s
+	}
+	if want := n * (n - 1) / 2; total != want {
+		t.Errorf("sum = %d, want %d", total, want)
+	}
+}

@@ -70,5 +70,7 @@ func (p *Pattern) UnmarshalJSON(data []byte) error {
 	if !p.Valid() {
 		return fmt.Errorf("pattern: deserialized pattern is invalid")
 	}
+	p.key = ""
+	p.Key() // warm the identity cache before the pattern is shared
 	return nil
 }

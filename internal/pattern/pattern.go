@@ -47,10 +47,25 @@ type Pattern struct {
 	MatchCount    int
 	SatisfyCount  int
 	ViolationHits int
+
+	// key caches the canonical identity string. It is filled lazily by
+	// Key(); concurrent pipeline stages warm it from a single goroutine
+	// first (mining.NewIndex and PruneUncommon do this), after which reads
+	// are race-free.
+	key string
 }
 
-// Key returns a canonical identity string for the pattern.
+// Key returns a canonical identity string for the pattern. The first call
+// computes and caches it; call Key once from a single goroutine before
+// sharing the pattern across workers.
 func (p *Pattern) Key() string {
+	if p.key == "" {
+		p.key = p.computeKey()
+	}
+	return p.key
+}
+
+func (p *Pattern) computeKey() string {
 	var parts []string
 	for _, c := range p.Condition {
 		parts = append(parts, "C:"+c.Key())
