@@ -1,19 +1,25 @@
 # Tier-1 verification and developer shortcuts. `make tier1` is the gate
 # every PR must keep green; it race-checks the concurrent pipeline stages
-# (file processing, sharded mining, parallel scan) on top of the plain
-# build-and-test cycle.
+# (file processing, sharded mining and FP-tree construction, parallel scan)
+# and enforces gofmt cleanliness on top of the plain build-and-test cycle.
 
 GO ?= go
 
-.PHONY: tier1 build vet test race bench
+.PHONY: tier1 build vet fmt test race bench
 
-tier1: build vet race
+tier1: build vet fmt race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+fmt:
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -23,6 +29,9 @@ race:
 
 # Benchmarks of the parallel pipeline: compare the serial reference path
 # against the all-CPU path (BenchmarkScan, BenchmarkPruneUncommon,
-# BenchmarkMinePatterns show the speedup on multi-core runners).
+# BenchmarkMinePatterns show the speedup on multi-core runners), then
+# record the mining-stage numbers (ns/op, allocs/op, FP-tree node count)
+# into BENCH_mining.json so the perf trajectory is tracked per commit.
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkScan$$|BenchmarkPruneUncommon|BenchmarkMinePatterns' -benchmem .
+	BENCH_JSON=BENCH_mining.json $(GO) test -run 'TestWriteMiningBenchJSON$$' -count=1 -v .

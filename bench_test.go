@@ -7,8 +7,10 @@
 package namer
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -218,24 +220,27 @@ func BenchmarkAnalyzeFileJava(b *testing.B) {
 
 // --- §5.2/§5.3: mining statistics ---
 
+// BenchmarkMinePatterns measures the mining stage itself (pass-1 counting,
+// sharded FP-tree growth, pattern generation, pruning) over an already
+// processed corpus, for the serial reference path and the all-CPU path.
 func BenchmarkMinePatterns(b *testing.B) {
 	opts := benchOptions(ast.Python)
 	c := corpus.Generate(opts.Corpus)
-	var files []*core.InputFile
-	for _, r := range c.Repos {
-		for _, f := range r.Files {
-			files = append(files, &core.InputFile{Repo: r.Name, Path: f.Path, Source: f.Source, Root: f.Root})
-		}
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		sys := core.NewSystem(opts.System)
+	files := benchCorpusFiles(c)
+	for _, v := range benchScanVariants {
+		cfg := opts.System
+		cfg.Parallelism = v.parallelism
+		sys := core.NewSystem(cfg)
 		sys.MinePairs(c.Commits)
 		sys.ProcessFiles(files)
-		sys.MinePatterns()
-		if len(sys.Patterns) == 0 {
-			b.Fatal("no patterns")
-		}
+		b.Run(v.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys.MinePatterns()
+				if len(sys.Patterns) == 0 {
+					b.Fatal("no patterns")
+				}
+			}
+		})
 	}
 }
 
@@ -314,6 +319,88 @@ func BenchmarkPruneUncommon(b *testing.B) {
 			}
 		})
 	}
+}
+
+// --- BENCH_mining.json: the mining perf trajectory (make bench) ---
+
+// miningBenchRecord is one row of BENCH_mining.json.
+type miningBenchRecord struct {
+	Name         string `json:"name"`
+	NsPerOp      int64  `json:"ns_per_op"`
+	AllocsPerOp  int64  `json:"allocs_per_op"`
+	BytesPerOp   int64  `json:"bytes_per_op"`
+	TreeNodes    int    `json:"tree_nodes,omitempty"`
+	Transactions int    `json:"transactions,omitempty"`
+}
+
+type miningBenchFile struct {
+	CPUs    int                 `json:"cpus"`
+	Corpus  string              `json:"corpus"`
+	Results []miningBenchRecord `json:"results"`
+}
+
+// TestWriteMiningBenchJSON records the BenchmarkMinePatterns and
+// BenchmarkScan variants into the file named by BENCH_JSON (ns/op,
+// allocs/op, FP-tree node count), so the perf trajectory of the mining
+// pipeline is tracked commit over commit. `make bench` writes
+// BENCH_mining.json; without the env var the test is a no-op.
+func TestWriteMiningBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH_JSON")
+	if out == "" {
+		t.Skip("set BENCH_JSON=<file> to record mining benchmarks (make bench)")
+	}
+	opts := benchOptions(ast.Python)
+	c := corpus.Generate(opts.Corpus)
+	files := benchCorpusFiles(c)
+	file := miningBenchFile{
+		CPUs: runtime.NumCPU(),
+		Corpus: fmt.Sprintf("python synthetic, %d repos x %d files",
+			opts.Corpus.Repos, opts.Corpus.FilesPerRepo),
+	}
+	for _, v := range benchScanVariants {
+		cfg := opts.System
+		cfg.Parallelism = v.parallelism
+		sys := core.NewSystem(cfg)
+		sys.MinePairs(c.Commits)
+		sys.ProcessFiles(files)
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys.MinePatterns()
+			}
+		})
+		nodes, txs := 0, 0
+		for _, ms := range sys.MiningStats {
+			nodes += ms.TreeNodes
+			txs += ms.Transactions
+		}
+		file.Results = append(file.Results, miningBenchRecord{
+			Name:         "MinePatterns/" + v.name,
+			NsPerOp:      res.NsPerOp(),
+			AllocsPerOp:  res.AllocsPerOp(),
+			BytesPerOp:   res.AllocedBytesPerOp(),
+			TreeNodes:    nodes,
+			Transactions: txs,
+		})
+		scan := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sys.Scan()
+			}
+		})
+		file.Results = append(file.Results, miningBenchRecord{
+			Name:        "Scan/" + v.name,
+			NsPerOp:     scan.NsPerOp(),
+			AllocsPerOp: scan.AllocsPerOp(),
+			BytesPerOp:  scan.AllocedBytesPerOp(),
+		})
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s (%d results)", out, len(file.Results))
 }
 
 // --- §5.1/§5.2: cross-validation and model selection ---

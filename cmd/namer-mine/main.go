@@ -15,6 +15,7 @@ import (
 	"namer/internal/ast"
 	"namer/internal/core"
 	"namer/internal/corpus"
+	"namer/internal/prof"
 )
 
 func main() {
@@ -27,7 +28,15 @@ func main() {
 	noAnalysis := flag.Bool("no-analysis", false, "disable the points-to analyses (the w/o A ablation)")
 	parallelism := flag.Int("parallelism", 0,
 		"worker count for file processing and mining (0 = all CPUs, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
+
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	l, err := parseLang(*lang)
 	if err != nil {
@@ -72,6 +81,9 @@ func main() {
 	start = time.Now()
 	sys.MinePatterns()
 	fmt.Printf("mined %d name patterns in %v\n", len(sys.Patterns), time.Since(start).Round(time.Millisecond))
+	for _, ms := range sys.MiningStats {
+		fmt.Printf("  %v FP tree: %d nodes over %d transactions\n", ms.Type, ms.TreeNodes, ms.Transactions)
+	}
 
 	if err := sys.SaveKnowledge(*out); err != nil {
 		fatal(err)

@@ -18,6 +18,7 @@ import (
 	"namer/internal/ast"
 	"namer/internal/core"
 	"namer/internal/pointsto"
+	"namer/internal/prof"
 )
 
 func main() {
@@ -27,11 +28,18 @@ func main() {
 	fix := flag.Bool("fix", false, "rewrite the reported identifiers in place")
 	parallelism := flag.Int("parallelism", 0,
 		"worker count for file processing and scanning (0 = all CPUs, 1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	flag.Parse()
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: namer [-lang python|java] [-knowledge file] [-all] path...")
 		os.Exit(2)
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
 
 	l, err := parseLang(*lang)
 	if err != nil {

@@ -94,9 +94,20 @@ type System struct {
 	Patterns []*pattern.Pattern
 	Stmts    []*ProcStmt
 	StatsIx  *features.Index
+	// MiningStats records the FP-tree shape of each MinePatterns pass
+	// (one entry per pattern type), for the perf-tracking benchmarks and
+	// the cmd binaries' progress output.
+	MiningStats []MiningStat
 
 	classifier *ml.Pipeline
 	index      *mining.Index
+}
+
+// MiningStat is the FP-tree shape of one mining pass.
+type MiningStat struct {
+	Type         pattern.Type
+	TreeNodes    int
+	Transactions int
 }
 
 // NewSystem returns an empty system.
@@ -175,7 +186,16 @@ func (s *System) MinePatterns() {
 	if mcfg.Parallelism == 0 {
 		mcfg.Parallelism = s.cfg.Parallelism
 	}
+	s.MiningStats = s.MiningStats[:0]
+	record := func(typ pattern.Type) func(nodes, transactions int) {
+		return func(nodes, transactions int) {
+			s.MiningStats = append(s.MiningStats,
+				MiningStat{Type: typ, TreeNodes: nodes, Transactions: transactions})
+		}
+	}
+	mcfg.OnTreeBuilt = record(pattern.Consistency)
 	cons := mining.MinePatterns(stmts, pattern.Consistency, nil, mcfg)
+	mcfg.OnTreeBuilt = record(pattern.ConfusingWord)
 	conf := mining.MinePatterns(stmts, pattern.ConfusingWord, s.Pairs, mcfg)
 	s.Patterns = append(cons, conf...)
 	s.index = mining.NewIndex(s.Patterns)

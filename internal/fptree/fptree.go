@@ -2,28 +2,44 @@
 // pattern mining algorithm (§3.3, Fig. 3). Items are interned name path
 // ids; each tree node stores an occurrence count and an isLast flag marking
 // the end of at least one inserted transaction.
+//
+// Nodes live in a single arena ([]Node slab addressed by int32 ids) rather
+// than as individually allocated heap objects: children are item-sorted
+// index slices instead of per-node maps, so growing the tree costs one
+// amortized slab append per new node, traversal is cache-friendly, and the
+// per-node map overhead of the pointer-based layout is gone. Construction
+// can be sharded across workers by the first (highest-frequency) item of
+// each transaction — see BuildSharded — because transactions with distinct
+// first items occupy disjoint subtrees under the root.
 package fptree
 
-import "sort"
+import (
+	"fmt"
+	"sort"
+	"strings"
 
-// Tree is an FP tree over integer items.
+	"namer/internal/parallel"
+)
+
+// Tree is an FP tree over integer items. The zero value is not usable;
+// call New.
 type Tree struct {
-	Root *Node
-	size int
+	nodes []Node // nodes[0] is the root; children index into this slab
 }
 
-// Node is one FP-tree node.
+// Node is one FP-tree node, stored inline in the tree's arena. Node
+// pointers handed out by Walk/Child/Children are valid only until the next
+// insertion (the slab may move when it grows).
 type Node struct {
-	Item     int // -1 at the root
-	Count    int
+	Item     int32 // -1 at the root
+	Count    int32
 	IsLast   bool
-	children map[int]*Node
-	sorted   []*Node // item-ordered child cache, invalidated by Update
+	children []int32 // child node ids, ordered by the child's Item
 }
 
 // New returns an empty tree.
 func New() *Tree {
-	return &Tree{Root: &Node{Item: -1, children: make(map[int]*Node)}}
+	return &Tree{nodes: []Node{{Item: -1}}}
 }
 
 // Update inserts one transaction (a pre-sorted item list), incrementing
@@ -33,56 +49,242 @@ func (t *Tree) Update(items []int) {
 	if len(items) == 0 {
 		return
 	}
-	n := t.Root
+	cur := int32(0)
 	for _, it := range items {
-		c, ok := n.children[it]
-		if !ok {
-			c = &Node{Item: it, children: make(map[int]*Node)}
-			n.children[it] = c
-			n.sorted = nil // new child invalidates the ordered cache
-			t.size++
-		}
-		c.Count++
-		n = c
+		cur = t.ensureChild(cur, int32(it))
+		t.nodes[cur].Count++
 	}
-	n.IsLast = true
+	t.nodes[cur].IsLast = true
+}
+
+// Add is Update for the int32 item representation used by the mining
+// pipeline's flat transaction buffers.
+func (t *Tree) Add(items []int32) {
+	if len(items) == 0 {
+		return
+	}
+	cur := int32(0)
+	for _, it := range items {
+		cur = t.ensureChild(cur, it)
+		t.nodes[cur].Count++
+	}
+	t.nodes[cur].IsLast = true
+}
+
+// ensureChild returns the id of node id's child with the given item,
+// appending a fresh node to the arena (and splicing its id into the
+// item-sorted children slice) if absent.
+func (t *Tree) ensureChild(id, item int32) int32 {
+	kids := t.nodes[id].children
+	lo, hi := 0, len(kids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.nodes[kids[mid]].Item < item {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(kids) && t.nodes[kids[lo]].Item == item {
+		return kids[lo]
+	}
+	c := int32(len(t.nodes))
+	t.nodes = append(t.nodes, Node{Item: item})
+	kids = append(kids, 0)
+	copy(kids[lo+1:], kids[lo:])
+	kids[lo] = c
+	t.nodes[id].children = kids
+	return c
 }
 
 // Size returns the number of nodes (excluding the root).
-func (t *Tree) Size() int { return t.size }
+func (t *Tree) Size() int { return len(t.nodes) - 1 }
 
-// Children returns the node's children ordered by item id, for
-// deterministic traversal. The ordering is computed once and cached until
-// the next Update adds a child under this node, so repeated Walks (pattern
-// generation visits every node) do not re-sort the tree.
-func (n *Node) Children() []*Node {
-	if n.sorted != nil && len(n.sorted) == len(n.children) {
-		return n.sorted
+// Root returns the root node (Item == -1).
+func (t *Tree) Root() *Node { return &t.nodes[0] }
+
+// Children returns the node's children ordered by item id. The slice is
+// freshly allocated; the children index slice itself is kept sorted by
+// construction, so no per-call sorting happens.
+func (t *Tree) Children(n *Node) []*Node {
+	out := make([]*Node, len(n.children))
+	for i, c := range n.children {
+		out[i] = &t.nodes[c]
 	}
-	out := make([]*Node, 0, len(n.children))
-	for _, c := range n.children {
-		out = append(out, c)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Item < out[j].Item })
-	n.sorted = out
 	return out
 }
 
-// Child returns the child with the given item, or nil.
-func (n *Node) Child(item int) *Node { return n.children[item] }
+// Child returns the node's child with the given item, or nil.
+func (t *Tree) Child(n *Node, item int) *Node {
+	kids := n.children
+	lo, hi := 0, len(kids)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if t.nodes[kids[mid]].Item < int32(item) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(kids) && t.nodes[kids[lo]].Item == int32(item) {
+		return &t.nodes[kids[lo]]
+	}
+	return nil
+}
 
-// Walk visits every node except the root in depth-first order, passing the
-// item stack from the root to the node.
+// Walk visits every node except the root in depth-first, item-sorted order,
+// passing the item stack from the root to the node. The callback must not
+// insert into the tree (the arena may move).
 func (t *Tree) Walk(fn func(n *Node, stack []int)) {
-	var stack []int
-	var rec func(n *Node)
-	rec = func(n *Node) {
-		for _, c := range n.Children() {
-			stack = append(stack, c.Item)
-			fn(c, stack)
+	stack := make([]int, 0, 32)
+	var rec func(id int32)
+	rec = func(id int32) {
+		for _, c := range t.nodes[id].children {
+			n := &t.nodes[c]
+			stack = append(stack, int(n.Item))
+			fn(n, stack)
 			rec(c)
 			stack = stack[:len(stack)-1]
 		}
 	}
-	rec(t.Root)
+	rec(0)
+}
+
+// Canonical returns a structure-determined serialization of the tree
+// (item stacks, counts, IsLast flags in Walk order). Two trees over the
+// same transaction multiset serialize identically regardless of arena
+// layout or construction schedule, so it is the equality notion used by
+// the sharded-build determinism tests.
+func (t *Tree) Canonical() string {
+	var b strings.Builder
+	t.Walk(func(n *Node, stack []int) {
+		fmt.Fprintf(&b, "%v:%d:%t\n", stack, n.Count, n.IsLast)
+	})
+	return b.String()
+}
+
+// Merge folds other into t: counts of shared prefixes are summed, IsLast
+// flags are OR-ed, and missing branches are copied. It is the
+// deterministic count-merge fallback for combining per-shard trees whose
+// transactions straddle shards (BuildSharded's item-disjoint fast path
+// never needs it).
+func (t *Tree) Merge(other *Tree) {
+	var rec func(dst, src int32)
+	rec = func(dst, src int32) {
+		for _, sc := range other.nodes[src].children {
+			sn := other.nodes[sc]
+			dc := t.ensureChild(dst, sn.Item)
+			t.nodes[dc].Count += sn.Count
+			if sn.IsLast {
+				t.nodes[dc].IsLast = true
+			}
+			rec(dc, sc)
+		}
+	}
+	rec(0, 0)
+}
+
+// Transactions is a flat, append-only buffer of item lists: one backing
+// slice for all items plus an offset table, so accumulating millions of
+// transactions costs amortized-zero allocations per transaction and the
+// whole set can be scanned by concurrent shard builders without copying.
+type Transactions struct {
+	items []int32
+	off   []int
+}
+
+// NewTransactions returns an empty buffer.
+func NewTransactions() *Transactions {
+	return &Transactions{off: []int{0}}
+}
+
+// Push appends a copy of one transaction. Empty transactions are ignored,
+// matching Update.
+func (x *Transactions) Push(items []int32) {
+	if len(items) == 0 {
+		return
+	}
+	x.items = append(x.items, items...)
+	x.off = append(x.off, len(x.items))
+}
+
+// Len returns the number of pushed transactions.
+func (x *Transactions) Len() int { return len(x.off) - 1 }
+
+// At returns the i-th transaction as a view into the buffer.
+func (x *Transactions) At(i int) []int32 { return x.items[x.off[i]:x.off[i+1]] }
+
+// Build grows a tree serially from the buffered transactions in push
+// order — the reference schedule that BuildSharded must reproduce.
+func Build(txs *Transactions) *Tree {
+	t := New()
+	for i, n := 0, txs.Len(); i < n; i++ {
+		t.Add(txs.At(i))
+	}
+	return t
+}
+
+// BuildSharded builds the same canonical tree as Build using `workers`
+// goroutines. Transactions are sharded by their first item (the
+// highest-frequency item under FP ordering): first item f goes to shard
+// f mod workers, so every shard owns a disjoint set of root-child
+// subtrees and workers never contend. Each worker scans the buffer in
+// push order and inserts only its own shard's transactions, making every
+// per-shard tree independent of goroutine scheduling; the shard trees are
+// then stitched under one root in shard order. Canonical form is
+// byte-identical to Build at any worker count.
+func BuildSharded(txs *Transactions, workers int) *Tree {
+	n := txs.Len()
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		return Build(txs)
+	}
+	parts := parallel.Map(workers, workers, func(shard int) *Tree {
+		t := New()
+		for i := 0; i < n; i++ {
+			tx := txs.At(i)
+			if int(tx[0])%workers == shard {
+				t.Add(tx)
+			}
+		}
+		return t
+	})
+	return stitchDisjoint(parts)
+}
+
+// stitchDisjoint concatenates shard trees whose root-child item sets are
+// pairwise disjoint into one arena: each shard's nodes are appended with
+// their child indices rebased, its root children attach under the common
+// root, and the root's children are re-sorted by item once at the end.
+// The parts are consumed (their child slices are rebased in place).
+func stitchDisjoint(parts []*Tree) *Tree {
+	total := 1
+	for _, p := range parts {
+		total += p.Size()
+	}
+	out := &Tree{nodes: make([]Node, 1, total)}
+	out.nodes[0] = Node{Item: -1}
+	for _, p := range parts {
+		if p.Size() == 0 {
+			continue
+		}
+		// Shard node j (j >= 1, the root is dropped) lands at base + j.
+		base := int32(len(out.nodes)) - 1
+		for _, c := range p.nodes[0].children {
+			out.nodes[0].children = append(out.nodes[0].children, base+c)
+		}
+		for _, n := range p.nodes[1:] {
+			for i := range n.children {
+				n.children[i] += base
+			}
+			out.nodes = append(out.nodes, n)
+		}
+	}
+	root := &out.nodes[0]
+	sort.Slice(root.children, func(i, j int) bool {
+		return out.nodes[root.children[i]].Item < out.nodes[root.children[j]].Item
+	})
+	return out
 }

@@ -13,20 +13,26 @@ func TestUpdateAndCounts(t *testing.T) {
 	tr.Update([]int{1, 3})
 	tr.Update(nil) // ignored
 
-	n1 := tr.Root.Child(1)
+	n1 := tr.Child(tr.Root(), 1)
 	if n1 == nil || n1.Count != 3 {
 		t.Fatalf("node 1 count = %v", n1)
 	}
 	if n1.IsLast {
 		t.Error("node 1 should not be a transaction end")
 	}
-	n2 := n1.Child(2)
+	n2 := tr.Child(n1, 2)
 	if n2 == nil || n2.Count != 2 || !n2.IsLast {
 		t.Errorf("node 2 = %+v", n2)
 	}
-	n3 := n1.Child(3)
+	n3 := tr.Child(n1, 3)
 	if n3 == nil || n3.Count != 1 || !n3.IsLast {
 		t.Errorf("node 3 = %+v", n3)
+	}
+	if tr.Child(n1, 9) != nil {
+		t.Error("absent child should be nil")
+	}
+	if kids := tr.Children(n1); len(kids) != 2 || kids[0].Item != 2 || kids[1].Item != 3 {
+		t.Errorf("Children(n1) = %v", kids)
 	}
 	if tr.Size() != 3 {
 		t.Errorf("Size = %d, want 3", tr.Size())
@@ -89,7 +95,7 @@ func TestCountsMatchPrefixOccurrences(t *testing.T) {
 					}
 				}
 			}
-			if count != n.Count {
+			if count != int(n.Count) {
 				okAll = false
 			}
 		})

@@ -1,0 +1,117 @@
+package fptree
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// randomTransactions generates a seeded transaction set with items drawn
+// from a small universe (to force prefix sharing and shard collisions) and
+// per-transaction deduplication, mirroring the miner's item lists.
+func randomTransactions(seed int64, count, universe int) *Transactions {
+	rng := rand.New(rand.NewSource(seed))
+	txs := NewTransactions()
+	scratch := make([]int32, 0, 12)
+	for i := 0; i < count; i++ {
+		n := rng.Intn(8) // empty transactions are exercised too
+		seen := map[int32]bool{}
+		scratch = scratch[:0]
+		for j := 0; j < n; j++ {
+			it := int32(rng.Intn(universe))
+			if !seen[it] {
+				seen[it] = true
+				scratch = append(scratch, it)
+			}
+		}
+		txs.Push(scratch)
+	}
+	return txs
+}
+
+// Property: BuildSharded produces a tree whose canonical serialization
+// (counts, IsLast flags, child order) is byte-identical to the serial
+// reference Build, for any seed and any worker count.
+func TestBuildShardedMatchesSerial(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		txs := randomTransactions(seed, 300, 9)
+		want := Build(txs).Canonical()
+		for _, workers := range []int{1, 2, 3, 4, 7, 16, 1000} {
+			t.Run(fmt.Sprintf("seed=%d/workers=%d", seed, workers), func(t *testing.T) {
+				got := BuildSharded(txs, workers)
+				if c := got.Canonical(); c != want {
+					t.Errorf("canonical trees differ:\nserial:\n%s\nsharded:\n%s", want, c)
+				}
+			})
+		}
+	}
+}
+
+// Property: the serial incremental Update path and the buffered Build path
+// agree, and node counts match.
+func TestBuildMatchesUpdate(t *testing.T) {
+	txs := randomTransactions(99, 200, 6)
+	incr := New()
+	for i := 0; i < txs.Len(); i++ {
+		tx := txs.At(i)
+		items := make([]int, len(tx))
+		for j, it := range tx {
+			items[j] = int(it)
+		}
+		incr.Update(items)
+	}
+	built := Build(txs)
+	if incr.Canonical() != built.Canonical() {
+		t.Error("Update-grown and Build-grown trees differ")
+	}
+	if incr.Size() != built.Size() {
+		t.Errorf("sizes differ: %d vs %d", incr.Size(), built.Size())
+	}
+}
+
+// Property: Merge is the correct count-merge fallback — building per-group
+// trees over an arbitrary (item-straddling) partition of the transactions
+// and folding them with Merge reproduces the serial tree exactly.
+func TestMergeStraddlingShards(t *testing.T) {
+	for seed := int64(20); seed < 24; seed++ {
+		txs := randomTransactions(seed, 250, 7)
+		want := Build(txs).Canonical()
+		for _, groups := range []int{2, 3, 5} {
+			// Round-robin by transaction index: nearly every item's
+			// subtree is split across groups, the worst case for merging.
+			parts := make([]*Tree, groups)
+			for g := range parts {
+				parts[g] = New()
+			}
+			for i := 0; i < txs.Len(); i++ {
+				parts[i%groups].Add(txs.At(i))
+			}
+			merged := New()
+			for _, p := range parts {
+				merged.Merge(p)
+			}
+			if c := merged.Canonical(); c != want {
+				t.Errorf("seed %d groups %d: merged tree differs from serial:\n%s\nvs\n%s",
+					seed, groups, c, want)
+			}
+		}
+	}
+}
+
+// Transactions buffer bookkeeping: Len/At views match what was pushed,
+// empties are dropped.
+func TestTransactionsBuffer(t *testing.T) {
+	txs := NewTransactions()
+	txs.Push([]int32{3, 1})
+	txs.Push(nil)
+	txs.Push([]int32{2})
+	if txs.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", txs.Len())
+	}
+	if a := txs.At(0); len(a) != 2 || a[0] != 3 || a[1] != 1 {
+		t.Errorf("At(0) = %v", a)
+	}
+	if b := txs.At(1); len(b) != 1 || b[0] != 2 {
+		t.Errorf("At(1) = %v", b)
+	}
+}

@@ -3,6 +3,7 @@ package mining
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"namer/internal/confusion"
@@ -122,25 +123,38 @@ func TestParallelMiningMatchesSerial(t *testing.T) {
 		MaxCombinationsPerNode: 16,
 	}
 	for _, typ := range []pattern.Type{pattern.ConfusingWord, pattern.Consistency} {
-		serialCfg, parallelCfg := cfg, cfg
+		serialCfg := cfg
 		serialCfg.Parallelism = 1
-		parallelCfg.Parallelism = 8
+		var serialNodes, serialTxs int
+		serialCfg.OnTreeBuilt = func(nodes, txs int) { serialNodes, serialTxs = nodes, txs }
 		serial := MinePatterns(stmts, typ, pairs, serialCfg)
-		par := MinePatterns(stmts, typ, pairs, parallelCfg)
-		if len(serial) != len(par) {
-			t.Fatalf("%v: pattern counts differ: serial %d, parallel %d", typ, len(serial), len(par))
-		}
 		if len(serial) == 0 {
 			t.Fatalf("%v: no patterns mined, nothing compared", typ)
 		}
-		for i := range serial {
-			s, p := serial[i], par[i]
-			if s.Key() != p.Key() {
-				t.Errorf("%v: pattern %d keys differ:\n serial   %s\n parallel %s", typ, i, s.Key(), p.Key())
+		for _, workers := range []int{2, 3, 8, runtime.NumCPU()} {
+			parallelCfg := cfg
+			parallelCfg.Parallelism = workers
+			var parNodes, parTxs int
+			parallelCfg.OnTreeBuilt = func(nodes, txs int) { parNodes, parTxs = nodes, txs }
+			par := MinePatterns(stmts, typ, pairs, parallelCfg)
+			if len(serial) != len(par) {
+				t.Fatalf("%v/p=%d: pattern counts differ: serial %d, parallel %d",
+					typ, workers, len(serial), len(par))
 			}
-			if s.Count != p.Count || s.MatchCount != p.MatchCount || s.SatisfyCount != p.SatisfyCount {
-				t.Errorf("%v: pattern %d stats differ: serial %d/%d/%d, parallel %d/%d/%d",
-					typ, i, s.Count, s.MatchCount, s.SatisfyCount, p.Count, p.MatchCount, p.SatisfyCount)
+			if parNodes != serialNodes || parTxs != serialTxs {
+				t.Errorf("%v/p=%d: tree shape differs: serial %d nodes/%d txs, parallel %d/%d",
+					typ, workers, serialNodes, serialTxs, parNodes, parTxs)
+			}
+			for i := range serial {
+				s, p := serial[i], par[i]
+				if s.Key() != p.Key() {
+					t.Errorf("%v/p=%d: pattern %d keys differ:\n serial   %s\n parallel %s",
+						typ, workers, i, s.Key(), p.Key())
+				}
+				if s.Count != p.Count || s.MatchCount != p.MatchCount || s.SatisfyCount != p.SatisfyCount {
+					t.Errorf("%v/p=%d: pattern %d stats differ: serial %d/%d/%d, parallel %d/%d/%d",
+						typ, workers, i, s.Count, s.MatchCount, s.SatisfyCount, p.Count, p.MatchCount, p.SatisfyCount)
+				}
 			}
 		}
 	}

@@ -6,6 +6,7 @@
 package mining
 
 import (
+	"slices"
 	"sort"
 
 	"namer/internal/confusion"
@@ -34,10 +35,15 @@ type Config struct {
 	// per isLast node; 1 emits only the full ancestor condition.
 	MaxCombinationsPerNode int
 	// Parallelism is the worker count for the sharded mining stages
-	// (pass-1 path counting and candidate pruning): 0 uses every CPU, 1
-	// forces the serial reference path. Outputs are byte-identical at any
-	// setting.
+	// (pass-1 path counting, pass-2 FP-tree construction, and candidate
+	// pruning): 0 uses every CPU, 1 forces the serial reference path.
+	// Outputs are byte-identical at any setting.
 	Parallelism int
+	// OnTreeBuilt, when non-nil, is called with the FP tree's node count
+	// and the number of inserted transactions after pass 2, before
+	// pattern generation — a stats hook for benchmarks and the cmd
+	// binaries; it does not affect mining output.
+	OnTreeBuilt func(nodes, transactions int)
 }
 
 // DefaultConfig returns the paper's hyperparameters with a pattern count
@@ -73,30 +79,47 @@ func MinePatterns(stmts []*pattern.Statement, t pattern.Type,
 	// counts are identical to a serial pass regardless of scheduling.
 	freq := countPathFrequencies(stmts, workers)
 
-	// Pass 2: grow the FP tree (Algorithm 1, lines 4-7).
+	// Pass 2: grow the FP tree (Algorithm 1, lines 4-7). Transaction
+	// generation is serial — the interner must assign ids in statement
+	// order for the frequency-ordering tie-break (and hence the tree
+	// shape) to be schedule-independent — but it only appends to flat
+	// scratch buffers; the tree growth itself is sharded by first item
+	// across `workers` goroutines (fptree.BuildSharded), which yields the
+	// same canonical tree as the serial reference build.
 	in := namepath.NewInterner()
-	itemFreq := make(map[int]int)
-	intern := func(p namepath.Path) int {
+	var itemFreq []int // dense: itemFreq[id] = dataset frequency of the path
+	intern := func(p namepath.Path) int32 {
 		id := in.Intern(p)
-		if _, ok := itemFreq[id]; !ok {
-			itemFreq[id] = freq[p.Key()]
+		if id == len(itemFreq) {
+			itemFreq = append(itemFreq, freq[p.Key()])
 		}
-		return id
+		return int32(id)
 	}
-	tree := fptree.New()
+	var tree *fptree.Tree // serial path: grow directly, no materialization
+	var txs *fptree.Transactions
+	if workers <= 1 {
+		tree = fptree.New()
+	} else {
+		txs = fptree.NewTransactions()
+	}
+	transactions := 0
+	var (
+		frequent []namepath.Path // per-statement scratch, reused
+		items    []int32         // per-transaction scratch, reused
+	)
 	for _, s := range stmts {
 		paths := s.Paths
 		if len(paths) > cfg.MaxPathsPerStatement {
 			paths = paths[:cfg.MaxPathsPerStatement]
 		}
-		var frequent []namepath.Path
+		frequent = frequent[:0]
 		for _, p := range paths {
 			if freq[p.Key()] > cfg.MinPathCount {
 				frequent = append(frequent, p)
 			}
 		}
 		for _, split := range splitPaths(frequent, t, pairs) {
-			items := make([]int, 0, len(split.cond)+len(split.deduct))
+			items = items[:0]
 			for _, c := range split.cond {
 				items = append(items, intern(c))
 			}
@@ -105,9 +128,23 @@ func MinePatterns(stmts []*pattern.Statement, t pattern.Type,
 			for _, d := range split.deduct {
 				items = append(items, intern(d))
 			}
-			sort.Ints(items[deductStart:])
-			tree.Update(items)
+			slices.Sort(items[deductStart:])
+			if len(items) == 0 {
+				continue
+			}
+			transactions++
+			if tree != nil {
+				tree.Add(items)
+			} else {
+				txs.Push(items)
+			}
 		}
+	}
+	if tree == nil {
+		tree = fptree.BuildSharded(txs, workers)
+	}
+	if cfg.OnTreeBuilt != nil {
+		cfg.OnTreeBuilt(tree.Size(), transactions)
 	}
 
 	// Algorithm 2: generate patterns from the FP tree.
@@ -136,10 +173,10 @@ func MinePatterns(stmts []*pattern.Statement, t pattern.Type,
 			for i, id := range subset {
 				cond[i] = in.Path(id)
 			}
-			p := &pattern.Pattern{Type: t, Condition: cond, Deduction: deduct, Count: n.Count}
+			p := &pattern.Pattern{Type: t, Condition: cond, Deduction: deduct, Count: int(n.Count)}
 			k := p.Key()
 			if prev, ok := byKey[k]; ok {
-				prev.Count += n.Count
+				prev.Count += int(n.Count)
 			} else {
 				byKey[k] = p
 			}
@@ -299,7 +336,8 @@ func validDeduction(deduct []namepath.Path, t pattern.Type, pairs *confusion.Pai
 
 // sortItems orders condition items by descending dataset frequency (ties
 // by id), the standard FP-tree ordering that maximizes prefix sharing.
-func sortItems(items []int, freq map[int]int) {
+// freq is the dense per-id frequency table built during interning.
+func sortItems(items []int32, freq []int) {
 	sort.Slice(items, func(i, j int) bool {
 		fi, fj := freq[items[i]], freq[items[j]]
 		if fi != fj {

@@ -52,6 +52,18 @@ func ForEach(n, workers int, fn func(i int)) {
 	wg.Wait()
 }
 
+// Map runs fn(i) for every i in [0, n) on at most `workers` goroutines
+// and returns the results in index order, regardless of which worker
+// computed which slot. It is the fan-out-then-ordered-merge primitive used
+// by the sharded FP-tree build: each shard computes a private value, and
+// the caller folds the returned slice in shard order to stay
+// deterministic. workers <= 1 computes every slot inline.
+func Map[T any](n, workers int, fn func(i int) T) []T {
+	out := make([]T, n)
+	ForEach(n, workers, func(i int) { out[i] = fn(i) })
+	return out
+}
+
 // Shard is a contiguous index range [Lo, Hi).
 type Shard struct {
 	Lo, Hi int

@@ -33,6 +33,23 @@ func TestForEachCoversAllIndices(t *testing.T) {
 	}
 }
 
+func TestMapOrdersResults(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		out := Map(41, workers, func(i int) int { return i * i })
+		if len(out) != 41 {
+			t.Fatalf("workers=%d: len = %d", workers, len(out))
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d, want %d", workers, i, v, i*i)
+			}
+		}
+	}
+	if out := Map(0, 4, func(i int) int { return i }); len(out) != 0 {
+		t.Error("Map over zero items must return an empty slice")
+	}
+}
+
 func TestShardsPartition(t *testing.T) {
 	for _, tc := range []struct{ n, workers int }{
 		{0, 4}, {1, 4}, {4, 4}, {5, 4}, {100, 7}, {3, 1},

@@ -1,0 +1,48 @@
+// Package prof wires the -cpuprofile/-memprofile flags of the cmd
+// binaries to runtime/pprof, so mining and scan hot spots can be profiled
+// without code edits (go tool pprof <binary> <file>).
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins CPU profiling into cpuFile (if non-empty) and returns a
+// stop function that ends the CPU profile and writes an allocation-site
+// heap profile to memFile (if non-empty). Call stop exactly once, before
+// the process exits. An empty filename disables that profile; Start with
+// both names empty returns a no-op stop.
+func Start(cpuFile, memFile string) (stop func(), err error) {
+	var cpu *os.File
+	if cpuFile != "" {
+		cpu, err = os.Create(cpuFile)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpu); err != nil {
+			cpu.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			cpu.Close()
+		}
+		if memFile != "" {
+			f, err := os.Create(memFile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "warning: mem profile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fmt.Fprintln(os.Stderr, "warning: mem profile:", err)
+			}
+		}
+	}, nil
+}
