@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet fmt test race bench
+.PHONY: tier1 build vet fmt test race bench serve-smoke
 
-tier1: build vet fmt race
+tier1: build vet fmt race serve-smoke
 
 build:
 	$(GO) build ./...
@@ -35,3 +35,31 @@ race:
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkScan$$|BenchmarkPruneUncommon|BenchmarkMinePatterns' -benchmem .
 	BENCH_JSON=BENCH_mining.json $(GO) test -run 'TestWriteMiningBenchJSON$$' -count=1 -v .
+	BENCH_KNOWLEDGE_JSON=BENCH_knowledge.json $(GO) test -run 'TestWriteKnowledgeBenchJSON$$' -count=1 -v .
+
+# End-to-end smoke test of the serving layer: generate a corpus, mine
+# binary knowledge, boot namer-serve on a random port, and require 200s
+# from /healthz and /v1/scan. A TERM at the end checks clean shutdown.
+serve-smoke:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp" ./cmd/namer-corpus ./cmd/namer-mine ./cmd/namer-serve; \
+	"$$tmp/namer-corpus" -lang python -repos 12 -files 3 -out "$$tmp/corpus" >/dev/null; \
+	"$$tmp/namer-mine" -lang python -dir "$$tmp/corpus" -out "$$tmp/knowledge.bin" >/dev/null; \
+	"$$tmp/namer-serve" -addr 127.0.0.1:0 -knowledge "$$tmp/knowledge.bin" \
+		-ready-file "$$tmp/addr" >"$$tmp/serve.log" 2>&1 & pid=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$tmp/addr" ] && break; sleep 0.1; done; \
+	[ -s "$$tmp/addr" ] || { echo "serve-smoke: server did not start"; cat "$$tmp/serve.log"; exit 1; }; \
+	addr=$$(head -n1 "$$tmp/addr"); \
+	code=$$(curl -s -o "$$tmp/health.json" -w '%{http_code}' "http://$$addr/healthz"); \
+	[ "$$code" = 200 ] || { echo "serve-smoke: /healthz returned $$code"; exit 1; }; \
+	code=$$(curl -s -o "$$tmp/scan.json" -w '%{http_code}' -X POST \
+		-d '{"lang":"python","source":"upload_cnt = upload_count + 1\n","all":true}' \
+		"http://$$addr/v1/scan"); \
+	[ "$$code" = 200 ] || { echo "serve-smoke: /v1/scan returned $$code"; cat "$$tmp/scan.json"; exit 1; }; \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"source":"def f(:\n"}' "http://$$addr/v1/scan"); \
+	[ "$$code" = 200 ] || { echo "serve-smoke: malformed-source scan returned $$code"; exit 1; }; \
+	kill -TERM $$pid; wait $$pid || { echo "serve-smoke: unclean shutdown"; exit 1; }; \
+	pid=; \
+	echo "serve-smoke: ok ($$addr)"

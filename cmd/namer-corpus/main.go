@@ -24,9 +24,12 @@ func main() {
 	seed := flag.Int64("seed", 1, "generation seed")
 	flag.Parse()
 
-	l, err := parseLang(*lang)
+	l, err := ast.ParseLanguage(*lang)
 	if err != nil {
 		fatal(err)
+	}
+	if l == ast.Go {
+		fatal(fmt.Errorf("the synthetic corpus generator emits python and java only"))
 	}
 	cfg := corpus.DefaultConfig(l)
 	cfg.Repos = *repos
@@ -40,16 +43,6 @@ func main() {
 	}
 	fmt.Printf("wrote %d files in %d repositories to %s (%d ground-truth issues, %d commits)\n",
 		c.TotalFiles(), len(c.Repos), *out, len(c.Issues), len(c.Commits))
-}
-
-func parseLang(s string) (ast.Language, error) {
-	switch s {
-	case "python", "py":
-		return ast.Python, nil
-	case "java":
-		return ast.Java, nil
-	}
-	return 0, fmt.Errorf("unknown language %q (want python or java)", s)
 }
 
 func fatal(err error) {

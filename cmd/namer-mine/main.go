@@ -19,9 +19,10 @@ import (
 )
 
 func main() {
-	lang := flag.String("lang", "python", "language: python or java")
+	lang := flag.String("lang", "python", "language: python, java, or go")
 	dir := flag.String("dir", "corpus", "corpus directory (repositories as subdirectories)")
-	out := flag.String("out", "knowledge.json", "output knowledge file")
+	out := flag.String("out", "knowledge.bin",
+		"output knowledge file (compact binary; use a .json extension for the debug format)")
 	minPatternCount := flag.Int("min-pattern-count", 0,
 		"FP-tree support threshold (0 = scale with corpus size)")
 	minPairCount := flag.Int("min-pair-count", 3, "confusing-pair support threshold")
@@ -38,7 +39,7 @@ func main() {
 	}
 	defer stopProf()
 
-	l, err := parseLang(*lang)
+	l, err := ast.ParseLanguage(*lang)
 	if err != nil {
 		fatal(err)
 	}
@@ -73,7 +74,9 @@ func main() {
 	}
 
 	start := time.Now()
-	sys.ProcessFiles(files)
+	for _, e := range sys.ProcessFiles(files) {
+		fmt.Fprintln(os.Stderr, "warning:", e)
+	}
 	fmt.Printf("analyzed %d files, %d statements in %v (%.1f ms/file)\n",
 		len(files), len(sys.Stmts), time.Since(start).Round(time.Millisecond),
 		float64(time.Since(start).Milliseconds())/float64(len(files)))
@@ -89,16 +92,6 @@ func main() {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
-}
-
-func parseLang(s string) (ast.Language, error) {
-	switch s {
-	case "python", "py":
-		return ast.Python, nil
-	case "java":
-		return ast.Java, nil
-	}
-	return 0, fmt.Errorf("unknown language %q (want python or java)", s)
 }
 
 func fatal(err error) {

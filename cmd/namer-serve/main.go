@@ -1,0 +1,89 @@
+// Command namer-serve is the always-on serving daemon over mined
+// knowledge: it loads a knowledge artifact (binary or JSON, produced by
+// namer-mine / namer-train) once at startup and answers HTTP scan
+// requests until terminated.
+//
+//	namer-serve -knowledge knowledge.bin -addr :8737
+//
+//	curl -X POST localhost:8737/v1/scan \
+//	     -d '{"lang":"python","source":"upload_cnt = upload_count + 1\n"}'
+//
+// Liveness is at /healthz, runtime counters at /debug/vars (expvar).
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, and
+// in-flight scans are given a grace period to finish responding.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"syscall"
+	"time"
+
+	"namer/internal/ast"
+	"namer/internal/core"
+	"namer/internal/knowledge"
+	"namer/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8737", "listen address (host:port; port 0 picks a free port)")
+	kpath := flag.String("knowledge", "knowledge.bin", "knowledge file from namer-mine/namer-train")
+	maxBody := flag.Int64("max-body", serve.DefaultMaxBody, "maximum request body size in bytes")
+	scanTimeout := flag.Duration("scan-timeout", serve.DefaultScanTimeout, "per-request scan deadline")
+	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests")
+	readyFile := flag.String("ready-file", "",
+		"write the bound address to this file once listening (for scripts using port 0)")
+	flag.Parse()
+
+	// The knowledge file determines the language; the default config
+	// supplies the analysis settings (points-to on, per §4.1).
+	sys := core.NewSystem(core.DefaultConfig(ast.Python))
+	if err := sys.LoadKnowledge(*kpath); err != nil {
+		fatal(fmt.Errorf("loading knowledge: %w (run namer-mine first)", err))
+	}
+	info := fmt.Sprintf("%s (%s format, %s, %d patterns, %d pairs, classifier=%v)",
+		*kpath, loadedFormat(*kpath), sys.Config().Lang, len(sys.Patterns),
+		sys.Pairs.Len(), sys.HasClassifier())
+	fmt.Println("namer-serve: loaded", info)
+
+	sv := serve.New(sys, serve.Config{
+		MaxBodyBytes:  *maxBody,
+		ScanTimeout:   *scanTimeout,
+		KnowledgeInfo: info,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	bound := ln.Addr().String()
+	fmt.Printf("namer-serve: listening on http://%s (POST /v1/scan, GET /healthz, GET /debug/vars)\n", bound)
+	if *readyFile != "" {
+		if err := os.WriteFile(*readyFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			fatal(err)
+		}
+	}
+
+	srv := serve.NewHTTPServer(sv.Handler(), *scanTimeout)
+	if err := serve.RunUntilSignal(srv, ln, *grace, os.Interrupt, syscall.SIGTERM); err != nil {
+		fatal(err)
+	}
+	fmt.Println("namer-serve: shut down cleanly")
+}
+
+// loadedFormat reports which on-disk format the knowledge file uses, by
+// content sniffing (the same detection LoadKnowledge applies).
+func loadedFormat(path string) knowledge.Format {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return knowledge.FormatJSON
+	}
+	return knowledge.DetectFormat(data)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "namer-serve:", err)
+	os.Exit(1)
+}

@@ -21,16 +21,17 @@ import (
 )
 
 func main() {
-	lang := flag.String("lang", "python", "language: python or java")
+	lang := flag.String("lang", "python", "language: python, java, or go")
 	dir := flag.String("dir", "corpus", "corpus directory")
-	knowledge := flag.String("knowledge", "knowledge.json", "input knowledge file (from namer-mine)")
+	knowledge := flag.String("knowledge", "knowledge.bin", "input knowledge file (from namer-mine)")
 	issues := flag.String("issues", "", "ground-truth labels (default <dir>/issues.json)")
-	out := flag.String("out", "knowledge-trained.json", "output knowledge file")
+	out := flag.String("out", "knowledge-trained.bin",
+		"output knowledge file (compact binary; use a .json extension for the debug format)")
 	trainSize := flag.Int("train", 120, "labeled violations to train on (balanced)")
 	seed := flag.Int64("seed", 1, "sampling seed")
 	flag.Parse()
 
-	l, err := parseLang(*lang)
+	l, err := ast.ParseLanguage(*lang)
 	if err != nil {
 		fatal(err)
 	}
@@ -46,7 +47,9 @@ func main() {
 	for _, e := range errs {
 		fmt.Fprintln(os.Stderr, "warning:", e)
 	}
-	sys.ProcessFiles(files)
+	for _, e := range sys.ProcessFiles(files) {
+		fmt.Fprintln(os.Stderr, "warning:", e)
+	}
 	violations := sys.Scan()
 	fmt.Printf("found %d violations over %d files\n", len(violations), len(files))
 
@@ -121,16 +124,6 @@ func indexIssues(issues []*corpus.Issue) func(repo, path string, line int, origi
 		}
 		return false
 	}
-}
-
-func parseLang(s string) (ast.Language, error) {
-	switch s {
-	case "python", "py":
-		return ast.Python, nil
-	case "java":
-		return ast.Java, nil
-	}
-	return 0, fmt.Errorf("unknown language %q (want python or java)", s)
 }
 
 func fatal(err error) {

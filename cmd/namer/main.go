@@ -22,8 +22,8 @@ import (
 )
 
 func main() {
-	lang := flag.String("lang", "python", "language: python or java")
-	knowledge := flag.String("knowledge", "knowledge.json", "knowledge file from namer-mine/namer-train")
+	lang := flag.String("lang", "python", "language: python, java, or go")
+	knowledge := flag.String("knowledge", "knowledge.bin", "knowledge file from namer-mine/namer-train")
 	all := flag.Bool("all", false, "report every violation, bypassing the classifier (the w/o C ablation)")
 	fix := flag.Bool("fix", false, "rewrite the reported identifiers in place")
 	parallelism := flag.Int("parallelism", 0,
@@ -41,7 +41,7 @@ func main() {
 	}
 	defer stopProf()
 
-	l, err := parseLang(*lang)
+	l, err := ast.ParseLanguage(*lang)
 	if err != nil {
 		fatal(err)
 	}
@@ -63,7 +63,9 @@ func main() {
 	if len(files) == 0 {
 		fatal(fmt.Errorf("no %s files found", *lang))
 	}
-	sys.ProcessFiles(files)
+	for _, e := range sys.ProcessFiles(files) {
+		fmt.Fprintln(os.Stderr, "warning:", e)
+	}
 
 	byFile := make(map[string]*core.InputFile, len(files))
 	for _, f := range files {
@@ -124,16 +126,6 @@ func writeBack(roots []string, f *core.InputFile) error {
 		}
 	}
 	return fmt.Errorf("cannot locate %s under the given roots", f.Path)
-}
-
-func parseLang(s string) (ast.Language, error) {
-	switch s {
-	case "python", "py":
-		return ast.Python, nil
-	case "java":
-		return ast.Java, nil
-	}
-	return 0, fmt.Errorf("unknown language %q (want python or java)", s)
 }
 
 func fatal(err error) {

@@ -1,0 +1,32 @@
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// languageNames maps every accepted spelling to its Language. The
+// canonical String() forms are included so serialized knowledge (which
+// stores Lang.String()) round-trips through ParseLanguage.
+var languageNames = map[string]Language{
+	"python": Python,
+	"py":     Python,
+	"java":   Java,
+	"go":     Go,
+	"golang": Go,
+}
+
+// LanguageNames returns the canonical user-facing language names, in
+// declaration order. Useful for flag help and error messages.
+func LanguageNames() []string { return []string{"python", "java", "go"} }
+
+// ParseLanguage resolves a language name (any case, including the
+// String() form and common aliases like "py" and "golang") to its
+// Language. Unknown names return an error listing the valid choices.
+func ParseLanguage(s string) (Language, error) {
+	if l, ok := languageNames[strings.ToLower(strings.TrimSpace(s))]; ok {
+		return l, nil
+	}
+	return 0, fmt.Errorf("ast: unknown language %q (valid: %s)",
+		s, strings.Join(LanguageNames(), ", "))
+}

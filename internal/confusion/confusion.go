@@ -40,6 +40,20 @@ func (ps *PairSet) Add(mistaken, correct string) {
 	ps.correct[correct] = true
 }
 
+// AddN records n observations of mistaken -> correct at once (n <= 0 is
+// treated as one, matching the JSON decoder); used when restoring a pair
+// set from a serialized artifact.
+func (ps *PairSet) AddN(mistaken, correct string, n int) {
+	if mistaken == "" || correct == "" || mistaken == correct {
+		return
+	}
+	if n <= 0 {
+		n = 1
+	}
+	ps.counts[[2]string{mistaken, correct}] += n
+	ps.correct[correct] = true
+}
+
 // Contains reports whether ⟨mistaken, correct⟩ was mined.
 func (ps *PairSet) Contains(mistaken, correct string) bool {
 	return ps.counts[[2]string{mistaken, correct}] > 0

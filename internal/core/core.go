@@ -10,6 +10,7 @@
 package core
 
 import (
+	"fmt"
 	"strconv"
 	"strings"
 
@@ -132,17 +133,43 @@ func (s *System) MinePairs(commits []confusion.Commit) {
 // goroutine per file, which bursts unboundedly on large corpora), then
 // appends results in deterministic input order and records statement
 // statistics for features 2-3.
-func (s *System) ProcessFiles(files []*InputFile) {
+//
+// A panic while analyzing one file (the parsers re-panic on internal
+// errors, and the points-to engine panics on rule-set bugs) is contained
+// to that file and returned as an error, so one pathological input cannot
+// kill a corpus run: the remaining files are processed normally.
+func (s *System) ProcessFiles(files []*InputFile) []error {
 	results := make([][]*ProcStmt, len(files))
+	fileErrs := make([]error, len(files))
 	parallel.ForEach(len(files), parallel.Degree(s.cfg.Parallelism), func(i int) {
-		results[i] = s.ProcessFile(files[i])
+		results[i], fileErrs[i] = s.processFileSafe(files[i])
 	})
-	for _, stmts := range results {
+	var errs []error
+	for i, stmts := range results {
+		if fileErrs[i] != nil {
+			errs = append(errs, fileErrs[i])
+			continue
+		}
 		for _, ps := range stmts {
 			s.Stmts = append(s.Stmts, ps)
 			s.StatsIx.AddStatement(ps.Repo, ps.Path, ps.Fingerprint)
 		}
 	}
+	return errs
+}
+
+// processFileSafe runs ProcessFile with panics converted to per-file
+// errors.
+func (s *System) processFileSafe(f *InputFile) (out []*ProcStmt, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			out, err = nil, fmt.Errorf("%s/%s: analysis panic: %v", f.Repo, f.Path, r)
+		}
+	}()
+	if f.Root == nil {
+		return nil, fmt.Errorf("%s/%s: no parsed AST", f.Repo, f.Path)
+	}
+	return s.ProcessFile(f), nil
 }
 
 // ProcessFile runs the front half of the pipeline on one file.
@@ -271,9 +298,17 @@ func Dedup(vs []*Violation) []*Violation {
 	return out
 }
 
-// FeatureVector computes the 17 features of Table 1 for a violation.
+// FeatureVector computes the 17 features of Table 1 for a violation,
+// against the system's accumulated statistics.
 func (s *System) FeatureVector(v *Violation) []float64 {
-	return s.StatsIx.Vector(features.Violation{
+	return s.FeatureVectorIn(s.StatsIx, v)
+}
+
+// FeatureVectorIn computes the feature vector against an explicit
+// statistics index. Detached scans (the serving path) keep per-request
+// statistics so concurrent requests never write shared state.
+func (s *System) FeatureVectorIn(ix *features.Index, v *Violation) []float64 {
+	return ix.Vector(features.Violation{
 		Repo:        v.Stmt.Repo,
 		File:        v.Stmt.Path,
 		Fingerprint: v.Stmt.Fingerprint,
@@ -333,10 +368,17 @@ func (s *System) HasClassifier() bool { return s.classifier != nil }
 // issue. Without a trained classifier every violation is reported (the
 // "w/o C" ablation).
 func (s *System) Classify(v *Violation) bool {
+	return s.ClassifyIn(s.StatsIx, v)
+}
+
+// ClassifyIn classifies a violation using an explicit statistics index
+// (see FeatureVectorIn). Safe for concurrent use: the classifier and
+// pattern state are read-only after Import/TrainClassifier.
+func (s *System) ClassifyIn(ix *features.Index, v *Violation) bool {
 	if s.classifier == nil {
 		return true
 	}
-	return s.classifier.Predict(s.FeatureVector(v)) == 1
+	return s.classifier.Predict(s.FeatureVectorIn(ix, v)) == 1
 }
 
 // FeatureWeights returns the trained classifier's weights mapped back to

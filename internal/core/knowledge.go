@@ -1,27 +1,20 @@
 package core
 
 import (
-	"encoding/json"
 	"fmt"
-	"os"
 
 	"namer/internal/ast"
-	"namer/internal/confusion"
+	"namer/internal/knowledge"
 	"namer/internal/mining"
 	"namer/internal/ml"
-	"namer/internal/pattern"
 )
 
 // Knowledge is the serializable product of mining and training: everything
 // a fresh Namer process needs to detect issues in new code without
 // re-mining — the confusing word pairs, the name patterns, and the trained
-// defect classifier.
-type Knowledge struct {
-	Lang       string             `json:"lang"`
-	Pairs      *confusion.PairSet `json:"pairs"`
-	Patterns   []*pattern.Pattern `json:"patterns"`
-	Classifier *ml.PipelineState  `json:"classifier,omitempty"`
-}
+// defect classifier. It is an alias for knowledge.Artifact, which owns the
+// on-disk encodings (compact binary by default, JSON for debugging).
+type Knowledge = knowledge.Artifact
 
 // ExportKnowledge captures the system's mined and trained state.
 func (s *System) ExportKnowledge() (*Knowledge, error) {
@@ -41,47 +34,48 @@ func (s *System) ExportKnowledge() (*Knowledge, error) {
 }
 
 // ImportKnowledge installs previously exported state into a fresh system.
+// Any supported language is accepted (Python, Java, and Go knowledge all
+// load; the language names are resolved by ast.ParseLanguage).
 func (s *System) ImportKnowledge(k *Knowledge) error {
-	switch k.Lang {
-	case ast.Python.String():
-		s.cfg.Lang = ast.Python
-	case ast.Java.String():
-		s.cfg.Lang = ast.Java
-	default:
-		return fmt.Errorf("core: unknown language %q", k.Lang)
+	lang, err := ast.ParseLanguage(k.Lang)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
+	s.cfg.Lang = lang
 	s.Pairs = k.Pairs
 	s.Patterns = k.Patterns
+	// Warm every pattern's identity key from this goroutine so concurrent
+	// read-only scans never race on the lazy cache (NewIndex warms the
+	// patterns it buckets, but not invalid stragglers).
+	for _, p := range s.Patterns {
+		p.Key()
+	}
 	s.index = mining.NewIndex(s.Patterns)
 	if k.Classifier != nil {
 		s.classifier = ml.Restore(k.Classifier)
+	} else {
+		s.classifier = nil
 	}
 	return nil
 }
 
-// SaveKnowledge writes the exported state as JSON.
+// SaveKnowledge writes the exported state to path atomically. The format
+// follows the extension: ".json" produces the pretty-printed debug format,
+// anything else the compact binary format.
 func (s *System) SaveKnowledge(path string) error {
 	k, err := s.ExportKnowledge()
 	if err != nil {
 		return err
 	}
-	data, err := json.MarshalIndent(k, "", " ")
-	if err != nil {
-		return err
-	}
-	return os.WriteFile(path, data, 0o644)
+	return knowledge.Save(path, k)
 }
 
-// LoadKnowledge reads exported state from JSON.
+// LoadKnowledge reads exported state from path, auto-detecting the binary
+// or JSON format by content.
 func (s *System) LoadKnowledge(path string) error {
-	data, err := os.ReadFile(path)
+	k, err := knowledge.Load(path)
 	if err != nil {
 		return err
 	}
-	var k Knowledge
-	k.Pairs = confusion.NewPairSet()
-	if err := json.Unmarshal(data, &k); err != nil {
-		return err
-	}
-	return s.ImportKnowledge(&k)
+	return s.ImportKnowledge(k)
 }

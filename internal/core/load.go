@@ -8,15 +8,13 @@ import (
 	"strings"
 
 	"namer/internal/ast"
-	"namer/internal/golang"
-	"namer/internal/javalang"
-	"namer/internal/pylang"
 )
 
 // LoadDirectory walks a corpus directory and parses every source file of
-// the language (.py or .java). The first path component below root names
-// the repository (the layout corpus.WriteTo produces). Unparseable files
-// are skipped with their errors collected.
+// the language (.py, .java, or .go). The first path component below root
+// names the repository (the layout corpus.WriteTo produces). Unparseable
+// files — including ones that panic the front end — are skipped with
+// their errors collected.
 func LoadDirectory(root string, lang ast.Language) ([]*InputFile, []error) {
 	ext := ".py"
 	switch lang {
@@ -47,15 +45,7 @@ func LoadDirectory(root string, lang ast.Language) ([]*InputFile, []error) {
 		if i := strings.IndexByte(rel, filepath.Separator); i >= 0 {
 			repo = rel[:i]
 		}
-		var node *ast.Node
-		switch lang {
-		case ast.Python:
-			node, err = pylang.Parse(string(data))
-		case ast.Go:
-			node, err = golang.Parse(string(data))
-		default:
-			node, err = javalang.Parse(string(data))
-		}
+		node, err := ParseSource(lang, string(data))
 		if err != nil {
 			errs = append(errs, fmt.Errorf("%s: %w", rel, err))
 			return nil

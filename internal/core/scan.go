@@ -1,0 +1,99 @@
+package core
+
+import (
+	"fmt"
+
+	"namer/internal/ast"
+	"namer/internal/features"
+	"namer/internal/golang"
+	"namer/internal/javalang"
+	"namer/internal/pylang"
+)
+
+// ParseSource parses one source file with the language front end. Parser
+// panics (the pylang/javalang parsers re-panic on internal errors) are
+// contained and returned as errors, so callers feeding untrusted input —
+// directory walks and serve requests alike — cannot be killed by one
+// pathological file.
+func ParseSource(lang ast.Language, source string) (root *ast.Node, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			root, err = nil, fmt.Errorf("core: %v parser panic: %v", lang, r)
+		}
+	}()
+	switch lang {
+	case ast.Python:
+		return pylang.Parse(source)
+	case ast.Java:
+		return javalang.Parse(source)
+	case ast.Go:
+		return golang.Parse(source)
+	}
+	return nil, fmt.Errorf("core: no parser for %v", lang)
+}
+
+// ScanResult is the outcome of a detached scan (ScanFiles).
+type ScanResult struct {
+	// Violations are the deduplicated pattern violations found in the
+	// request files, in deterministic order.
+	Violations []*Violation
+	// Stats is the request-local statistics index the violations were
+	// scored against; pass it to ClassifyIn/FeatureVectorIn.
+	Stats *features.Index
+	// Statements is how many statements were extracted and matched.
+	Statements int
+	// Errors holds per-file analysis failures; files that fail are
+	// skipped, the rest are scanned normally.
+	Errors []error
+}
+
+// ScanFiles analyzes the given files against the system's mined knowledge
+// without touching any system state: statements and statistics live in the
+// returned ScanResult rather than in s.Stmts/s.StatsIx. Unlike
+// ProcessFiles+Scan, this path is safe for concurrent read-only use — the
+// serving layer runs one ScanFiles per request over a shared System. The
+// system must not be mutated (mining, training, importing) while detached
+// scans are in flight.
+func (s *System) ScanFiles(files []*InputFile) *ScanResult {
+	res := &ScanResult{Stats: features.NewIndex()}
+	var stmts []*ProcStmt
+	// Requests are small (a snippet or a handful of files); concurrency
+	// comes from scanning many requests at once, so each request is
+	// processed serially to avoid worker-pool churn per request.
+	for _, f := range files {
+		out, err := s.processFileSafe(f)
+		if err != nil {
+			res.Errors = append(res.Errors, err)
+			continue
+		}
+		for _, ps := range out {
+			stmts = append(stmts, ps)
+			res.Stats.AddStatement(ps.Repo, ps.Path, ps.Fingerprint)
+		}
+	}
+	res.Statements = len(stmts)
+	if s.index == nil {
+		// No knowledge imported/mined yet: nothing to match against.
+		return res
+	}
+	var vs []*Violation
+	for _, ps := range stmts {
+		for _, p := range s.index.Candidates(ps.PS) {
+			if !ps.PS.Matches(p) {
+				continue
+			}
+			satisfied := ps.PS.Satisfied(p)
+			res.Stats.AddObservation(ps.Repo, ps.Path, p, satisfied)
+			if satisfied {
+				continue
+			}
+			detail, ok := ps.PS.Explain(p)
+			if !ok {
+				continue
+			}
+			vs = append(vs, &Violation{Stmt: ps, Pattern: p, Detail: detail})
+		}
+	}
+	res.Violations = Dedup(vs)
+	return res
+}

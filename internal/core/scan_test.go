@@ -1,0 +1,224 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"namer/internal/ast"
+	"namer/internal/confusion"
+	"namer/internal/knowledge"
+)
+
+// TestKnowledgeRoundTripBinary checks the acceptance criterion that the
+// binary format round-trips byte-identical semantics with JSON: the same
+// mined system saved both ways loads into systems that agree on every
+// pattern, pair, violation, and classifier decision, while the binary
+// file is at least 3x smaller.
+func TestKnowledgeRoundTripBinary(t *testing.T) {
+	sys, c, violations := buildSystem(t, ast.Python, smallSystemConfig(ast.Python), smallCorpusConfig(ast.Python))
+	if len(violations) < 20 {
+		t.Skip("not enough violations")
+	}
+	var vs []*Violation
+	var ys []int
+	for i, v := range violations {
+		if i >= 60 {
+			break
+		}
+		vs = append(vs, v)
+		sev, _ := c.Judge(v.Stmt.Repo, v.Stmt.Path, v.Stmt.Line, v.Detail.Original)
+		if sev != 0 {
+			ys = append(ys, 1)
+		} else {
+			ys = append(ys, 0)
+		}
+	}
+	sys.TrainClassifier(vs, ys)
+
+	dir := t.TempDir()
+	jsonPath := filepath.Join(dir, "knowledge.json")
+	binPath := filepath.Join(dir, "knowledge.bin")
+	if err := sys.SaveKnowledge(jsonPath); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.SaveKnowledge(binPath); err != nil {
+		t.Fatal(err)
+	}
+
+	jinfo, _ := os.Stat(jsonPath)
+	binfo, _ := os.Stat(binPath)
+	t.Logf("knowledge sizes: json=%d bytes, binary=%d bytes (%.1fx)",
+		jinfo.Size(), binfo.Size(), float64(jinfo.Size())/float64(binfo.Size()))
+	if binfo.Size()*3 > jinfo.Size() {
+		t.Errorf("binary knowledge (%d bytes) is not >=3x smaller than JSON (%d bytes)",
+			binfo.Size(), jinfo.Size())
+	}
+
+	var files []*InputFile
+	for _, r := range c.Repos {
+		for _, f := range r.Files {
+			files = append(files, &InputFile{Repo: r.Name, Path: f.Path, Source: f.Source, Root: f.Root})
+		}
+	}
+	load := func(path string) (*System, []*Violation) {
+		s := NewSystem(DefaultConfig(ast.Python))
+		if err := s.LoadKnowledge(path); err != nil {
+			t.Fatalf("load %s: %v", path, err)
+		}
+		if errs := s.ProcessFiles(files); len(errs) != 0 {
+			t.Fatalf("process errors: %v", errs)
+		}
+		return s, s.Scan()
+	}
+	sysJ, vJ := load(jsonPath)
+	sysB, vB := load(binPath)
+
+	if len(sysJ.Patterns) != len(sysB.Patterns) {
+		t.Fatalf("patterns: json %d vs binary %d", len(sysJ.Patterns), len(sysB.Patterns))
+	}
+	for i := range sysJ.Patterns {
+		if sysJ.Patterns[i].Key() != sysB.Patterns[i].Key() {
+			t.Fatalf("pattern %d keys diverged", i)
+		}
+	}
+	if sysJ.Pairs.Len() != sysB.Pairs.Len() {
+		t.Fatalf("pairs: json %d vs binary %d", sysJ.Pairs.Len(), sysB.Pairs.Len())
+	}
+	if len(vJ) != len(vB) || len(vJ) != len(violations) {
+		t.Fatalf("violations: original %d, json %d, binary %d", len(violations), len(vJ), len(vB))
+	}
+	for i := range vJ {
+		if sysJ.Classify(vJ[i]) != sysB.Classify(vB[i]) {
+			t.Fatalf("classification diverged at violation %d", i)
+		}
+	}
+}
+
+// TestImportKnowledgeAcceptsGo covers the bugfix: knowledge with
+// lang "Go" (as ExportKnowledge writes for a Go system) imports instead
+// of being rejected.
+func TestImportKnowledgeAcceptsGo(t *testing.T) {
+	for _, lang := range []string{"Go", "go", "golang", "Python", "Java"} {
+		sys := NewSystem(DefaultConfig(ast.Python))
+		k := &Knowledge{Lang: lang, Pairs: confusion.NewPairSet()}
+		if err := sys.ImportKnowledge(k); err != nil {
+			t.Fatalf("lang %q rejected: %v", lang, err)
+		}
+	}
+	sys := NewSystem(DefaultConfig(ast.Python))
+	err := sys.ImportKnowledge(&Knowledge{Lang: "cobol", Pairs: confusion.NewPairSet()})
+	if err == nil {
+		t.Fatal("unknown language accepted")
+	}
+	for _, want := range []string{"python", "java", "go"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("error %q does not list valid language %q", err, want)
+		}
+	}
+}
+
+// TestSaveKnowledgeAtomic verifies that saving over an existing artifact
+// replaces it completely (rename semantics) and leaves no temp litter.
+func TestSaveKnowledgeAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "knowledge.bin")
+	if err := os.WriteFile(path, []byte("old artifact bytes"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(DefaultConfig(ast.Python))
+	sys.Pairs = confusion.NewPairSet()
+	if err := sys.SaveKnowledge(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := knowledge.Load(path); err != nil {
+		t.Fatalf("replaced artifact unreadable: %v", err)
+	}
+	entries, _ := os.ReadDir(dir)
+	if len(entries) != 1 {
+		t.Fatalf("expected only the artifact in %s, found %d entries", dir, len(entries))
+	}
+}
+
+// TestProcessFilesContainsPanics: a pathological file (nil AST stands in
+// for a front-end panic; processFileSafe treats both the same way) is
+// reported as an error while the rest of the corpus processes normally.
+func TestProcessFilesContainsPanics(t *testing.T) {
+	good, err := ParseSource(ast.Python, "def f(a):\n    b = a.parse()\n    return b\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := NewSystem(DefaultConfig(ast.Python))
+	errs := sys.ProcessFiles([]*InputFile{
+		{Repo: "r", Path: "bad.py", Source: "x", Root: nil},
+		{Repo: "r", Path: "good.py", Source: "def f(a):\n    b = a.parse()\n    return b\n", Root: good},
+	})
+	if len(errs) != 1 || !strings.Contains(errs[0].Error(), "bad.py") {
+		t.Fatalf("expected one error naming bad.py, got %v", errs)
+	}
+	if len(sys.Stmts) == 0 {
+		t.Fatal("good file was not processed")
+	}
+}
+
+// TestParseSourceNeverPanics feeds hostile snippets to every front end;
+// all must return (possibly with an error), never panic.
+func TestParseSourceNeverPanics(t *testing.T) {
+	snippets := []string{
+		"", "\x00\x01\x02", "def f(:", "class {", "))))(((",
+		strings.Repeat("(", 2000), "if x\n  y", "def f(a,\n", "\xff\xfe",
+		"public class A { void f() { int x = ; } }",
+	}
+	for _, lang := range []ast.Language{ast.Python, ast.Java, ast.Go} {
+		for _, src := range snippets {
+			ParseSource(lang, src) // must not panic
+		}
+	}
+	if _, err := ParseSource(ast.Language(99), "x"); err == nil {
+		t.Fatal("unknown language accepted")
+	}
+}
+
+// TestScanFilesMatchesScan: the detached read-only scan path reports the
+// same violations as the stateful ProcessFiles+Scan pipeline.
+func TestScanFilesMatchesScan(t *testing.T) {
+	sys, c, violations := buildSystem(t, ast.Python, smallSystemConfig(ast.Python), smallCorpusConfig(ast.Python))
+	deduped := Dedup(violations)
+
+	// A fresh system with the same knowledge scans the same files
+	// detachedly.
+	k, err := sys.ExportKnowledge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewSystem(DefaultConfig(ast.Python))
+	if err := fresh.ImportKnowledge(k); err != nil {
+		t.Fatal(err)
+	}
+	var files []*InputFile
+	for _, r := range c.Repos {
+		for _, f := range r.Files {
+			files = append(files, &InputFile{Repo: r.Name, Path: f.Path, Source: f.Source, Root: f.Root})
+		}
+	}
+	res := fresh.ScanFiles(files)
+	if len(res.Errors) != 0 {
+		t.Fatalf("detached scan errors: %v", res.Errors)
+	}
+	if len(res.Violations) != len(deduped) {
+		t.Fatalf("detached scan found %d violations, stateful found %d",
+			len(res.Violations), len(deduped))
+	}
+	for i := range deduped {
+		a, b := deduped[i], res.Violations[i]
+		if a.Stmt.Path != b.Stmt.Path || a.Stmt.Line != b.Stmt.Line ||
+			a.Detail.Original != b.Detail.Original || a.Detail.Suggested != b.Detail.Suggested {
+			t.Fatalf("violation %d diverged: %v vs %v", i, a.Detail, b.Detail)
+		}
+	}
+	// The detached path must not leak state into the system.
+	if len(fresh.Stmts) != 0 {
+		t.Fatalf("ScanFiles appended %d statements to the system", len(fresh.Stmts))
+	}
+}

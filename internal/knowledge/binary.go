@@ -1,0 +1,357 @@
+package knowledge
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"namer/internal/confusion"
+	"namer/internal/ml"
+	"namer/internal/namepath"
+	"namer/internal/pattern"
+)
+
+// Binary format (all integers are unsigned varints unless noted):
+//
+//	magic      4 bytes  0x9E 'N' 'K' 'B'
+//	version    varint   currently 1
+//	strings    count, then per string: length + raw bytes
+//	lang       string id
+//	pairs      count, then per pair: mistaken id, correct id, count
+//	patterns   count, then per pattern:
+//	             type, Count, MatchCount, SatisfyCount,
+//	             len(Condition) + paths, len(Deduction) + paths
+//	             (path = len(Prefix), per elem: value id + index, end id)
+//	classifier 0 or 1; when 1: UsePCA byte, Mean, Std, PCAMean,
+//	             PCACols (row count, then rows), Weights, Bias
+//	             (float slice = count + 8-byte little-endian IEEE754 each)
+//
+// Every name component is an index into the interned string table, so a
+// subtoken that appears in thousands of paths is stored once. The empty
+// string is a valid table entry (it encodes the symbolic path end ϵ).
+
+// magic identifies a binary knowledge file. The first byte is outside
+// ASCII so binary artifacts can never be confused with JSON.
+var magic = [4]byte{0x9E, 'N', 'K', 'B'}
+
+// Version is the current binary format version. Decoders reject higher
+// versions with a descriptive error instead of misparsing.
+const Version = 1
+
+// Decode sanity bounds: counts above these limits indicate a corrupt or
+// hostile file and fail fast instead of attempting a giant allocation.
+const (
+	maxStrings   = 1 << 26
+	maxStringLen = 1 << 22
+	maxPairs     = 1 << 26
+	maxPatterns  = 1 << 26
+	maxPaths     = 1 << 16
+	maxElems     = 1 << 16
+	maxFloats    = 1 << 24
+)
+
+// EncodeBinary renders the artifact in the compact binary format.
+func EncodeBinary(a *Artifact) ([]byte, error) {
+	e := &encoder{byString: make(map[string]uint64)}
+
+	// Pass 1: intern every string in deterministic order.
+	e.intern(a.Lang)
+	pairs := orderedPairs(a.Pairs)
+	for _, p := range pairs {
+		e.intern(p[0])
+		e.intern(p[1])
+	}
+	for _, p := range a.Patterns {
+		for _, np := range p.Condition {
+			e.internPath(np)
+		}
+		for _, np := range p.Deduction {
+			e.internPath(np)
+		}
+	}
+
+	// Pass 2: emit.
+	e.buf = append(e.buf, magic[:]...)
+	e.uvarint(Version)
+	e.uvarint(uint64(len(e.strings)))
+	for _, s := range e.strings {
+		e.str(s)
+	}
+	e.uvarint(e.byString[a.Lang])
+	e.uvarint(uint64(len(pairs)))
+	for _, p := range pairs {
+		e.uvarint(e.byString[p[0]])
+		e.uvarint(e.byString[p[1]])
+		e.uvarint(uint64(a.Pairs.Count(p[0], p[1])))
+	}
+	e.uvarint(uint64(len(a.Patterns)))
+	for _, p := range a.Patterns {
+		e.uvarint(uint64(p.Type))
+		e.uvarint(uint64(p.Count))
+		e.uvarint(uint64(p.MatchCount))
+		e.uvarint(uint64(p.SatisfyCount))
+		e.paths(p.Condition)
+		e.paths(p.Deduction)
+	}
+	if a.Classifier == nil {
+		e.buf = append(e.buf, 0)
+	} else {
+		c := a.Classifier
+		e.buf = append(e.buf, 1)
+		if c.UsePCA {
+			e.buf = append(e.buf, 1)
+		} else {
+			e.buf = append(e.buf, 0)
+		}
+		e.floats(c.Mean)
+		e.floats(c.Std)
+		e.floats(c.PCAMean)
+		e.uvarint(uint64(len(c.PCACols)))
+		for _, row := range c.PCACols {
+			e.floats(row)
+		}
+		e.floats(c.Weights)
+		e.float(c.Bias)
+	}
+	return e.buf, nil
+}
+
+// orderedPairs returns the pair set in its canonical (count-desc,
+// lexicographic) order; nil sets encode as empty.
+func orderedPairs(ps *confusion.PairSet) [][2]string {
+	if ps == nil {
+		return nil
+	}
+	return ps.Pairs()
+}
+
+type encoder struct {
+	buf      []byte
+	strings  []string
+	byString map[string]uint64
+	scratch  [binary.MaxVarintLen64]byte
+}
+
+func (e *encoder) intern(s string) {
+	if _, ok := e.byString[s]; ok {
+		return
+	}
+	e.byString[s] = uint64(len(e.strings))
+	e.strings = append(e.strings, s)
+}
+
+func (e *encoder) internPath(p namepath.Path) {
+	for _, el := range p.Prefix {
+		e.intern(el.Value)
+	}
+	e.intern(p.End)
+}
+
+func (e *encoder) uvarint(v uint64) {
+	n := binary.PutUvarint(e.scratch[:], v)
+	e.buf = append(e.buf, e.scratch[:n]...)
+}
+
+func (e *encoder) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *encoder) paths(ps []namepath.Path) {
+	e.uvarint(uint64(len(ps)))
+	for _, p := range ps {
+		e.uvarint(uint64(len(p.Prefix)))
+		for _, el := range p.Prefix {
+			e.uvarint(e.byString[el.Value])
+			e.uvarint(uint64(el.Index))
+		}
+		e.uvarint(e.byString[p.End])
+	}
+}
+
+func (e *encoder) float(f float64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+	e.buf = append(e.buf, b[:]...)
+}
+
+func (e *encoder) floats(fs []float64) {
+	e.uvarint(uint64(len(fs)))
+	for _, f := range fs {
+		e.float(f)
+	}
+}
+
+// DecodeBinary parses a binary artifact, validating the magic, version,
+// and every internal reference. Corrupt, truncated, or future-versioned
+// inputs return descriptive errors — never panics.
+func DecodeBinary(data []byte) (a *Artifact, err error) {
+	defer func() {
+		// The decoder bounds-checks everything it reads, but a decode
+		// panic must surface as a corrupt-file error, not kill a serving
+		// process.
+		if r := recover(); r != nil {
+			a, err = nil, fmt.Errorf("knowledge: corrupt binary artifact: %v", r)
+		}
+	}()
+	d := &decoder{buf: data}
+	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic[:]) {
+		return nil, fmt.Errorf("knowledge: not a binary knowledge file (bad magic)")
+	}
+	d.pos = len(magic)
+	version := d.uvarint("version")
+	if version != Version {
+		return nil, fmt.Errorf("knowledge: unsupported binary version %d (this build reads version %d)",
+			version, Version)
+	}
+
+	nstr := d.count("string table size", maxStrings)
+	strings := make([]string, nstr)
+	for i := range strings {
+		strings[i] = d.str()
+	}
+	stringAt := func(what string) string {
+		id := d.uvarint(what)
+		if id >= uint64(len(strings)) {
+			d.failf("%s: string id %d out of range (table has %d)", what, id, len(strings))
+		}
+		return strings[id]
+	}
+
+	a = &Artifact{Lang: stringAt("lang"), Pairs: confusion.NewPairSet()}
+	npairs := d.count("pair count", maxPairs)
+	for i := 0; i < npairs; i++ {
+		mistaken := stringAt("pair mistaken word")
+		correct := stringAt("pair correct word")
+		n := d.uvarint("pair count value")
+		a.Pairs.AddN(mistaken, correct, int(n))
+	}
+
+	npat := d.count("pattern count", maxPatterns)
+	a.Patterns = make([]*pattern.Pattern, 0, npat)
+	readPaths := func() []namepath.Path {
+		n := d.count("path count", maxPaths)
+		out := make([]namepath.Path, 0, n)
+		for i := 0; i < n; i++ {
+			ne := d.count("path prefix length", maxElems)
+			p := namepath.Path{Prefix: make([]namepath.Elem, 0, ne)}
+			for j := 0; j < ne; j++ {
+				v := stringAt("path element value")
+				idx := d.uvarint("path element index")
+				p.Prefix = append(p.Prefix, namepath.Elem{Value: v, Index: int(idx)})
+			}
+			p.End = stringAt("path end")
+			out = append(out, p.Memoized())
+		}
+		return out
+	}
+	for i := 0; i < npat; i++ {
+		p := &pattern.Pattern{Type: pattern.Type(d.uvarint("pattern type"))}
+		p.Count = int(d.uvarint("pattern count stat"))
+		p.MatchCount = int(d.uvarint("pattern match count"))
+		p.SatisfyCount = int(d.uvarint("pattern satisfy count"))
+		p.Condition = readPaths()
+		p.Deduction = readPaths()
+		if !p.Valid() {
+			return nil, fmt.Errorf("knowledge: pattern %d is invalid for type %v", i, p.Type)
+		}
+		a.Patterns = append(a.Patterns, p)
+	}
+	warmPatterns(a.Patterns)
+
+	switch d.byte("classifier flag") {
+	case 0:
+	case 1:
+		c := &ml.PipelineState{}
+		c.UsePCA = d.byte("pca flag") != 0
+		c.Mean = d.floats("mean")
+		c.Std = d.floats("std")
+		c.PCAMean = d.floats("pca mean")
+		rows := d.count("pca rows", maxFloats)
+		for i := 0; i < rows; i++ {
+			c.PCACols = append(c.PCACols, d.floats("pca row"))
+		}
+		c.Weights = d.floats("weights")
+		c.Bias = d.float("bias")
+		a.Classifier = c
+	default:
+		return nil, fmt.Errorf("knowledge: corrupt classifier flag")
+	}
+	if d.pos != len(d.buf) {
+		return nil, fmt.Errorf("knowledge: %d trailing bytes after artifact", len(d.buf)-d.pos)
+	}
+	return a, nil
+}
+
+// decoder reads the buffer sequentially. Malformed input aborts via a
+// decodeError panic, converted to an error at the DecodeBinary boundary —
+// this keeps the happy path free of error plumbing on every varint.
+type decoder struct {
+	buf []byte
+	pos int
+}
+
+type decodeError struct{ msg string }
+
+func (e decodeError) String() string { return e.msg }
+
+func (d *decoder) failf(format string, args ...any) {
+	panic(decodeError{fmt.Sprintf(format, args...)})
+}
+
+func (d *decoder) uvarint(what string) uint64 {
+	v, n := binary.Uvarint(d.buf[d.pos:])
+	if n <= 0 {
+		d.failf("truncated %s at byte %d: %v", what, d.pos, io.ErrUnexpectedEOF)
+	}
+	d.pos += n
+	return v
+}
+
+// count reads a varint meant to size an allocation, rejecting values past
+// the sanity limit or past what the remaining bytes could possibly hold.
+func (d *decoder) count(what string, limit int) int {
+	v := d.uvarint(what)
+	if v > uint64(limit) || v > uint64(len(d.buf)-d.pos) {
+		d.failf("implausible %s %d at byte %d", what, v, d.pos)
+	}
+	return int(v)
+}
+
+func (d *decoder) byte(what string) byte {
+	if d.pos >= len(d.buf) {
+		d.failf("truncated %s at byte %d: %v", what, d.pos, io.ErrUnexpectedEOF)
+	}
+	b := d.buf[d.pos]
+	d.pos++
+	return b
+}
+
+func (d *decoder) str() string {
+	n := d.count("string length", maxStringLen)
+	s := string(d.buf[d.pos : d.pos+n])
+	d.pos += n
+	return s
+}
+
+func (d *decoder) float(what string) float64 {
+	if len(d.buf)-d.pos < 8 {
+		d.failf("truncated %s at byte %d: %v", what, d.pos, io.ErrUnexpectedEOF)
+	}
+	f := math.Float64frombits(binary.LittleEndian.Uint64(d.buf[d.pos:]))
+	d.pos += 8
+	return f
+}
+
+func (d *decoder) floats(what string) []float64 {
+	n := d.count(what+" length", maxFloats)
+	if n == 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = d.float(what)
+	}
+	return out
+}

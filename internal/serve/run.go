@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"time"
+)
+
+// NewHTTPServer wraps a handler in an http.Server with sane production
+// timeouts: slowloris-resistant header reads and a write deadline a bit
+// past the scan timeout so responses are never cut off mid-scan.
+func NewHTTPServer(h http.Handler, scanTimeout time.Duration) *http.Server {
+	if scanTimeout <= 0 {
+		scanTimeout = DefaultScanTimeout
+	}
+	return &http.Server{
+		Handler:           h,
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       scanTimeout,
+		WriteTimeout:      scanTimeout + 10*time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// RunUntilSignal serves srv on ln until one of the signals arrives (or
+// the server fails), then shuts down gracefully: the listener closes
+// immediately, in-flight requests get up to grace to complete, and only
+// then does the call return. A nil error means a clean shutdown.
+func RunUntilSignal(srv *http.Server, ln net.Listener, grace time.Duration, signals ...os.Signal) error {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, signals...)
+	defer signal.Stop(stop)
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errCh:
+		// Serve never returns nil; ErrServerClosed only happens when
+		// someone else shut the server down, which is still clean.
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-stop:
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		return err
+	}
+	<-errCh // Serve has returned ErrServerClosed by now.
+	return nil
+}

@@ -1,0 +1,297 @@
+// Package serve implements the HTTP serving layer over mined knowledge:
+// a long-running daemon loads the knowledge artifact once and answers
+// scan requests (source snippet in, classified violations + suggested
+// fixes out) using the read-only detached scan path of internal/core.
+//
+// Endpoints:
+//
+//	GET  /healthz     liveness + knowledge summary
+//	POST /v1/scan     scan source for naming issues
+//	GET  /debug/vars  expvar counters (requests, violations, latency)
+//
+// The handler is safe for arbitrary concurrency: all shared state (the
+// pattern index, pair set, classifier) is read-only after load, and every
+// request keeps its own statement and statistics storage.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"time"
+
+	"namer/internal/ast"
+	"namer/internal/core"
+)
+
+// Config tunes the request handling limits.
+type Config struct {
+	// MaxBodyBytes bounds the request body size; 0 means DefaultMaxBody.
+	MaxBodyBytes int64
+	// ScanTimeout bounds the analysis time of one request; 0 means
+	// DefaultScanTimeout.
+	ScanTimeout time.Duration
+	// KnowledgeInfo describes the loaded artifact (path, format, version)
+	// for /healthz and the expvar page.
+	KnowledgeInfo string
+}
+
+// Defaults for the zero Config.
+const (
+	DefaultMaxBody     = 4 << 20
+	DefaultScanTimeout = 30 * time.Second
+)
+
+// Server answers scan requests against one loaded knowledge artifact.
+type Server struct {
+	sys *core.System
+	cfg Config
+	mux *http.ServeMux
+}
+
+// Package-level expvar counters, registered once: expvar panics on
+// duplicate names, and all Servers in a process share the counter page.
+var (
+	statRequests   = expvar.NewInt("namer_requests")
+	statBadRequest = expvar.NewInt("namer_bad_requests")
+	statScans      = expvar.NewInt("namer_scans")
+	statViolations = expvar.NewInt("namer_violations")
+	statReported   = expvar.NewInt("namer_reported")
+	statScanNanos  = expvar.NewInt("namer_scan_nanos")
+	statKnowledge  = expvar.NewString("namer_knowledge")
+)
+
+// New builds a server over a system with imported knowledge. The system
+// must not be mutated after this point.
+func New(sys *core.System, cfg Config) *Server {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = DefaultMaxBody
+	}
+	if cfg.ScanTimeout <= 0 {
+		cfg.ScanTimeout = DefaultScanTimeout
+	}
+	sv := &Server{sys: sys, cfg: cfg, mux: http.NewServeMux()}
+	statKnowledge.Set(cfg.KnowledgeInfo)
+	sv.mux.HandleFunc("/healthz", sv.handleHealth)
+	sv.mux.HandleFunc("/v1/scan", sv.handleScan)
+	sv.mux.Handle("/debug/vars", expvar.Handler())
+	return sv
+}
+
+// Handler returns the HTTP handler for the server's endpoints.
+func (sv *Server) Handler() http.Handler { return sv.mux }
+
+// ScanFile is one source file in a scan request.
+type ScanFile struct {
+	Path   string `json:"path"`
+	Source string `json:"source"`
+}
+
+// ScanRequest is the POST /v1/scan body. Either Source (a single snippet)
+// or Files must be set. Lang is optional and must match the loaded
+// knowledge when present.
+type ScanRequest struct {
+	Lang   string     `json:"lang,omitempty"`
+	Path   string     `json:"path,omitempty"`
+	Source string     `json:"source,omitempty"`
+	Files  []ScanFile `json:"files,omitempty"`
+	// All includes violations the classifier rejects (they carry
+	// "classified": false), the "w/o C" view.
+	All bool `json:"all,omitempty"`
+}
+
+// ScanViolation is one reported naming issue.
+type ScanViolation struct {
+	Path        string `json:"path"`
+	Line        int    `json:"line"`
+	SourceLine  string `json:"source_line,omitempty"`
+	Original    string `json:"original"`
+	Suggested   string `json:"suggested"`
+	PatternType string `json:"pattern_type"`
+	// Fix is the full-identifier rewrite when it can be located
+	// unambiguously on the line, e.g. "upload_cnt -> upload_count".
+	Fix string `json:"fix,omitempty"`
+	// Classified is the defect classifier's verdict; without a trained
+	// classifier every violation is reported as true.
+	Classified bool `json:"classified"`
+}
+
+// ScanResponse is the POST /v1/scan reply.
+type ScanResponse struct {
+	Lang       string          `json:"lang"`
+	Files      int             `json:"files"`
+	Statements int             `json:"statements"`
+	Violations []ScanViolation `json:"violations"`
+	Errors     []string        `json:"errors,omitempty"`
+	ScanMillis float64         `json:"scan_millis"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func (sv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":     "ok",
+		"lang":       sv.sys.Config().Lang.String(),
+		"patterns":   len(sv.sys.Patterns),
+		"pairs":      sv.sys.Pairs.Len(),
+		"classifier": sv.sys.HasClassifier(),
+		"knowledge":  sv.cfg.KnowledgeInfo,
+	})
+}
+
+func (sv *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	statRequests.Add(1)
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		sv.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, sv.cfg.MaxBodyBytes)
+	var req ScanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			sv.fail(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("request body exceeds %d bytes", sv.cfg.MaxBodyBytes))
+			return
+		}
+		sv.fail(w, http.StatusBadRequest, "malformed JSON body: "+err.Error())
+		return
+	}
+
+	lang := sv.sys.Config().Lang
+	if req.Lang != "" {
+		got, err := ast.ParseLanguage(req.Lang)
+		if err != nil {
+			sv.fail(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		if got != lang {
+			sv.fail(w, http.StatusBadRequest, fmt.Sprintf(
+				"knowledge is for %v, request is %v", lang, got))
+			return
+		}
+	}
+	files := req.Files
+	if req.Source != "" {
+		path := req.Path
+		if path == "" {
+			path = "snippet" + extFor(lang)
+		}
+		files = append([]ScanFile{{Path: path, Source: req.Source}}, files...)
+	}
+	if len(files) == 0 {
+		sv.fail(w, http.StatusBadRequest, `provide "source" or "files"`)
+		return
+	}
+
+	resp, err := sv.scan(r.Context(), lang, files, req.All)
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) {
+			sv.fail(w, http.StatusServiceUnavailable, "scan timed out")
+			return
+		}
+		sv.fail(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// scan parses and scans the request files with the detached read-only
+// path, bounded by the configured timeout. The scan itself runs in a
+// helper goroutine so a stuck analysis cannot pin the handler past its
+// deadline (the goroutine finishes in the background; the system has no
+// unbounded analyses, so this is a latency bound, not a leak risk).
+func (sv *Server) scan(ctx context.Context, lang ast.Language, files []ScanFile, all bool) (*ScanResponse, error) {
+	ctx, cancel := context.WithTimeout(ctx, sv.cfg.ScanTimeout)
+	defer cancel()
+
+	type outcome struct {
+		resp *ScanResponse
+	}
+	done := make(chan outcome, 1)
+	start := time.Now()
+	go func() {
+		resp := &ScanResponse{Lang: lang.String(), Violations: []ScanViolation{}}
+		var inputs []*core.InputFile
+		for _, f := range files {
+			root, err := core.ParseSource(lang, f.Source)
+			if err != nil {
+				resp.Errors = append(resp.Errors, fmt.Sprintf("%s: %v", f.Path, err))
+				continue
+			}
+			inputs = append(inputs, &core.InputFile{
+				Repo: "request", Path: f.Path, Source: f.Source, Root: root,
+			})
+		}
+		resp.Files = len(inputs)
+		res := sv.sys.ScanFiles(inputs)
+		resp.Statements = res.Statements
+		for _, e := range res.Errors {
+			resp.Errors = append(resp.Errors, e.Error())
+		}
+		statScans.Add(1)
+		statViolations.Add(int64(len(res.Violations)))
+		for _, v := range res.Violations {
+			classified := sv.sys.ClassifyIn(res.Stats, v)
+			if !classified && !all {
+				continue
+			}
+			out := ScanViolation{
+				Path:        v.Stmt.Path,
+				Line:        v.Stmt.Line,
+				SourceLine:  v.Stmt.SourceLine,
+				Original:    v.Detail.Original,
+				Suggested:   v.Detail.Suggested,
+				PatternType: v.Pattern.Type.String(),
+				Classified:  classified,
+			}
+			if from, to, ok := v.SuggestFixedName(); ok {
+				out.Fix = from + " -> " + to
+			}
+			if classified {
+				statReported.Add(1)
+			}
+			resp.Violations = append(resp.Violations, out)
+		}
+		resp.ScanMillis = float64(time.Since(start).Microseconds()) / 1000
+		statScanNanos.Add(time.Since(start).Nanoseconds())
+		done <- outcome{resp: resp}
+	}()
+
+	select {
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	case o := <-done:
+		return o.resp, nil
+	}
+}
+
+func (sv *Server) fail(w http.ResponseWriter, code int, msg string) {
+	statBadRequest.Add(1)
+	writeJSON(w, code, errorResponse{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	enc.Encode(v)
+}
+
+// extFor returns the snippet filename extension for a language.
+func extFor(lang ast.Language) string {
+	switch lang {
+	case ast.Java:
+		return ".java"
+	case ast.Go:
+		return ".go"
+	}
+	return ".py"
+}

@@ -1,0 +1,302 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"namer/internal/ast"
+	"namer/internal/core"
+	"namer/internal/corpus"
+)
+
+// newTestServer mines a small Python corpus and wraps it in a Server; the
+// returned sources are corpus files usable as scan request bodies.
+func newTestServer(t *testing.T) (*Server, []string) {
+	t.Helper()
+	ccfg := corpus.DefaultConfig(ast.Python)
+	ccfg.Repos = 20
+	ccfg.FilesPerRepo = 4
+	ccfg.IssueRate = 0.08
+	c := corpus.Generate(ccfg)
+
+	cfg := core.DefaultConfig(ast.Python)
+	cfg.Mining.MinPatternCount = 25
+	sys := core.NewSystem(cfg)
+	sys.MinePairs(c.Commits)
+	var files []*core.InputFile
+	var sources []string
+	for _, r := range c.Repos {
+		for _, f := range r.Files {
+			files = append(files, &core.InputFile{Repo: r.Name, Path: f.Path, Source: f.Source, Root: f.Root})
+			sources = append(sources, f.Source)
+		}
+	}
+	if errs := sys.ProcessFiles(files); len(errs) != 0 {
+		t.Fatalf("process errors: %v", errs)
+	}
+	sys.MinePatterns()
+	if len(sys.Patterns) == 0 {
+		t.Fatal("no patterns mined")
+	}
+
+	// Round-trip through the artifact so the serve path runs exactly what
+	// a daemon would load from disk.
+	k, err := sys.ExportKnowledge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := core.NewSystem(core.DefaultConfig(ast.Python))
+	if err := fresh.ImportKnowledge(k); err != nil {
+		t.Fatal(err)
+	}
+	return New(fresh, Config{KnowledgeInfo: "test knowledge"}), sources
+}
+
+func postScan(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/scan", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func TestHealthz(t *testing.T) {
+	sv, _ := newTestServer(t)
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+	var health struct {
+		Status   string `json:"status"`
+		Lang     string `json:"lang"`
+		Patterns int    `json:"patterns"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "ok" || health.Lang != "Python" || health.Patterns == 0 {
+		t.Fatalf("unexpected health: %+v", health)
+	}
+}
+
+func TestScanEndpoint(t *testing.T) {
+	sv, sources := newTestServer(t)
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(ScanRequest{Lang: "python", Source: sources[0], All: true})
+	resp, data := postScan(t, ts.URL, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scan: %d: %s", resp.StatusCode, data)
+	}
+	var out ScanResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatalf("bad response %s: %v", data, err)
+	}
+	if out.Files != 1 || out.Statements == 0 {
+		t.Fatalf("unexpected response: %+v", out)
+	}
+	// Scanning every corpus file must surface at least one violation
+	// somewhere (the corpus injects issues).
+	total := 0
+	for _, src := range sources {
+		b, _ := json.Marshal(ScanRequest{Source: src, All: true})
+		_, data := postScan(t, ts.URL, string(b))
+		var r ScanResponse
+		if err := json.Unmarshal(data, &r); err != nil {
+			t.Fatal(err)
+		}
+		total += len(r.Violations)
+	}
+	if total == 0 {
+		t.Fatal("no violations across the whole corpus")
+	}
+}
+
+func TestScanRejectsBadRequests(t *testing.T) {
+	sv, _ := newTestServer(t)
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed JSON", `{"source": "x`, http.StatusBadRequest},
+		{"empty request", `{}`, http.StatusBadRequest},
+		{"unknown lang", `{"lang":"cobol","source":"x = 1\n"}`, http.StatusBadRequest},
+		{"lang mismatch", `{"lang":"java","source":"x = 1\n"}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, data := postScan(t, ts.URL, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: got %d want %d (%s)", tc.name, resp.StatusCode, tc.want, data)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body not JSON: %s", tc.name, data)
+		}
+	}
+
+	// Malformed *source* (unparseable python) is a 200 with a per-file
+	// error — the daemon survives and says why.
+	resp, data := postScan(t, ts.URL, `{"source":"def f(:\n  ))("}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("malformed source: got %d (%s)", resp.StatusCode, data)
+	}
+	var out ScanResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Errors) == 0 {
+		t.Fatalf("expected a per-file error, got %+v", out)
+	}
+
+	// GET is not allowed.
+	resp2, err := http.Get(ts.URL + "/v1/scan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET scan: %d", resp2.StatusCode)
+	}
+}
+
+func TestScanBodyLimit(t *testing.T) {
+	sv, _ := newTestServer(t)
+	// Shrink the limit so the test stays fast.
+	sv.cfg.MaxBodyBytes = 1024
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	big := fmt.Sprintf(`{"source": %q}`, strings.Repeat("x = 1\n", 4096))
+	resp, _ := postScan(t, ts.URL, big)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: got %d want 413", resp.StatusCode)
+	}
+}
+
+// TestConcurrentScans hammers /v1/scan from many goroutines; under
+// `go test -race` this proves the serve path shares the system read-only.
+func TestConcurrentScans(t *testing.T) {
+	sv, sources := newTestServer(t)
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	const workers = 8
+	const perWorker = 6
+	var wg sync.WaitGroup
+	errCh := make(chan error, workers*perWorker)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				src := sources[(w*perWorker+i)%len(sources)]
+				body, _ := json.Marshal(ScanRequest{Source: src, All: true})
+				resp, err := http.Post(ts.URL+"/v1/scan", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				data, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("status %d: %s", resp.StatusCode, data)
+					return
+				}
+				var out ScanResponse
+				if err := json.Unmarshal(data, &out); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestGracefulShutdownCompletesInflight starts the real server loop,
+// fires a scan, and shuts down while it may still be in flight: the
+// response must complete with 200 and the server must exit cleanly.
+func TestGracefulShutdownCompletesInflight(t *testing.T) {
+	sv, sources := newTestServer(t)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewHTTPServer(sv.Handler(), 0)
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	url := "http://" + ln.Addr().String()
+
+	// Batch all corpus files into one request so the scan takes a
+	// nontrivial amount of work.
+	var req ScanRequest
+	for i, src := range sources {
+		req.Files = append(req.Files, ScanFile{Path: fmt.Sprintf("f%d.py", i), Source: src})
+	}
+	body, _ := json.Marshal(req)
+
+	respCh := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(url+"/v1/scan", "application/json", bytes.NewReader(body))
+		if err != nil {
+			respCh <- err
+			return
+		}
+		defer resp.Body.Close()
+		if _, err := io.ReadAll(resp.Body); err != nil {
+			respCh <- err
+			return
+		}
+		if resp.StatusCode != http.StatusOK {
+			respCh <- fmt.Errorf("status %d", resp.StatusCode)
+			return
+		}
+		respCh <- nil
+	}()
+
+	// Give the request a moment to hit the handler, then shut down.
+	time.Sleep(10 * time.Millisecond)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-respCh; err != nil {
+		t.Fatalf("in-flight request dropped: %v", err)
+	}
+	if err := <-serveErr; err != http.ErrServerClosed {
+		t.Fatalf("serve returned %v", err)
+	}
+}
