@@ -34,12 +34,17 @@ race:
 # into BENCH_mining.json so the perf trajectory is tracked per commit.
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkScan$$|BenchmarkPruneUncommon|BenchmarkMinePatterns' -benchmem .
+	$(GO) test -run xxx -bench 'BenchmarkServeScan$$' -benchmem ./internal/serve
 	BENCH_JSON=BENCH_mining.json $(GO) test -run 'TestWriteMiningBenchJSON$$' -count=1 -v .
 	BENCH_KNOWLEDGE_JSON=BENCH_knowledge.json $(GO) test -run 'TestWriteKnowledgeBenchJSON$$' -count=1 -v .
+	BENCH_SERVE_JSON=$(CURDIR)/BENCH_serve.json $(GO) test -run 'TestWriteServeBenchJSON$$' -count=1 -v ./internal/serve
 
 # End-to-end smoke test of the serving layer: generate a corpus, mine
 # binary knowledge, boot namer-serve on a random port, and require 200s
-# from /healthz and /v1/scan. A TERM at the end checks clean shutdown.
+# from /healthz and /v1/scan. The /metrics scrape must parse as
+# Prometheus text format and carry the request counter and every
+# parse/scan/classify stage histogram. A TERM at the end checks clean
+# shutdown.
 serve-smoke:
 	@set -e; \
 	tmp=$$(mktemp -d); \
@@ -60,6 +65,21 @@ serve-smoke:
 	[ "$$code" = 200 ] || { echo "serve-smoke: /v1/scan returned $$code"; cat "$$tmp/scan.json"; exit 1; }; \
 	code=$$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"source":"def f(:\n"}' "http://$$addr/v1/scan"); \
 	[ "$$code" = 200 ] || { echo "serve-smoke: malformed-source scan returned $$code"; exit 1; }; \
+	code=$$(curl -s -o "$$tmp/metrics.txt" -w '%{http_code}' "http://$$addr/metrics"); \
+	[ "$$code" = 200 ] || { echo "serve-smoke: /metrics returned $$code"; exit 1; }; \
+	for series in 'namer_scan_requests_total' 'namer_scans_total' \
+		'namer_request_seconds_bucket' \
+		'namer_stage_seconds_bucket{stage="parse",le="+Inf"}' \
+		'namer_stage_seconds_bucket{stage="scan",le="+Inf"}' \
+		'namer_stage_seconds_bucket{stage="classify",le="+Inf"}' \
+		'namer_http_responses_total{status="200"}' \
+		'namer_scan_inflight'; do \
+		grep -qF "$$series" "$$tmp/metrics.txt" || \
+			{ echo "serve-smoke: /metrics missing $$series"; cat "$$tmp/metrics.txt"; exit 1; }; \
+	done; \
+	bad=$$(grep -cvE '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(_bucket|_sum|_count)?(\{[^{}]*\})? -?[0-9.eE+-]+|)$$' "$$tmp/metrics.txt" || true); \
+	[ "$$bad" = 0 ] || { echo "serve-smoke: $$bad unparsable /metrics lines"; \
+		grep -vE '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(_bucket|_sum|_count)?(\{[^{}]*\})? -?[0-9.eE+-]+|)$$' "$$tmp/metrics.txt"; exit 1; }; \
 	kill -TERM $$pid; wait $$pid || { echo "serve-smoke: unclean shutdown"; exit 1; }; \
 	pid=; \
 	echo "serve-smoke: ok ($$addr)"

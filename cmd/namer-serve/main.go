@@ -8,7 +8,11 @@
 //	curl -X POST localhost:8737/v1/scan \
 //	     -d '{"lang":"python","source":"upload_cnt = upload_count + 1\n"}'
 //
-// Liveness is at /healthz, runtime counters at /debug/vars (expvar).
+// Liveness is at /healthz, Prometheus counters and latency histograms
+// at /metrics, legacy expvar counters at /debug/vars, and profiling at
+// /debug/pprof (only with -pprof). Every request gets an X-Request-Id
+// and one JSON access-log line (-access-log, default stdout). Load past
+// -max-inflight concurrent scans is shed with 429 + Retry-After.
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, and
 // in-flight scans are given a grace period to finish responding.
 package main
@@ -24,6 +28,7 @@ import (
 	"namer/internal/ast"
 	"namer/internal/core"
 	"namer/internal/knowledge"
+	"namer/internal/obs"
 	"namer/internal/serve"
 )
 
@@ -32,6 +37,11 @@ func main() {
 	kpath := flag.String("knowledge", "knowledge.bin", "knowledge file from namer-mine/namer-train")
 	maxBody := flag.Int64("max-body", serve.DefaultMaxBody, "maximum request body size in bytes")
 	scanTimeout := flag.Duration("scan-timeout", serve.DefaultScanTimeout, "per-request scan deadline")
+	maxInFlight := flag.Int("max-inflight", serve.DefaultMaxInFlight,
+		"concurrent scan limit; excess requests are shed with 429")
+	accessLog := flag.String("access-log", "stdout",
+		"JSON access log destination: stdout, stderr, off, or a file path")
+	pprofFlag := flag.Bool("pprof", false, "expose profiling handlers under /debug/pprof/")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests")
 	readyFile := flag.String("ready-file", "",
 		"write the bound address to this file once listening (for scripts using port 0)")
@@ -48,17 +58,24 @@ func main() {
 		sys.Pairs.Len(), sys.HasClassifier())
 	fmt.Println("namer-serve: loaded", info)
 
+	logw, err := obs.OpenLogWriter(*accessLog)
+	if err != nil {
+		fatal(fmt.Errorf("opening access log: %w", err))
+	}
 	sv := serve.New(sys, serve.Config{
 		MaxBodyBytes:  *maxBody,
 		ScanTimeout:   *scanTimeout,
+		MaxInFlight:   *maxInFlight,
 		KnowledgeInfo: info,
+		AccessLog:     logw,
+		EnablePprof:   *pprofFlag,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
 	}
 	bound := ln.Addr().String()
-	fmt.Printf("namer-serve: listening on http://%s (POST /v1/scan, GET /healthz, GET /debug/vars)\n", bound)
+	fmt.Printf("namer-serve: listening on http://%s (POST /v1/scan, GET /healthz, GET /metrics, GET /debug/vars)\n", bound)
 	if *readyFile != "" {
 		if err := os.WriteFile(*readyFile, []byte(bound+"\n"), 0o644); err != nil {
 			ln.Close()
@@ -67,6 +84,7 @@ func main() {
 	}
 
 	srv := serve.NewHTTPServer(sv.Handler(), *scanTimeout)
+	serve.TrackConnections(srv, sv.Metrics())
 	if err := serve.RunUntilSignal(srv, ln, *grace, os.Interrupt, syscall.SIGTERM); err != nil {
 		fatal(err)
 	}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"namer/internal/ast"
 	"namer/internal/features"
@@ -32,6 +33,19 @@ func ParseSource(lang ast.Language, source string) (root *ast.Node, err error) {
 	return nil, fmt.Errorf("core: no parser for %v", lang)
 }
 
+// StageTimings breaks one detached scan into its two pipeline stages,
+// so the serving layer can export per-stage latency histograms and an
+// operator can tell front-end cost (analysis, AST+ transformation,
+// path extraction) apart from pattern-index matching.
+type StageTimings struct {
+	// Process is the per-file front-end time: points-to analysis,
+	// AST+ transformation, and name path extraction.
+	Process time.Duration
+	// Match is the pattern matching time: candidate lookup, predicate
+	// evaluation, explanation, and dedup.
+	Match time.Duration
+}
+
 // ScanResult is the outcome of a detached scan (ScanFiles).
 type ScanResult struct {
 	// Violations are the deduplicated pattern violations found in the
@@ -45,6 +59,8 @@ type ScanResult struct {
 	// Errors holds per-file analysis failures; files that fail are
 	// skipped, the rest are scanned normally.
 	Errors []error
+	// Timings records how long each scan stage took.
+	Timings StageTimings
 }
 
 // ScanFiles analyzes the given files against the system's mined knowledge
@@ -57,6 +73,7 @@ type ScanResult struct {
 func (s *System) ScanFiles(files []*InputFile) *ScanResult {
 	res := &ScanResult{Stats: features.NewIndex()}
 	var stmts []*ProcStmt
+	start := time.Now()
 	// Requests are small (a snippet or a handful of files); concurrency
 	// comes from scanning many requests at once, so each request is
 	// processed serially to avoid worker-pool churn per request.
@@ -72,10 +89,12 @@ func (s *System) ScanFiles(files []*InputFile) *ScanResult {
 		}
 	}
 	res.Statements = len(stmts)
+	res.Timings.Process = time.Since(start)
 	if s.index == nil {
 		// No knowledge imported/mined yet: nothing to match against.
 		return res
 	}
+	start = time.Now()
 	var vs []*Violation
 	for _, ps := range stmts {
 		for _, p := range s.index.Candidates(ps.PS) {
@@ -95,5 +114,6 @@ func (s *System) ScanFiles(files []*InputFile) *ScanResult {
 		}
 	}
 	res.Violations = Dedup(vs)
+	res.Timings.Match = time.Since(start)
 	return res
 }

@@ -222,3 +222,34 @@ func TestScanFilesMatchesScan(t *testing.T) {
 		t.Fatalf("ScanFiles appended %d statements to the system", len(fresh.Stmts))
 	}
 }
+
+// TestScanFilesTimings: the detached scan records per-stage wall times
+// (front-end processing vs pattern matching) for the serving layer's
+// latency histograms.
+func TestScanFilesTimings(t *testing.T) {
+	sys, c, _ := buildSystem(t, ast.Python, smallSystemConfig(ast.Python), smallCorpusConfig(ast.Python))
+	var files []*InputFile
+	for _, r := range c.Repos {
+		for _, f := range r.Files {
+			files = append(files, &InputFile{Repo: r.Name, Path: f.Path, Source: f.Source, Root: f.Root})
+		}
+	}
+	res := sys.ScanFiles(files)
+	if res.Timings.Process <= 0 {
+		t.Errorf("Process stage not timed: %v", res.Timings)
+	}
+	if res.Timings.Match <= 0 {
+		t.Errorf("Match stage not timed: %v", res.Timings)
+	}
+
+	// Without knowledge the match stage never runs: its timing stays
+	// zero while the front end is still recorded.
+	empty := NewSystem(DefaultConfig(ast.Python))
+	res2 := empty.ScanFiles(files[:1])
+	if res2.Timings.Process <= 0 {
+		t.Errorf("Process stage not timed without knowledge: %v", res2.Timings)
+	}
+	if res2.Timings.Match != 0 {
+		t.Errorf("Match stage timed with no pattern index: %v", res2.Timings)
+	}
+}

@@ -1,0 +1,360 @@
+// Package obs is the stdlib-only observability layer of the serving
+// stack: monotonic counters, gauges, fixed-bucket latency histograms
+// with quantile estimation, a registry that renders everything in the
+// Prometheus text exposition format, and an HTTP middleware that
+// assigns request ids and emits structured JSON access logs.
+//
+// Everything is safe for concurrent use. Counters and histograms are
+// lock-free on the hot path (atomic adds); the registry takes a mutex
+// only on metric creation and on scrape. There are no third-party
+// dependencies: the package exists so the daemon can be observed in
+// production without pulling a client library into the build.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric. The zero value is ready
+// to use, but counters should normally come from Registry.Counter so
+// they appear on /metrics.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (n must be >= 0; negative deltas are
+// ignored to keep the counter monotonic).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down (in-flight requests, open
+// connections).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Add moves the gauge by n (either sign).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// DefaultLatencyBuckets covers serving latencies from 100µs to 30s,
+// roughly exponential. The final +Inf bucket is implicit.
+var DefaultLatencyBuckets = []time.Duration{
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	50 * time.Millisecond,
+	100 * time.Millisecond,
+	250 * time.Millisecond,
+	500 * time.Millisecond,
+	1 * time.Second,
+	2500 * time.Millisecond,
+	5 * time.Second,
+	10 * time.Second,
+	30 * time.Second,
+}
+
+// Histogram is a fixed-bucket latency histogram. Buckets are cumulative
+// upper bounds in the Prometheus style; observations beyond the last
+// bound land in the implicit +Inf bucket. Observe is lock-free.
+type Histogram struct {
+	bounds []time.Duration // sorted upper bounds, +Inf implicit
+	counts []atomic.Int64  // len(bounds)+1, last is +Inf
+	sum    atomic.Int64    // nanoseconds
+	total  atomic.Int64
+}
+
+// NewHistogram builds a histogram over the given sorted upper bounds.
+// Passing nil uses DefaultLatencyBuckets.
+func NewHistogram(bounds []time.Duration) *Histogram {
+	if len(bounds) == 0 {
+		bounds = DefaultLatencyBuckets
+	}
+	for i := 1; i < len(bounds); i++ {
+		if bounds[i] <= bounds[i-1] {
+			panic(fmt.Sprintf("obs: histogram bounds not strictly increasing: %v", bounds))
+		}
+	}
+	return &Histogram{
+		bounds: append([]time.Duration(nil), bounds...),
+		counts: make([]atomic.Int64, len(bounds)+1),
+	}
+}
+
+// Observe records one duration. Negative durations count as zero.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	i := sort.Search(len(h.bounds), func(i int) bool { return d <= h.bounds[i] })
+	h.counts[i].Add(1)
+	h.sum.Add(int64(d))
+	h.total.Add(1)
+}
+
+// Count returns how many observations were recorded.
+func (h *Histogram) Count() int64 { return h.total.Load() }
+
+// Sum returns the total of all observed durations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
+
+// Quantile estimates the q-quantile (0 < q <= 1) from the bucket
+// counts by linear interpolation inside the target bucket, the same
+// estimate Prometheus' histogram_quantile computes. Observations in
+// the +Inf bucket clamp to the largest finite bound. Returns 0 when
+// the histogram is empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	total := h.total.Load()
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if cum+n < rank {
+			cum += n
+			continue
+		}
+		if i == len(h.bounds) {
+			// +Inf bucket: clamp to the largest finite bound.
+			return h.bounds[len(h.bounds)-1]
+		}
+		lo := time.Duration(0)
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		if n == 0 {
+			return hi
+		}
+		frac := (rank - cum) / n
+		return lo + time.Duration(frac*float64(hi-lo))
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
+// bucketCounts returns the per-bucket (non-cumulative) counts,
+// including the +Inf bucket, as a snapshot.
+func (h *Histogram) bucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Since is shorthand for Observe(time.Since(start)).
+func (h *Histogram) Since(start time.Time) { h.Observe(time.Since(start)) }
+
+// metricKind discriminates registry entries for the # TYPE line.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// entry is one registered series: a base name, an optional label set
+// (the `k="v",...` inside the braces), and the metric itself.
+type entry struct {
+	base   string
+	labels string
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds named metrics and renders them in the Prometheus text
+// format. Series names may carry labels inline: Counter(`x{code="200"}`)
+// and Counter(`x{code="500"}`) are two series of one metric family.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry // full name -> entry
+	order   []string          // insertion order of full names
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*entry{}}
+}
+
+// splitName separates `base{labels}` into base and the inner labels
+// (without braces); names without braces have empty labels.
+func splitName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+// get returns the entry for name, creating it (and its metric, under
+// the registry lock — concurrent first uses of one series must agree on
+// the object) with kind when absent. A name registered twice with
+// different kinds panics: that is a programming error, not a runtime
+// condition. bounds only applies to histograms.
+func (r *Registry) get(name string, kind metricKind, bounds []time.Duration) *entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e, ok := r.entries[name]; ok {
+		if e.kind != kind {
+			panic(fmt.Sprintf("obs: %s re-registered as %s (was %s)", name, kind, e.kind))
+		}
+		return e
+	}
+	base, labels := splitName(name)
+	e := &entry{base: base, labels: labels, kind: kind}
+	switch kind {
+	case kindCounter:
+		e.c = &Counter{}
+	case kindGauge:
+		e.g = &Gauge{}
+	case kindHistogram:
+		e.h = NewHistogram(bounds)
+	}
+	r.entries[name] = e
+	r.order = append(r.order, name)
+	return e
+}
+
+// Counter returns the counter series with the given name (which may
+// include labels), creating it on first use.
+func (r *Registry) Counter(name string) *Counter {
+	return r.get(name, kindCounter, nil).c
+}
+
+// Gauge returns the gauge series with the given name, creating it on
+// first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	return r.get(name, kindGauge, nil).g
+}
+
+// Histogram returns the histogram series with the given name, creating
+// it over bounds (nil = DefaultLatencyBuckets) on first use.
+func (r *Registry) Histogram(name string, bounds []time.Duration) *Histogram {
+	return r.get(name, kindHistogram, bounds).h
+}
+
+// seconds renders a duration as a float seconds literal.
+func seconds(d time.Duration) string {
+	return fmt.Sprintf("%g", d.Seconds())
+}
+
+// mergeLabels joins a series' own labels with an extra label into one
+// brace block, or returns "" when both are empty.
+func mergeLabels(labels, extra string) string {
+	switch {
+	case labels == "" && extra == "":
+		return ""
+	case labels == "":
+		return "{" + extra + "}"
+	case extra == "":
+		return "{" + labels + "}"
+	}
+	return "{" + labels + "," + extra + "}"
+}
+
+// WritePrometheus renders every registered series in the text
+// exposition format, families sorted by name with one # TYPE line each.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	entries := make([]*entry, len(names))
+	for i, n := range names {
+		entries[i] = r.entries[n]
+	}
+	r.mu.Unlock()
+
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].base != entries[j].base {
+			return entries[i].base < entries[j].base
+		}
+		return entries[i].labels < entries[j].labels
+	})
+
+	bw := bufio.NewWriter(w)
+	lastBase := ""
+	for _, e := range entries {
+		if e.base != lastBase {
+			fmt.Fprintf(bw, "# TYPE %s %s\n", e.base, e.kind)
+			lastBase = e.base
+		}
+		switch e.kind {
+		case kindCounter:
+			fmt.Fprintf(bw, "%s%s %d\n", e.base, mergeLabels(e.labels, ""), e.c.Value())
+		case kindGauge:
+			fmt.Fprintf(bw, "%s%s %d\n", e.base, mergeLabels(e.labels, ""), e.g.Value())
+		case kindHistogram:
+			var cum int64
+			counts := e.h.bucketCounts()
+			for i, n := range counts {
+				cum += n
+				le := "+Inf"
+				if i < len(e.h.bounds) {
+					le = seconds(e.h.bounds[i])
+				}
+				fmt.Fprintf(bw, "%s_bucket%s %d\n",
+					e.base, mergeLabels(e.labels, fmt.Sprintf("le=%q", le)), cum)
+			}
+			fmt.Fprintf(bw, "%s_sum%s %s\n", e.base, mergeLabels(e.labels, ""), seconds(e.h.Sum()))
+			fmt.Fprintf(bw, "%s_count%s %d\n", e.base, mergeLabels(e.labels, ""), cum)
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns an http.Handler that serves the registry as a
+// Prometheus scrape target (the /metrics endpoint).
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}

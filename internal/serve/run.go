@@ -8,6 +8,8 @@ import (
 	"os"
 	"os/signal"
 	"time"
+
+	"namer/internal/obs"
 )
 
 // NewHTTPServer wraps a handler in an http.Server with sane production
@@ -23,6 +25,25 @@ func NewHTTPServer(h http.Handler, scanTimeout time.Duration) *http.Server {
 		ReadTimeout:       scanTimeout,
 		WriteTimeout:      scanTimeout + 10*time.Second,
 		IdleTimeout:       2 * time.Minute,
+	}
+}
+
+// TrackConnections instruments srv so the number of open (non-idle
+// lifecycle: new through closed/hijacked) TCP connections is visible on
+// the registry as the namer_http_connections gauge. Call before Serve.
+func TrackConnections(srv *http.Server, reg *obs.Registry) {
+	g := reg.Gauge("namer_http_connections")
+	prev := srv.ConnState
+	srv.ConnState = func(c net.Conn, state http.ConnState) {
+		switch state {
+		case http.StateNew:
+			g.Add(1)
+		case http.StateClosed, http.StateHijacked:
+			g.Add(-1)
+		}
+		if prev != nil {
+			prev(c, state)
+		}
 	}
 }
 

@@ -5,13 +5,21 @@
 //
 // Endpoints:
 //
-//	GET  /healthz     liveness + knowledge summary
-//	POST /v1/scan     scan source for naming issues
-//	GET  /debug/vars  expvar counters (requests, violations, latency)
+//	GET  /healthz      liveness + knowledge summary
+//	POST /v1/scan      scan source for naming issues
+//	GET  /metrics      Prometheus text-format counters + latency histograms
+//	GET  /debug/vars   expvar counters (requests, violations, latency)
+//	GET  /debug/pprof  profiling handlers (only with Config.EnablePprof)
 //
 // The handler is safe for arbitrary concurrency: all shared state (the
 // pattern index, pair set, classifier) is read-only after load, and every
-// request keeps its own statement and statistics storage.
+// request keeps its own statement and statistics storage. Robustness
+// guarantees, in order of the request path: admission control sheds
+// load past Config.MaxInFlight with 429 + Retry-After instead of
+// queueing unboundedly; the analysis goroutine contains any panic, so a
+// pathological request costs one 500, never the process; client
+// disconnects are logged and dropped without 5xx accounting; scan
+// deadlines surface as 503.
 package serve
 
 import (
@@ -20,11 +28,18 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
+	"log"
 	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime/debug"
+	"strconv"
 	"time"
 
 	"namer/internal/ast"
 	"namer/internal/core"
+	"namer/internal/obs"
 )
 
 // Config tunes the request handling limits.
@@ -34,34 +49,84 @@ type Config struct {
 	// ScanTimeout bounds the analysis time of one request; 0 means
 	// DefaultScanTimeout.
 	ScanTimeout time.Duration
+	// MaxInFlight bounds how many scans execute concurrently; excess
+	// requests are shed immediately with 429 + Retry-After rather than
+	// queued. 0 means DefaultMaxInFlight.
+	MaxInFlight int
 	// KnowledgeInfo describes the loaded artifact (path, format, version)
 	// for /healthz and the expvar page.
 	KnowledgeInfo string
+	// AccessLog, when non-nil, receives one structured JSON line per
+	// request (method, path, status, bytes, duration, request id).
+	// Request ids are assigned either way.
+	AccessLog io.Writer
+	// ErrorLog receives server-side error messages (panic reports,
+	// dropped responses); nil logs to stderr.
+	ErrorLog *log.Logger
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
 }
 
 // Defaults for the zero Config.
 const (
 	DefaultMaxBody     = 4 << 20
 	DefaultScanTimeout = 30 * time.Second
+	DefaultMaxInFlight = 64
 )
 
 // Server answers scan requests against one loaded knowledge artifact.
 type Server struct {
-	sys *core.System
-	cfg Config
-	mux *http.ServeMux
+	sys     *core.System
+	cfg     Config
+	mux     *http.ServeMux
+	handler http.Handler
+	errlog  *log.Logger
+
+	// inflight is the admission-control semaphore: a slot is taken for
+	// the lifetime of one scan, and requests that cannot take one are
+	// shed with 429.
+	inflight chan struct{}
+
+	// analyze runs the parse -> scan -> classify pipeline for one
+	// request. It is a field so robustness tests can substitute a
+	// panicking or slow front-end stub.
+	analyze func(ctx context.Context, lang ast.Language, files []ScanFile, all bool) *ScanResponse
+
+	// Per-server metrics (the /metrics page). Unlike the expvar
+	// counters these are instance-scoped, so tests and multi-server
+	// processes see isolated numbers.
+	metrics   *obs.Registry
+	mRequests *obs.Counter
+	mShed     *obs.Counter
+	mPanics   *obs.Counter
+	mCanceled *obs.Counter
+	mTimeouts *obs.Counter
+	mScans    *obs.Counter
+	mViol     *obs.Counter
+	mReported *obs.Counter
+	gInflight *obs.Gauge
+	hRequest  *obs.Histogram
+	hParse    *obs.Histogram
+	hScan     *obs.Histogram
+	hClassify *obs.Histogram
+	hProcess  *obs.Histogram
+	hMatch    *obs.Histogram
 }
 
 // Package-level expvar counters, registered once: expvar panics on
 // duplicate names, and all Servers in a process share the counter page.
 var (
-	statRequests   = expvar.NewInt("namer_requests")
-	statBadRequest = expvar.NewInt("namer_bad_requests")
-	statScans      = expvar.NewInt("namer_scans")
-	statViolations = expvar.NewInt("namer_violations")
-	statReported   = expvar.NewInt("namer_reported")
-	statScanNanos  = expvar.NewInt("namer_scan_nanos")
-	statKnowledge  = expvar.NewString("namer_knowledge")
+	statRequests    = expvar.NewInt("namer_requests")
+	statBadRequest  = expvar.NewInt("namer_bad_requests")
+	statServerError = expvar.NewInt("namer_server_errors")
+	statShed        = expvar.NewInt("namer_shed")
+	statPanics      = expvar.NewInt("namer_scan_panics")
+	statCanceled    = expvar.NewInt("namer_canceled")
+	statScans       = expvar.NewInt("namer_scans")
+	statViolations  = expvar.NewInt("namer_violations")
+	statReported    = expvar.NewInt("namer_reported")
+	statScanNanos   = expvar.NewInt("namer_scan_nanos")
+	statKnowledge   = expvar.NewString("namer_knowledge")
 )
 
 // New builds a server over a system with imported knowledge. The system
@@ -73,16 +138,62 @@ func New(sys *core.System, cfg Config) *Server {
 	if cfg.ScanTimeout <= 0 {
 		cfg.ScanTimeout = DefaultScanTimeout
 	}
-	sv := &Server{sys: sys, cfg: cfg, mux: http.NewServeMux()}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = DefaultMaxInFlight
+	}
+	if cfg.ErrorLog == nil {
+		cfg.ErrorLog = log.New(os.Stderr, "", log.LstdFlags)
+	}
+	sv := &Server{
+		sys:      sys,
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		errlog:   cfg.ErrorLog,
+		inflight: make(chan struct{}, cfg.MaxInFlight),
+		metrics:  obs.NewRegistry(),
+	}
+	sv.analyze = sv.doAnalyze
+
+	sv.mRequests = sv.metrics.Counter("namer_scan_requests_total")
+	sv.mShed = sv.metrics.Counter("namer_scan_shed_total")
+	sv.mPanics = sv.metrics.Counter("namer_scan_panics_total")
+	sv.mCanceled = sv.metrics.Counter("namer_scan_canceled_total")
+	sv.mTimeouts = sv.metrics.Counter("namer_scan_timeouts_total")
+	sv.mScans = sv.metrics.Counter("namer_scans_total")
+	sv.mViol = sv.metrics.Counter("namer_violations_total")
+	sv.mReported = sv.metrics.Counter("namer_reported_total")
+	sv.gInflight = sv.metrics.Gauge("namer_scan_inflight")
+	sv.metrics.Gauge("namer_scan_inflight_limit").Set(int64(cfg.MaxInFlight))
+	sv.hRequest = sv.metrics.Histogram("namer_request_seconds", nil)
+	sv.hParse = sv.metrics.Histogram(`namer_stage_seconds{stage="parse"}`, nil)
+	sv.hScan = sv.metrics.Histogram(`namer_stage_seconds{stage="scan"}`, nil)
+	sv.hClassify = sv.metrics.Histogram(`namer_stage_seconds{stage="classify"}`, nil)
+	sv.hProcess = sv.metrics.Histogram(`namer_stage_seconds{stage="scan_process"}`, nil)
+	sv.hMatch = sv.metrics.Histogram(`namer_stage_seconds{stage="scan_match"}`, nil)
+
 	statKnowledge.Set(cfg.KnowledgeInfo)
 	sv.mux.HandleFunc("/healthz", sv.handleHealth)
 	sv.mux.HandleFunc("/v1/scan", sv.handleScan)
+	sv.mux.Handle("/metrics", sv.metrics.Handler())
 	sv.mux.Handle("/debug/vars", expvar.Handler())
+	if cfg.EnablePprof {
+		sv.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		sv.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		sv.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		sv.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		sv.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	sv.handler = obs.AccessLog(sv.mux, cfg.AccessLog)
 	return sv
 }
 
-// Handler returns the HTTP handler for the server's endpoints.
-func (sv *Server) Handler() http.Handler { return sv.mux }
+// Handler returns the HTTP handler for the server's endpoints, wrapped
+// in the request-id / access-log middleware.
+func (sv *Server) Handler() http.Handler { return sv.handler }
+
+// Metrics exposes the server's metric registry (what /metrics renders),
+// for benchmarks and embedding processes.
+func (sv *Server) Metrics() *obs.Registry { return sv.metrics }
 
 // ScanFile is one source file in a scan request.
 type ScanFile struct {
@@ -119,14 +230,17 @@ type ScanViolation struct {
 	Classified bool `json:"classified"`
 }
 
-// ScanResponse is the POST /v1/scan reply.
+// ScanResponse is the POST /v1/scan reply. FilesReceived counts the
+// inputs in the request; FilesScanned counts the subset that parsed —
+// the difference is itemized in Errors, never silently absorbed.
 type ScanResponse struct {
-	Lang       string          `json:"lang"`
-	Files      int             `json:"files"`
-	Statements int             `json:"statements"`
-	Violations []ScanViolation `json:"violations"`
-	Errors     []string        `json:"errors,omitempty"`
-	ScanMillis float64         `json:"scan_millis"`
+	Lang          string          `json:"lang"`
+	FilesReceived int             `json:"files_received"`
+	FilesScanned  int             `json:"files_scanned"`
+	Statements    int             `json:"statements"`
+	Violations    []ScanViolation `json:"violations"`
+	Errors        []string        `json:"errors,omitempty"`
+	ScanMillis    float64         `json:"scan_millis"`
 }
 
 type errorResponse struct {
@@ -134,7 +248,7 @@ type errorResponse struct {
 }
 
 func (sv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	sv.writeJSON(w, http.StatusOK, map[string]any{
 		"status":     "ok",
 		"lang":       sv.sys.Config().Lang.String(),
 		"patterns":   len(sv.sys.Patterns),
@@ -146,11 +260,36 @@ func (sv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (sv *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	statRequests.Add(1)
+	sv.mRequests.Inc()
+	start := time.Now()
+	defer func() { sv.hRequest.Since(start) }()
+
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		sv.fail(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
+
+	// Admission control: take an in-flight slot or shed the request
+	// before reading the body. A bounded semaphore instead of a queue
+	// means saturation costs the client one cheap round trip, not an
+	// unbounded wait, and the daemon's memory stays flat under load.
+	select {
+	case sv.inflight <- struct{}{}:
+		sv.gInflight.Add(1)
+		defer func() {
+			<-sv.inflight
+			sv.gInflight.Add(-1)
+		}()
+	default:
+		statShed.Add(1)
+		sv.mShed.Inc()
+		w.Header().Set("Retry-After", "1")
+		sv.fail(w, http.StatusTooManyRequests,
+			fmt.Sprintf("server at capacity (%d scans in flight); retry later", sv.cfg.MaxInFlight))
+		return
+	}
+
 	r.Body = http.MaxBytesReader(w, r.Body, sv.cfg.MaxBodyBytes)
 	var req ScanRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
@@ -192,97 +331,162 @@ func (sv *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 
 	resp, err := sv.scan(r.Context(), lang, files, req.All)
 	if err != nil {
-		if errors.Is(err, context.DeadlineExceeded) {
+		switch {
+		case errors.Is(err, context.Canceled):
+			// The client went away; nobody is reading the response.
+			// Log and drop without 4xx/5xx accounting — a disconnect
+			// is not a server error and must not trip error alerts.
+			statCanceled.Add(1)
+			sv.mCanceled.Inc()
+			sv.errlog.Printf("serve: scan canceled by client (request %s)", obs.RequestID(r.Context()))
+		case errors.Is(err, context.DeadlineExceeded):
+			sv.mTimeouts.Inc()
 			sv.fail(w, http.StatusServiceUnavailable, "scan timed out")
-			return
+		default:
+			sv.fail(w, http.StatusInternalServerError, err.Error())
 		}
-		sv.fail(w, http.StatusInternalServerError, err.Error())
 		return
 	}
-	writeJSON(w, http.StatusOK, resp)
+	sv.writeJSON(w, http.StatusOK, resp)
 }
 
-// scan parses and scans the request files with the detached read-only
-// path, bounded by the configured timeout. The scan itself runs in a
-// helper goroutine so a stuck analysis cannot pin the handler past its
-// deadline (the goroutine finishes in the background; the system has no
-// unbounded analyses, so this is a latency bound, not a leak risk).
+// errAnalysisPanic is the sanitized client-facing error for a contained
+// analyzer panic: the panic value and stack go to the error log with the
+// request id, never over the wire.
+var errAnalysisPanic = errors.New("internal error analyzing request")
+
+// scan runs the analysis pipeline bounded by the configured timeout. The
+// work runs in a helper goroutine so a stuck analysis cannot pin the
+// handler past its deadline (the goroutine finishes in the background;
+// the system has no unbounded analyses, so this is a latency bound, not
+// a leak risk). The goroutine recovers its own panics: it runs outside
+// net/http's per-connection recover, so an uncontained panic here —
+// ScanFiles, Explain, Dedup, the classifier — would kill the whole
+// daemon, not just the request.
 func (sv *Server) scan(ctx context.Context, lang ast.Language, files []ScanFile, all bool) (*ScanResponse, error) {
 	ctx, cancel := context.WithTimeout(ctx, sv.cfg.ScanTimeout)
 	defer cancel()
 
 	type outcome struct {
 		resp *ScanResponse
+		err  error
 	}
 	done := make(chan outcome, 1)
-	start := time.Now()
 	go func() {
-		resp := &ScanResponse{Lang: lang.String(), Violations: []ScanViolation{}}
-		var inputs []*core.InputFile
-		for _, f := range files {
-			root, err := core.ParseSource(lang, f.Source)
-			if err != nil {
-				resp.Errors = append(resp.Errors, fmt.Sprintf("%s: %v", f.Path, err))
-				continue
+		defer func() {
+			if rec := recover(); rec != nil {
+				statPanics.Add(1)
+				sv.mPanics.Inc()
+				sv.errlog.Printf("serve: scan panic (request %s): %v\n%s",
+					obs.RequestID(ctx), rec, debug.Stack())
+				done <- outcome{err: errAnalysisPanic}
 			}
-			inputs = append(inputs, &core.InputFile{
-				Repo: "request", Path: f.Path, Source: f.Source, Root: root,
-			})
-		}
-		resp.Files = len(inputs)
-		res := sv.sys.ScanFiles(inputs)
-		resp.Statements = res.Statements
-		for _, e := range res.Errors {
-			resp.Errors = append(resp.Errors, e.Error())
-		}
-		statScans.Add(1)
-		statViolations.Add(int64(len(res.Violations)))
-		for _, v := range res.Violations {
-			classified := sv.sys.ClassifyIn(res.Stats, v)
-			if !classified && !all {
-				continue
-			}
-			out := ScanViolation{
-				Path:        v.Stmt.Path,
-				Line:        v.Stmt.Line,
-				SourceLine:  v.Stmt.SourceLine,
-				Original:    v.Detail.Original,
-				Suggested:   v.Detail.Suggested,
-				PatternType: v.Pattern.Type.String(),
-				Classified:  classified,
-			}
-			if from, to, ok := v.SuggestFixedName(); ok {
-				out.Fix = from + " -> " + to
-			}
-			if classified {
-				statReported.Add(1)
-			}
-			resp.Violations = append(resp.Violations, out)
-		}
-		resp.ScanMillis = float64(time.Since(start).Microseconds()) / 1000
-		statScanNanos.Add(time.Since(start).Nanoseconds())
-		done <- outcome{resp: resp}
+		}()
+		done <- outcome{resp: sv.analyze(ctx, lang, files, all)}
 	}()
 
 	select {
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	case o := <-done:
-		return o.resp, nil
+		return o.resp, o.err
 	}
 }
 
-func (sv *Server) fail(w http.ResponseWriter, code int, msg string) {
-	statBadRequest.Add(1)
-	writeJSON(w, code, errorResponse{Error: msg})
+// doAnalyze is the real analysis pipeline: parse every file, scan the
+// parsed set against the knowledge, classify the violations. Each stage
+// feeds its latency histogram.
+func (sv *Server) doAnalyze(_ context.Context, lang ast.Language, files []ScanFile, all bool) *ScanResponse {
+	start := time.Now()
+	resp := &ScanResponse{
+		Lang:          lang.String(),
+		FilesReceived: len(files),
+		Violations:    []ScanViolation{},
+	}
+
+	stage := time.Now()
+	var inputs []*core.InputFile
+	for _, f := range files {
+		root, err := core.ParseSource(lang, f.Source)
+		if err != nil {
+			resp.Errors = append(resp.Errors, fmt.Sprintf("%s: %v", f.Path, err))
+			continue
+		}
+		inputs = append(inputs, &core.InputFile{
+			Repo: "request", Path: f.Path, Source: f.Source, Root: root,
+		})
+	}
+	sv.hParse.Since(stage)
+	resp.FilesScanned = len(inputs)
+
+	stage = time.Now()
+	res := sv.sys.ScanFiles(inputs)
+	sv.hScan.Since(stage)
+	sv.hProcess.Observe(res.Timings.Process)
+	sv.hMatch.Observe(res.Timings.Match)
+	resp.Statements = res.Statements
+	for _, e := range res.Errors {
+		resp.Errors = append(resp.Errors, e.Error())
+	}
+	statScans.Add(1)
+	sv.mScans.Inc()
+	statViolations.Add(int64(len(res.Violations)))
+	sv.mViol.Add(int64(len(res.Violations)))
+
+	stage = time.Now()
+	for _, v := range res.Violations {
+		classified := sv.sys.ClassifyIn(res.Stats, v)
+		if !classified && !all {
+			continue
+		}
+		out := ScanViolation{
+			Path:        v.Stmt.Path,
+			Line:        v.Stmt.Line,
+			SourceLine:  v.Stmt.SourceLine,
+			Original:    v.Detail.Original,
+			Suggested:   v.Detail.Suggested,
+			PatternType: v.Pattern.Type.String(),
+			Classified:  classified,
+		}
+		if from, to, ok := v.SuggestFixedName(); ok {
+			out.Fix = from + " -> " + to
+		}
+		if classified {
+			statReported.Add(1)
+			sv.mReported.Inc()
+		}
+		resp.Violations = append(resp.Violations, out)
+	}
+	sv.hClassify.Since(stage)
+
+	resp.ScanMillis = float64(time.Since(start).Microseconds()) / 1000
+	statScanNanos.Add(time.Since(start).Nanoseconds())
+	return resp
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+// fail writes an error response, accounting it as a client error (4xx)
+// or server error (5xx).
+func (sv *Server) fail(w http.ResponseWriter, code int, msg string) {
+	if code >= 500 {
+		statServerError.Add(1)
+	} else {
+		statBadRequest.Add(1)
+	}
+	sv.writeJSON(w, code, errorResponse{Error: msg})
+}
+
+// writeJSON writes a JSON response, counts the status on /metrics, and
+// logs (rather than ignores) encode failures — by that point the status
+// line is sent, so the error cannot reach the client.
+func (sv *Server) writeJSON(w http.ResponseWriter, code int, v any) {
+	sv.metrics.Counter(fmt.Sprintf("namer_http_responses_total{status=%q}", strconv.Itoa(code))).Inc()
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", " ")
-	enc.Encode(v)
+	if err := enc.Encode(v); err != nil {
+		sv.errlog.Printf("serve: writing %d response: %v", code, err)
+	}
 }
 
 // extFor returns the snippet filename extension for a language.

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// driveScans fires total scan requests at the server with the given
+// client concurrency, round-robining over the corpus sources, and fails
+// the test on any non-200.
+func driveScans(t *testing.T, url string, sources []string, total, concurrency int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errCh := make(chan error, total)
+	per := total / concurrency
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				body, _ := json.Marshal(ScanRequest{Source: sources[(w*per+i)%len(sources)], All: true})
+				resp, err := http.Post(url+"/v1/scan", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errCh <- err
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errCh <- fmt.Errorf("status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// serveBenchFile is the BENCH_serve.json schema: end-to-end scan
+// latency quantiles read back from the daemon's own /metrics
+// histograms, tracked commit over commit.
+type serveBenchFile struct {
+	CPUs        int     `json:"cpus"`
+	Requests    int     `json:"requests"`
+	Concurrency int     `json:"concurrency"`
+	P50Millis   float64 `json:"request_p50_ms"`
+	P95Millis   float64 `json:"request_p95_ms"`
+	P99Millis   float64 `json:"request_p99_ms"`
+	AvgMillis   float64 `json:"request_avg_ms"`
+	ScanP50Ms   float64 `json:"stage_scan_p50_ms"`
+	ParseP50Ms  float64 `json:"stage_parse_p50_ms"`
+	ClassP50Ms  float64 `json:"stage_classify_p50_ms"`
+	Shed        int64   `json:"shed"`
+	Panics      int64   `json:"panics"`
+}
+
+func millis(d time.Duration) float64 {
+	return float64(d.Microseconds()) / 1000
+}
+
+// TestWriteServeBenchJSON snapshots serve latency into the file named
+// by BENCH_SERVE_JSON (make bench writes BENCH_serve.json); without the
+// env var it is a no-op. The quantiles come from the server's own obs
+// histograms — the same numbers /metrics exports — so the benchmark
+// doubles as an end-to-end check of the observability pipeline.
+func TestWriteServeBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH_SERVE_JSON")
+	if out == "" {
+		t.Skip("set BENCH_SERVE_JSON=<file> to record serve benchmarks (make bench)")
+	}
+	sv, sources := newTestServer(t)
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	const total, concurrency = 160, 4
+	driveScans(t, ts.URL, sources, total, concurrency)
+
+	if n := sv.hRequest.Count(); n != total {
+		t.Fatalf("request histogram saw %d observations, want %d", n, total)
+	}
+	file := serveBenchFile{
+		CPUs:        runtime.NumCPU(),
+		Requests:    total,
+		Concurrency: concurrency,
+		P50Millis:   millis(sv.hRequest.Quantile(0.50)),
+		P95Millis:   millis(sv.hRequest.Quantile(0.95)),
+		P99Millis:   millis(sv.hRequest.Quantile(0.99)),
+		AvgMillis:   millis(sv.hRequest.Sum() / time.Duration(total)),
+		ScanP50Ms:   millis(sv.hScan.Quantile(0.50)),
+		ParseP50Ms:  millis(sv.hParse.Quantile(0.50)),
+		ClassP50Ms:  millis(sv.hClassify.Quantile(0.50)),
+		Shed:        sv.mShed.Value(),
+		Panics:      sv.mPanics.Value(),
+	}
+	if file.Shed != 0 || file.Panics != 0 {
+		t.Errorf("healthy bench run shed %d / panicked %d", file.Shed, file.Panics)
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s: p50=%.2fms p95=%.2fms p99=%.2fms", out, file.P50Millis, file.P95Millis, file.P99Millis)
+}
+
+// BenchmarkServeScan measures one end-to-end scan request (HTTP round
+// trip included) against mined knowledge.
+func BenchmarkServeScan(b *testing.B) {
+	sv, sources := newTestServer(b)
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+	body, _ := json.Marshal(ScanRequest{Source: sources[0], All: true})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/scan", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+}

@@ -21,7 +21,7 @@ import (
 
 // newTestServer mines a small Python corpus and wraps it in a Server; the
 // returned sources are corpus files usable as scan request bodies.
-func newTestServer(t *testing.T) (*Server, []string) {
+func newTestServer(t testing.TB) (*Server, []string) {
 	t.Helper()
 	ccfg := corpus.DefaultConfig(ast.Python)
 	ccfg.Repos = 20
@@ -116,7 +116,7 @@ func TestScanEndpoint(t *testing.T) {
 	if err := json.Unmarshal(data, &out); err != nil {
 		t.Fatalf("bad response %s: %v", data, err)
 	}
-	if out.Files != 1 || out.Statements == 0 {
+	if out.FilesReceived != 1 || out.FilesScanned != 1 || out.Statements == 0 {
 		t.Fatalf("unexpected response: %+v", out)
 	}
 	// Scanning every corpus file must surface at least one violation
@@ -174,6 +174,11 @@ func TestScanRejectsBadRequests(t *testing.T) {
 	}
 	if len(out.Errors) == 0 {
 		t.Fatalf("expected a per-file error, got %+v", out)
+	}
+	// The counts must disagree loudly, not silently: one file came in,
+	// none survived parsing.
+	if out.FilesReceived != 1 || out.FilesScanned != 0 {
+		t.Fatalf("received/scanned = %d/%d, want 1/0", out.FilesReceived, out.FilesScanned)
 	}
 
 	// GET is not allowed.
