@@ -31,28 +31,40 @@ race:
 # against the all-CPU path (BenchmarkScan, BenchmarkPruneUncommon,
 # BenchmarkMinePatterns show the speedup on multi-core runners), then
 # record the mining-stage numbers (ns/op, allocs/op, FP-tree node count)
-# into BENCH_mining.json so the perf trajectory is tracked per commit.
+# into BENCH_mining.json and the per-stage span durations of one traced
+# end-to-end run into BENCH_trace.json, so the perf trajectory is
+# tracked per commit.
 bench:
 	$(GO) test -run xxx -bench 'BenchmarkScan$$|BenchmarkPruneUncommon|BenchmarkMinePatterns' -benchmem .
 	$(GO) test -run xxx -bench 'BenchmarkServeScan$$' -benchmem ./internal/serve
 	BENCH_JSON=BENCH_mining.json $(GO) test -run 'TestWriteMiningBenchJSON$$' -count=1 -v .
+	BENCH_TRACE_JSON=BENCH_trace.json $(GO) test -run 'TestWriteTraceBenchJSON$$' -count=1 -v .
 	BENCH_KNOWLEDGE_JSON=BENCH_knowledge.json $(GO) test -run 'TestWriteKnowledgeBenchJSON$$' -count=1 -v .
 	BENCH_SERVE_JSON=$(CURDIR)/BENCH_serve.json $(GO) test -run 'TestWriteServeBenchJSON$$' -count=1 -v ./internal/serve
 
 # End-to-end smoke test of the serving layer: generate a corpus, mine
-# binary knowledge, boot namer-serve on a random port, and require 200s
-# from /healthz and /v1/scan. The /metrics scrape must parse as
-# Prometheus text format and carry the request counter and every
-# parse/scan/classify stage histogram. A TERM at the end checks clean
-# shutdown.
+# binary knowledge (with a -trace export that must contain the FP
+# stages), boot namer-serve on a random port with the flight recorder
+# on, and require 200s from /healthz and /v1/scan. The /metrics scrape
+# must parse as Prometheus text format and carry the request counter,
+# every parse/scan/classify stage histogram, the Go runtime gauges, and
+# the build-info series. /debug/traces must list the scan's trace and
+# its Chrome export must cover the parse/match/classify pipeline. A
+# TERM at the end checks clean shutdown.
 serve-smoke:
 	@set -e; \
 	tmp=$$(mktemp -d); \
 	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
 	$(GO) build -o "$$tmp" ./cmd/namer-corpus ./cmd/namer-mine ./cmd/namer-serve; \
+	"$$tmp/namer-serve" -version >/dev/null || { echo "serve-smoke: -version failed"; exit 1; }; \
 	"$$tmp/namer-corpus" -lang python -repos 12 -files 3 -out "$$tmp/corpus" >/dev/null; \
-	"$$tmp/namer-mine" -lang python -dir "$$tmp/corpus" -out "$$tmp/knowledge.bin" >/dev/null; \
-	"$$tmp/namer-serve" -addr 127.0.0.1:0 -knowledge "$$tmp/knowledge.bin" \
+	"$$tmp/namer-mine" -lang python -dir "$$tmp/corpus" -out "$$tmp/knowledge.bin" \
+		-trace "$$tmp/mine-trace.json" >/dev/null 2>"$$tmp/mine.log"; \
+	for span in load_corpus process_files pass1_count build_tree fp_growth prune_uncommon; do \
+		grep -qF "\"$$span\"" "$$tmp/mine-trace.json" || \
+			{ echo "serve-smoke: mine trace missing $$span span"; cat "$$tmp/mine-trace.json"; exit 1; }; \
+	done; \
+	"$$tmp/namer-serve" -addr 127.0.0.1:0 -knowledge "$$tmp/knowledge.bin" -traces \
 		-ready-file "$$tmp/addr" >"$$tmp/serve.log" 2>&1 & pid=$$!; \
 	for i in $$(seq 1 100); do [ -s "$$tmp/addr" ] && break; sleep 0.1; done; \
 	[ -s "$$tmp/addr" ] || { echo "serve-smoke: server did not start"; cat "$$tmp/serve.log"; exit 1; }; \
@@ -73,13 +85,27 @@ serve-smoke:
 		'namer_stage_seconds_bucket{stage="scan",le="+Inf"}' \
 		'namer_stage_seconds_bucket{stage="classify",le="+Inf"}' \
 		'namer_http_responses_total{status="200"}' \
-		'namer_scan_inflight'; do \
+		'namer_scan_inflight' \
+		'go_goroutines' \
+		'go_heap_alloc_bytes' \
+		'go_gc_pause_seconds_bucket' \
+		'namer_build_info{'; do \
 		grep -qF "$$series" "$$tmp/metrics.txt" || \
 			{ echo "serve-smoke: /metrics missing $$series"; cat "$$tmp/metrics.txt"; exit 1; }; \
 	done; \
 	bad=$$(grep -cvE '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(_bucket|_sum|_count)?(\{[^{}]*\})? -?[0-9.eE+-]+|)$$' "$$tmp/metrics.txt" || true); \
 	[ "$$bad" = 0 ] || { echo "serve-smoke: $$bad unparsable /metrics lines"; \
 		grep -vE '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(_bucket|_sum|_count)?(\{[^{}]*\})? -?[0-9.eE+-]+|)$$' "$$tmp/metrics.txt"; exit 1; }; \
+	code=$$(curl -s -o "$$tmp/traces.json" -w '%{http_code}' "http://$$addr/debug/traces"); \
+	[ "$$code" = 200 ] || { echo "serve-smoke: /debug/traces returned $$code"; exit 1; }; \
+	grep -qF '"scan_request"' "$$tmp/traces.json" || \
+		{ echo "serve-smoke: /debug/traces has no recorded scan"; cat "$$tmp/traces.json"; exit 1; }; \
+	code=$$(curl -s -o "$$tmp/trace-slowest.json" -w '%{http_code}' "http://$$addr/debug/traces?id=slowest"); \
+	[ "$$code" = 200 ] || { echo "serve-smoke: /debug/traces?id=slowest returned $$code"; exit 1; }; \
+	for span in parse match classify; do \
+		grep -qF "\"$$span\"" "$$tmp/trace-slowest.json" || \
+			{ echo "serve-smoke: slowest trace missing $$span span"; cat "$$tmp/trace-slowest.json"; exit 1; }; \
+	done; \
 	kill -TERM $$pid; wait $$pid || { echo "serve-smoke: unclean shutdown"; exit 1; }; \
 	pid=; \
 	echo "serve-smoke: ok ($$addr)"

@@ -11,6 +11,7 @@ import (
 	"os"
 
 	"namer/internal/ast"
+	"namer/internal/buildinfo"
 	"namer/internal/corpus"
 )
 
@@ -22,7 +23,12 @@ func main() {
 	issueRate := flag.Float64("issue-rate", 0.05, "probability an idiom instance is buggy")
 	anomalyRate := flag.Float64("anomaly-rate", 0.15, "probability of a legitimate anomaly")
 	seed := flag.Int64("seed", 1, "generation seed")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("namer-corpus", buildinfo.String())
+		return
+	}
 
 	l, err := ast.ParseLanguage(*lang)
 	if err != nil {

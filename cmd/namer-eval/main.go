@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"namer/internal/ast"
+	"namer/internal/buildinfo"
 	"namer/internal/eval"
 )
 
@@ -25,7 +26,12 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller corpus and faster neural training")
 	skipNeural := flag.Bool("skip-neural", false, "skip the GGNN/Great comparison")
 	seed := flag.Int64("seed", 7, "evaluation seed")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("namer-eval", buildinfo.String())
+		return
+	}
 
 	langs := []ast.Language{ast.Python, ast.Java}
 	switch *lang {

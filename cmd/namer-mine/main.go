@@ -3,9 +3,18 @@
 // history (§3.2) and name patterns from the code (§3.3, Algorithms 1–2),
 // writing the result as a knowledge file for cmd/namer and
 // cmd/namer-train.
+//
+// Long corpus runs are observable two ways: periodic progress lines on
+// stderr (files analyzed, statements, moving rate, ETA; FP-tree shapes
+// as each pass completes), and -trace out.json, which records the whole
+// run as a span tree and writes it in the Chrome trace-event format —
+// load it in chrome://tracing or https://ui.perfetto.dev to see where
+// the wall time went, stage by stage and file by file. The same tree is
+// printed compactly to stderr at exit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -13,8 +22,10 @@ import (
 	"time"
 
 	"namer/internal/ast"
+	"namer/internal/buildinfo"
 	"namer/internal/core"
 	"namer/internal/corpus"
+	"namer/internal/obs"
 	"namer/internal/prof"
 )
 
@@ -31,7 +42,14 @@ func main() {
 		"worker count for file processing and mining (0 = all CPUs, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	traceOut := flag.String("trace", "",
+		"write a Chrome trace-event JSON of the full mining run to this file (chrome://tracing, Perfetto)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("namer-mine", buildinfo.String())
+		return
+	}
 
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -39,11 +57,25 @@ func main() {
 	}
 	defer stopProf()
 
+	// With -trace, every pipeline stage below runs under a span tree
+	// rooted at this trace; without it, ctx carries no trace and the
+	// span calls in core/mining are free no-ops.
+	ctx := context.Background()
+	var tr *obs.Trace
+	if *traceOut != "" {
+		ctx, tr = obs.NewTrace(ctx, "namer-mine", "")
+		// Corpus runs record one span per file; give them room.
+		tr.SetMaxSpans(1 << 20)
+	}
+
 	l, err := ast.ParseLanguage(*lang)
 	if err != nil {
 		fatal(err)
 	}
+	_, sp := obs.StartSpan(ctx, "load_corpus")
 	files, errs := core.LoadDirectory(*dir, l)
+	sp.SetAttrInt("files", len(files))
+	sp.End()
 	for _, e := range errs {
 		fmt.Fprintln(os.Stderr, "warning:", e)
 	}
@@ -63,8 +95,15 @@ func main() {
 			cfg.Mining.MinPatternCount = 5
 		}
 	}
+	progress := obs.NewProgress(os.Stderr, "analyze", "files")
+	cfg.Progress = progress.Update
+	cfg.Mining.OnTreeBuilt = func(nodes, transactions int) {
+		fmt.Fprintf(os.Stderr, "mine: FP tree built: %d nodes over %d transactions\n",
+			nodes, transactions)
+	}
 
 	sys := core.NewSystem(cfg)
+	_, sp = obs.StartSpan(ctx, "mine_pairs")
 	if pairs, err := corpus.ReadCommits(filepath.Join(*dir, "commits")); err == nil {
 		sys.MinePairs(corpus.ParseCommitSources(l, pairs))
 		fmt.Printf("mined %d confusing word pairs from %d commits\n", sys.Pairs.Len(), len(pairs))
@@ -72,9 +111,10 @@ func main() {
 		sys.MinePairs(nil)
 		fmt.Fprintln(os.Stderr, "warning: no commit history found; confusing-word patterns disabled")
 	}
+	sp.End()
 
 	start := time.Now()
-	for _, e := range sys.ProcessFiles(files) {
+	for _, e := range sys.ProcessFilesCtx(ctx, files) {
 		fmt.Fprintln(os.Stderr, "warning:", e)
 	}
 	fmt.Printf("analyzed %d files, %d statements in %v (%.1f ms/file)\n",
@@ -82,16 +122,37 @@ func main() {
 		float64(time.Since(start).Milliseconds())/float64(len(files)))
 
 	start = time.Now()
-	sys.MinePatterns()
+	sys.MinePatternsCtx(ctx)
 	fmt.Printf("mined %d name patterns in %v\n", len(sys.Patterns), time.Since(start).Round(time.Millisecond))
 	for _, ms := range sys.MiningStats {
 		fmt.Printf("  %v FP tree: %d nodes over %d transactions\n", ms.Type, ms.TreeNodes, ms.Transactions)
 	}
 
-	if err := sys.SaveKnowledge(*out); err != nil {
+	_, sp = obs.StartSpan(ctx, "save_knowledge")
+	err = sys.SaveKnowledge(*out)
+	sp.End()
+	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+
+	if tr != nil {
+		tr.Finish()
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.WriteChromeTrace(f); err != nil {
+			f.Close()
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		tr.WriteTree(os.Stderr)
+		fmt.Printf("wrote trace %s (%d spans, %v; open in chrome://tracing)\n",
+			*traceOut, tr.SpanCount(), tr.Duration().Round(time.Millisecond))
+	}
 }
 
 func fatal(err error) {

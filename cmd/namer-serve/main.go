@@ -10,9 +10,12 @@
 //
 // Liveness is at /healthz, Prometheus counters and latency histograms
 // at /metrics, legacy expvar counters at /debug/vars, and profiling at
-// /debug/pprof (only with -pprof). Every request gets an X-Request-Id
-// and one JSON access-log line (-access-log, default stdout). Load past
-// -max-inflight concurrent scans is shed with 429 + Retry-After.
+// /debug/pprof (only with -pprof). With -traces, a flight recorder
+// keeps the span trees of the slowest recent requests at /debug/traces
+// (JSON list; ?id=<X-Request-Id> or ?id=slowest for a Chrome trace
+// export). Every request gets an X-Request-Id and one JSON access-log
+// line (-access-log, default stdout). Load past -max-inflight
+// concurrent scans is shed with 429 + Retry-After.
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, and
 // in-flight scans are given a grace period to finish responding.
 package main
@@ -26,6 +29,7 @@ import (
 	"time"
 
 	"namer/internal/ast"
+	"namer/internal/buildinfo"
 	"namer/internal/core"
 	"namer/internal/knowledge"
 	"namer/internal/obs"
@@ -42,10 +46,19 @@ func main() {
 	accessLog := flag.String("access-log", "stdout",
 		"JSON access log destination: stdout, stderr, off, or a file path")
 	pprofFlag := flag.Bool("pprof", false, "expose profiling handlers under /debug/pprof/")
+	tracesFlag := flag.Bool("traces", false,
+		"record span trees of the slowest requests and serve them at /debug/traces")
+	traceRing := flag.Int("trace-ring", serve.DefaultTraceRing,
+		"how many slowest-request traces the flight recorder keeps")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests")
 	readyFile := flag.String("ready-file", "",
 		"write the bound address to this file once listening (for scripts using port 0)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("namer-serve", buildinfo.String())
+		return
+	}
 
 	// The knowledge file determines the language; the default config
 	// supplies the analysis settings (points-to on, per §4.1).
@@ -69,6 +82,8 @@ func main() {
 		KnowledgeInfo: info,
 		AccessLog:     logw,
 		EnablePprof:   *pprofFlag,
+		EnableTraces:  *tracesFlag,
+		TraceRingSize: *traceRing,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

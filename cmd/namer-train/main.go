@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 
 	"namer/internal/ast"
+	"namer/internal/buildinfo"
 	"namer/internal/core"
 	"namer/internal/corpus"
 )
@@ -29,7 +30,12 @@ func main() {
 		"output knowledge file (compact binary; use a .json extension for the debug format)")
 	trainSize := flag.Int("train", 120, "labeled violations to train on (balanced)")
 	seed := flag.Int64("seed", 1, "sampling seed")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("namer-train", buildinfo.String())
+		return
+	}
 
 	l, err := ast.ParseLanguage(*lang)
 	if err != nil {

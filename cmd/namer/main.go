@@ -16,6 +16,7 @@ import (
 	"path/filepath"
 
 	"namer/internal/ast"
+	"namer/internal/buildinfo"
 	"namer/internal/core"
 	"namer/internal/pointsto"
 	"namer/internal/prof"
@@ -30,7 +31,12 @@ func main() {
 		"worker count for file processing and scanning (0 = all CPUs, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println("namer", buildinfo.String())
+		return
+	}
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: namer [-lang python|java] [-knowledge file] [-all] path...")
 		os.Exit(2)

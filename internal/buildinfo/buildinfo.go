@@ -1,0 +1,68 @@
+// Package buildinfo reports what binary is running: the module
+// version and VCS stamp baked in by the Go toolchain
+// (runtime/debug.ReadBuildInfo), rendered for -version flags and
+// exported as a constant namer_build_info gauge on /metrics, so
+// dashboards can tell which build produced which latency curve.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+
+	"namer/internal/obs"
+)
+
+// Version returns the best available version string: the main module
+// version when it is a real tag, otherwise the VCS revision (short)
+// with a "+dirty" suffix for modified trees, or "devel" when no build
+// info is stamped (e.g. some test binaries).
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	version := bi.Main.Version
+	if version == "" || version == "(devel)" {
+		version = "devel"
+	}
+	var rev, modified string
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			if s.Value == "true" {
+				modified = "+dirty"
+			}
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		// Pseudo-versions (vX.Y.Z-<timestamp>-<rev>[+dirty]) already
+		// embed the VCS stamp; appending it again would double it.
+		if !strings.Contains(version, rev) {
+			return version + "-" + rev + modified
+		}
+	}
+	return version
+}
+
+// String renders the full one-line identity for -version output:
+// "<version> <go version> <GOOS>/<GOARCH>".
+func String() string {
+	return fmt.Sprintf("%s %s %s/%s", Version(), runtime.Version(), runtime.GOOS, runtime.GOARCH)
+}
+
+// Register exports the constant build-info gauge on a metrics
+// registry, the Prometheus idiom for joining version labels onto other
+// series:
+//
+//	namer_build_info{version="...",go="go1.24.0"} 1
+func Register(r *obs.Registry) {
+	r.Gauge(fmt.Sprintf("namer_build_info{version=%q,go=%q}",
+		Version(), runtime.Version())).Set(1)
+}

@@ -1,0 +1,45 @@
+package buildinfo
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"testing"
+
+	"namer/internal/obs"
+)
+
+func TestVersionAndString(t *testing.T) {
+	v := Version()
+	if v == "" {
+		t.Fatal("Version() is empty")
+	}
+	s := String()
+	if !strings.HasPrefix(s, v) {
+		t.Errorf("String() = %q does not start with Version() = %q", s, v)
+	}
+	for _, want := range []string{runtime.Version(), runtime.GOOS + "/" + runtime.GOARCH} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestRegister(t *testing.T) {
+	r := obs.NewRegistry()
+	Register(r)
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "namer_build_info{") {
+		t.Fatalf("scrape missing namer_build_info:\n%s", out)
+	}
+	if !strings.Contains(out, "version=") || !strings.Contains(out, "go=") {
+		t.Errorf("namer_build_info missing labels:\n%s", out)
+	}
+	if !strings.Contains(out, "} 1") {
+		t.Errorf("namer_build_info gauge not constant 1:\n%s", out)
+	}
+}

@@ -10,9 +10,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
+	"sync/atomic"
 
 	"namer/internal/ast"
 	"namer/internal/astplus"
@@ -21,6 +23,7 @@ import (
 	"namer/internal/mining"
 	"namer/internal/ml"
 	"namer/internal/namepath"
+	"namer/internal/obs"
 	"namer/internal/parallel"
 	"namer/internal/pattern"
 	"namer/internal/pointsto"
@@ -45,6 +48,11 @@ type Config struct {
 	// forces the serial reference path. Outputs are byte-identical at any
 	// setting. Mining.Parallelism, when zero, inherits this value.
 	Parallelism int
+	// Progress, when non-nil, is called after each file finishes the
+	// front end with (files done, files total, cumulative statements).
+	// It runs on worker goroutines and must be safe for concurrent use
+	// (obs.Progress.Update is); it must not mutate the system.
+	Progress func(done, total, statements int)
 }
 
 // DefaultConfig mirrors §5.1 with corpus-scale mining thresholds.
@@ -139,10 +147,30 @@ func (s *System) MinePairs(commits []confusion.Commit) {
 // to that file and returned as an error, so one pathological input cannot
 // kill a corpus run: the remaining files are processed normally.
 func (s *System) ProcessFiles(files []*InputFile) []error {
+	return s.ProcessFilesCtx(context.Background(), files)
+}
+
+// ProcessFilesCtx is ProcessFiles under a tracing context: the whole
+// stage is one "process_files" span with a child span per file (path,
+// statement count), recorded from whichever worker processed it, and
+// the Config.Progress callback fires as files complete.
+func (s *System) ProcessFilesCtx(ctx context.Context, files []*InputFile) []error {
+	ctx, sp := obs.StartSpan(ctx, "process_files")
+	sp.SetAttrInt("files", len(files))
+	defer sp.End()
 	results := make([][]*ProcStmt, len(files))
 	fileErrs := make([]error, len(files))
+	var done, stmtCount atomic.Int64
 	parallel.ForEach(len(files), parallel.Degree(s.cfg.Parallelism), func(i int) {
+		_, fsp := obs.StartSpan(ctx, "file")
 		results[i], fileErrs[i] = s.processFileSafe(files[i])
+		fsp.SetAttr("path", files[i].Path)
+		fsp.SetAttrInt("statements", len(results[i]))
+		fsp.End()
+		if s.cfg.Progress != nil {
+			s.cfg.Progress(int(done.Add(1)), len(files),
+				int(stmtCount.Add(int64(len(results[i])))))
+		}
 	})
 	var errs []error
 	for i, stmts := range results {
@@ -205,6 +233,17 @@ func (s *System) ProcessFile(f *InputFile) []*ProcStmt {
 
 // MinePatterns mines both pattern types over the processed statements.
 func (s *System) MinePatterns() {
+	s.MinePatternsCtx(context.Background())
+}
+
+// MinePatternsCtx is MinePatterns under a tracing context: one
+// "mine_patterns" span wrapping a per-type "mine" span tree whose
+// children break out the pass-1 count, FP-tree build, FP-growth, and
+// prune stages (see mining.MinePatternsCtx). A caller-set
+// Mining.OnTreeBuilt hook still fires after the stats are recorded.
+func (s *System) MinePatternsCtx(ctx context.Context) {
+	ctx, sp := obs.StartSpan(ctx, "mine_patterns")
+	defer sp.End()
 	stmts := make([]*pattern.Statement, len(s.Stmts))
 	for i, ps := range s.Stmts {
 		stmts[i] = ps.PS
@@ -214,18 +253,23 @@ func (s *System) MinePatterns() {
 		mcfg.Parallelism = s.cfg.Parallelism
 	}
 	s.MiningStats = s.MiningStats[:0]
+	chained := mcfg.OnTreeBuilt
 	record := func(typ pattern.Type) func(nodes, transactions int) {
 		return func(nodes, transactions int) {
 			s.MiningStats = append(s.MiningStats,
 				MiningStat{Type: typ, TreeNodes: nodes, Transactions: transactions})
+			if chained != nil {
+				chained(nodes, transactions)
+			}
 		}
 	}
 	mcfg.OnTreeBuilt = record(pattern.Consistency)
-	cons := mining.MinePatterns(stmts, pattern.Consistency, nil, mcfg)
+	cons := mining.MinePatternsCtx(ctx, stmts, pattern.Consistency, nil, mcfg)
 	mcfg.OnTreeBuilt = record(pattern.ConfusingWord)
-	conf := mining.MinePatterns(stmts, pattern.ConfusingWord, s.Pairs, mcfg)
+	conf := mining.MinePatternsCtx(ctx, stmts, pattern.ConfusingWord, s.Pairs, mcfg)
 	s.Patterns = append(cons, conf...)
 	s.index = mining.NewIndex(s.Patterns)
+	sp.SetAttrInt("patterns", len(s.Patterns))
 }
 
 // Scan matches every statement against the mined patterns, populating the
@@ -240,6 +284,15 @@ func (s *System) MinePatterns() {
 // statistics merge is additive, so Scan is deterministic at any
 // Parallelism.
 func (s *System) Scan() []*Violation {
+	return s.ScanCtx(context.Background())
+}
+
+// ScanCtx is Scan under a tracing context: one "scan" span with a child
+// span per shard. Spans are per-shard, never per-statement, so the
+// match loop itself carries no tracing overhead.
+func (s *System) ScanCtx(ctx context.Context) []*Violation {
+	ctx, sp := obs.StartSpan(ctx, "scan")
+	defer sp.End()
 	type shardOut struct {
 		violations []*Violation
 		stats      *features.Index
@@ -247,6 +300,9 @@ func (s *System) Scan() []*Violation {
 	shards := parallel.Shards(len(s.Stmts), parallel.Degree(s.cfg.Parallelism))
 	outs := make([]shardOut, len(shards))
 	parallel.ForEach(len(shards), len(shards), func(shard int) {
+		_, ssp := obs.StartSpan(ctx, "shard")
+		ssp.SetAttrInt("statements", shards[shard].Hi-shards[shard].Lo)
+		defer ssp.End()
 		stats := features.NewIndex()
 		var vs []*Violation
 		for _, ps := range s.Stmts[shards[shard].Lo:shards[shard].Hi] {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"namer/internal/features"
 	"namer/internal/golang"
 	"namer/internal/javalang"
+	"namer/internal/obs"
 	"namer/internal/pylang"
 )
 
@@ -36,7 +38,10 @@ func ParseSource(lang ast.Language, source string) (root *ast.Node, err error) {
 // StageTimings breaks one detached scan into its two pipeline stages,
 // so the serving layer can export per-stage latency histograms and an
 // operator can tell front-end cost (analysis, AST+ transformation,
-// path extraction) apart from pattern-index matching.
+// path extraction) apart from pattern-index matching. Under a tracing
+// context the values are a derived view of the "process" and "match"
+// spans; without one they are measured directly, so the histograms
+// stay populated either way.
 type StageTimings struct {
 	// Process is the per-file front-end time: points-to analysis,
 	// AST+ transformation, and name path extraction.
@@ -59,8 +64,24 @@ type ScanResult struct {
 	// Errors holds per-file analysis failures; files that fail are
 	// skipped, the rest are scanned normally.
 	Errors []error
-	// Timings records how long each scan stage took.
+	// Timings records how long each scan stage took (see StageTimings).
 	Timings StageTimings
+}
+
+// stage opens a child span and a fallback stopwatch; the returned stop
+// function ends the span and reports the stage duration — the span's
+// own duration when tracing is live (so StageTimings is exactly the
+// span view), a direct measurement otherwise.
+func stage(ctx context.Context, name string) (context.Context, func() time.Duration) {
+	cctx, sp := obs.StartSpan(ctx, name)
+	start := time.Now()
+	return cctx, func() time.Duration {
+		sp.End()
+		if d, ok := sp.Duration(); ok {
+			return d
+		}
+		return time.Since(start)
+	}
 }
 
 // ScanFiles analyzes the given files against the system's mined knowledge
@@ -71,30 +92,43 @@ type ScanResult struct {
 // system must not be mutated (mining, training, importing) while detached
 // scans are in flight.
 func (s *System) ScanFiles(files []*InputFile) *ScanResult {
+	return s.ScanFilesCtx(context.Background(), files)
+}
+
+// ScanFilesCtx is ScanFiles under a tracing context: a "process" span
+// (one "file" child per input, with path and statement count) and a
+// "match" span, from which ScanResult.Timings is derived.
+func (s *System) ScanFilesCtx(ctx context.Context, files []*InputFile) *ScanResult {
 	res := &ScanResult{Stats: features.NewIndex()}
 	var stmts []*ProcStmt
-	start := time.Now()
+	pctx, stopProcess := stage(ctx, "process")
 	// Requests are small (a snippet or a handful of files); concurrency
 	// comes from scanning many requests at once, so each request is
 	// processed serially to avoid worker-pool churn per request.
 	for _, f := range files {
+		_, fsp := obs.StartSpan(pctx, "file")
+		fsp.SetAttr("path", f.Path)
 		out, err := s.processFileSafe(f)
 		if err != nil {
 			res.Errors = append(res.Errors, err)
+			fsp.SetAttr("error", err.Error())
+			fsp.End()
 			continue
 		}
 		for _, ps := range out {
 			stmts = append(stmts, ps)
 			res.Stats.AddStatement(ps.Repo, ps.Path, ps.Fingerprint)
 		}
+		fsp.SetAttrInt("statements", len(out))
+		fsp.End()
 	}
 	res.Statements = len(stmts)
-	res.Timings.Process = time.Since(start)
+	res.Timings.Process = stopProcess()
 	if s.index == nil {
 		// No knowledge imported/mined yet: nothing to match against.
 		return res
 	}
-	start = time.Now()
+	_, stopMatch := stage(ctx, "match")
 	var vs []*Violation
 	for _, ps := range stmts {
 		for _, p := range s.index.Candidates(ps.PS) {
@@ -114,6 +148,6 @@ func (s *System) ScanFiles(files []*InputFile) *ScanResult {
 		}
 	}
 	res.Violations = Dedup(vs)
-	res.Timings.Match = time.Since(start)
+	res.Timings.Match = stopMatch()
 	return res
 }

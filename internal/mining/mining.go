@@ -6,12 +6,14 @@
 package mining
 
 import (
+	"context"
 	"slices"
 	"sort"
 
 	"namer/internal/confusion"
 	"namer/internal/fptree"
 	"namer/internal/namepath"
+	"namer/internal/obs"
 	"namer/internal/parallel"
 	"namer/internal/pattern"
 )
@@ -64,6 +66,26 @@ func DefaultConfig() Config {
 // for consistency patterns.
 func MinePatterns(stmts []*pattern.Statement, t pattern.Type,
 	pairs *confusion.PairSet, cfg Config) []*pattern.Pattern {
+	return MinePatternsCtx(context.Background(), stmts, t, pairs, cfg)
+}
+
+// MinePatternsCtx is MinePatterns under a tracing context. One "mine"
+// span (attribute: pattern type) covers the pass, with a child span per
+// algorithm stage:
+//
+//	pass1_count     path frequency counting (Algorithm 1, pass 1)
+//	build_tree      transaction generation + FP-tree growth (pass 2)
+//	fp_growth       tree traversal and candidate generation (Algorithm 2)
+//	prune_uncommon  satisfaction-ratio pruning (Algorithm 1, line 9)
+//
+// Outside a trace every span call is a no-op; mining output is
+// identical either way.
+func MinePatternsCtx(ctx context.Context, stmts []*pattern.Statement, t pattern.Type,
+	pairs *confusion.PairSet, cfg Config) []*pattern.Pattern {
+
+	ctx, msp := obs.StartSpan(ctx, "mine")
+	msp.SetAttr("type", t.String())
+	defer msp.End()
 
 	if cfg.MaxPathsPerStatement <= 0 {
 		cfg.MaxPathsPerStatement = 10
@@ -77,7 +99,11 @@ func MinePatterns(stmts []*pattern.Statement, t pattern.Type,
 	// Pass 1: path frequencies across the dataset, counted on per-shard
 	// maps and summed shard-by-shard. Addition commutes, so the merged
 	// counts are identical to a serial pass regardless of scheduling.
+	_, sp := obs.StartSpan(ctx, "pass1_count")
+	sp.SetAttrInt("statements", len(stmts))
 	freq := countPathFrequencies(stmts, workers)
+	sp.SetAttrInt("distinct_paths", len(freq))
+	sp.End()
 
 	// Pass 2: grow the FP tree (Algorithm 1, lines 4-7). Transaction
 	// generation is serial — the interner must assign ids in statement
@@ -86,6 +112,7 @@ func MinePatterns(stmts []*pattern.Statement, t pattern.Type,
 	// scratch buffers; the tree growth itself is sharded by first item
 	// across `workers` goroutines (fptree.BuildSharded), which yields the
 	// same canonical tree as the serial reference build.
+	_, sp = obs.StartSpan(ctx, "build_tree")
 	in := namepath.NewInterner()
 	var itemFreq []int // dense: itemFreq[id] = dataset frequency of the path
 	intern := func(p namepath.Path) int32 {
@@ -143,11 +170,15 @@ func MinePatterns(stmts []*pattern.Statement, t pattern.Type,
 	if tree == nil {
 		tree = fptree.BuildSharded(txs, workers)
 	}
+	sp.SetAttrInt("transactions", transactions)
+	sp.SetAttrInt("tree_nodes", tree.Size())
+	sp.End()
 	if cfg.OnTreeBuilt != nil {
 		cfg.OnTreeBuilt(tree.Size(), transactions)
 	}
 
 	// Algorithm 2: generate patterns from the FP tree.
+	_, sp = obs.StartSpan(ctx, "fp_growth")
 	deductLen := 1
 	if t == pattern.Consistency {
 		deductLen = 2
@@ -190,8 +221,15 @@ func MinePatterns(stmts []*pattern.Statement, t pattern.Type,
 		}
 	}
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Key() < candidates[j].Key() })
+	sp.SetAttrInt("candidates", len(candidates))
+	sp.End()
 
-	return PruneUncommon(candidates, stmts, cfg.MinSatisfactionRatio, workers)
+	_, sp = obs.StartSpan(ctx, "prune_uncommon")
+	out := PruneUncommon(candidates, stmts, cfg.MinSatisfactionRatio, workers)
+	sp.SetAttrInt("kept", len(out))
+	sp.End()
+	msp.SetAttrInt("patterns", len(out))
+	return out
 }
 
 // countPathFrequencies is the sharded pass 1 of Algorithm 1: each worker

@@ -125,18 +125,20 @@ func (h *Histogram) Count() int64 { return h.total.Load() }
 // Sum returns the total of all observed durations.
 func (h *Histogram) Sum() time.Duration { return time.Duration(h.sum.Load()) }
 
-// Quantile estimates the q-quantile (0 < q <= 1) from the bucket
-// counts by linear interpolation inside the target bucket, the same
-// estimate Prometheus' histogram_quantile computes. Observations in
-// the +Inf bucket clamp to the largest finite bound. Returns 0 when
-// the histogram is empty.
+// Quantile estimates the q-quantile from the bucket counts by linear
+// interpolation inside the target bucket, the same estimate
+// Prometheus' histogram_quantile computes. The edge cases are pinned,
+// never NaN and never extrapolated beyond the bucket layout:
+//
+//   - an empty histogram returns 0 for every q;
+//   - q <= 0 returns 0 and q > 1 is clamped to 1;
+//   - ranks landing in the +Inf bucket — including a histogram whose
+//     observations all overflowed the last finite bound — clamp to
+//     that largest finite bound rather than extrapolating.
 func (h *Histogram) Quantile(q float64) time.Duration {
 	total := h.total.Load()
-	if total == 0 {
+	if total == 0 || q <= 0 {
 		return 0
-	}
-	if q < 0 {
-		q = 0
 	}
 	if q > 1 {
 		q = 1
@@ -159,7 +161,10 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		}
 		hi := h.bounds[i]
 		if n == 0 {
-			return hi
+			// Unreachable for q > 0 (an empty bucket cannot move cum
+			// past the rank), kept as a defined floor: no observation
+			// means no interpolation above the bucket's lower bound.
+			return lo
 		}
 		frac := (rank - cum) / n
 		return lo + time.Duration(frac*float64(hi-lo))
@@ -215,9 +220,10 @@ type entry struct {
 // format. Series names may carry labels inline: Counter(`x{code="200"}`)
 // and Counter(`x{code="500"}`) are two series of one metric family.
 type Registry struct {
-	mu      sync.Mutex
-	entries map[string]*entry // full name -> entry
-	order   []string          // insertion order of full names
+	mu        sync.Mutex
+	entries   map[string]*entry // full name -> entry
+	order     []string          // insertion order of full names
+	scrapeFns []func()          // run before each scrape snapshot
 }
 
 // NewRegistry returns an empty registry.
@@ -282,6 +288,16 @@ func (r *Registry) Histogram(name string, bounds []time.Duration) *Histogram {
 	return r.get(name, kindHistogram, bounds).h
 }
 
+// OnScrape registers fn to run at the start of every WritePrometheus
+// call, before the snapshot is taken — the hook for sampled metrics
+// (runtime stats) that would be wasteful to keep current continuously.
+// fn must only touch already-created metrics (Set/Add/Observe).
+func (r *Registry) OnScrape(fn func()) {
+	r.mu.Lock()
+	r.scrapeFns = append(r.scrapeFns, fn)
+	r.mu.Unlock()
+}
+
 // seconds renders a duration as a float seconds literal.
 func seconds(d time.Duration) string {
 	return fmt.Sprintf("%g", d.Seconds())
@@ -304,6 +320,13 @@ func mergeLabels(labels, extra string) string {
 // WritePrometheus renders every registered series in the text
 // exposition format, families sorted by name with one # TYPE line each.
 func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	fns := r.scrapeFns
+	r.mu.Unlock()
+	for _, fn := range fns {
+		fn()
+	}
+
 	r.mu.Lock()
 	names := append([]string(nil), r.order...)
 	entries := make([]*entry, len(names))

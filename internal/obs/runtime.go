@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// GCPauseBuckets covers stop-the-world pause times (10µs to 1s): GC
+// pauses live orders of magnitude below request latencies, so they get
+// their own bucket layout instead of DefaultLatencyBuckets.
+var GCPauseBuckets = []time.Duration{
+	10 * time.Microsecond,
+	25 * time.Microsecond,
+	50 * time.Microsecond,
+	100 * time.Microsecond,
+	250 * time.Microsecond,
+	500 * time.Microsecond,
+	1 * time.Millisecond,
+	2500 * time.Microsecond,
+	5 * time.Millisecond,
+	10 * time.Millisecond,
+	25 * time.Millisecond,
+	100 * time.Millisecond,
+	1 * time.Second,
+}
+
+// RegisterGoMetrics adds Go runtime health series to the registry,
+// sampled lazily on each scrape (runtime.ReadMemStats is not free, so
+// it runs per /metrics request, not on a timer):
+//
+//	go_goroutines            current goroutine count
+//	go_heap_alloc_bytes      live heap bytes
+//	go_gc_cycles_total       completed GC cycles
+//	go_gc_pause_seconds      STW pause histogram (new pauses per scrape)
+//
+// These let an operator correlate latency spikes on the request
+// histograms with GC pressure from the same scrape.
+func RegisterGoMetrics(r *Registry) {
+	goroutines := r.Gauge("go_goroutines")
+	heap := r.Gauge("go_heap_alloc_bytes")
+	cycles := r.Counter("go_gc_cycles_total")
+	pauses := r.Histogram("go_gc_pause_seconds", GCPauseBuckets)
+
+	var mu sync.Mutex
+	var lastGC uint32
+	r.OnScrape(func() {
+		goroutines.Set(int64(runtime.NumGoroutine()))
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		heap.Set(int64(ms.HeapAlloc))
+
+		mu.Lock()
+		defer mu.Unlock()
+		// PauseNs is a circular buffer of the last 256 pauses; replay
+		// only the cycles completed since the previous scrape (all of
+		// them on the first), skipping any overwritten by a long gap.
+		from := lastGC
+		if ms.NumGC > from+256 {
+			from = ms.NumGC - 256
+		}
+		for n := from; n < ms.NumGC; n++ {
+			pauses.Observe(time.Duration(ms.PauseNs[n%256]))
+		}
+		cycles.Add(int64(ms.NumGC - lastGC))
+		lastGC = ms.NumGC
+	})
+}

@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestQuantileEdgeCases(t *testing.T) {
+	bounds := []time.Duration{time.Millisecond, 10 * time.Millisecond}
+
+	// Empty histogram: every quantile is 0, never NaN.
+	h := NewHistogram(bounds)
+	for _, q := range []float64{-1, 0, 0.5, 1, 2} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+
+	// All observations past the last finite bound: clamp to it.
+	h = NewHistogram(bounds)
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Second)
+	}
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 10*time.Millisecond {
+			t.Errorf("all-overflow Quantile(%v) = %v, want 10ms", q, got)
+		}
+	}
+
+	// q outside (0, 1] on a populated histogram: 0 below, clamp above.
+	h = NewHistogram(bounds)
+	h.Observe(500 * time.Microsecond)
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %v, want 0", got)
+	}
+	if got := h.Quantile(-0.5); got != 0 {
+		t.Errorf("Quantile(-0.5) = %v, want 0", got)
+	}
+	if got, want := h.Quantile(1.5), h.Quantile(1); got != want {
+		t.Errorf("Quantile(1.5) = %v, want Quantile(1) = %v", got, want)
+	}
+}
+
+func TestRegisterGoMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterGoMetrics(r)
+	runtime.GC() // guarantee at least one GC cycle (and one pause sample)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"go_goroutines ",
+		"go_heap_alloc_bytes ",
+		"go_gc_cycles_total ",
+		"go_gc_pause_seconds_count ",
+		`go_gc_pause_seconds_bucket{le="+Inf"}`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q:\n%s", want, out)
+		}
+	}
+	// Values are sampled at scrape time, not registration time: the
+	// goroutine gauge must be live (at least this test's goroutine).
+	var lines []string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "go_goroutines ") {
+			lines = append(lines, l)
+		}
+	}
+	if len(lines) != 1 || lines[0] == "go_goroutines 0" {
+		t.Errorf("go_goroutines not sampled: %v", lines)
+	}
+
+	// A second scrape must not double-count GC pauses: cycles recorded
+	// once stay recorded, the pause histogram only grows by new cycles.
+	count1 := scrapeValue(t, out, "go_gc_pause_seconds_count")
+	var buf2 bytes.Buffer
+	if err := r.WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	count2 := scrapeValue(t, buf2.String(), "go_gc_pause_seconds_count")
+	cycles := scrapeValue(t, buf2.String(), "go_gc_cycles_total")
+	if count2 < count1 {
+		t.Errorf("pause count went backwards: %v -> %v", count1, count2)
+	}
+	if count2 > cycles {
+		t.Errorf("pause samples (%v) exceed GC cycles (%v): double replay", count2, cycles)
+	}
+}
+
+// scrapeValue extracts the numeric value of one Prometheus sample line.
+func scrapeValue(t *testing.T, scrape, name string) float64 {
+	t.Helper()
+	for _, l := range strings.Split(scrape, "\n") {
+		if strings.HasPrefix(l, name+" ") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(strings.TrimPrefix(l, name+" ")), 64)
+			if err != nil {
+				t.Fatalf("parsing %q: %v", l, err)
+			}
+			return v
+		}
+	}
+	t.Fatalf("scrape has no %q sample:\n%s", name, scrape)
+	return 0
+}

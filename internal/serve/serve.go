@@ -10,6 +10,7 @@
 //	GET  /metrics      Prometheus text-format counters + latency histograms
 //	GET  /debug/vars   expvar counters (requests, violations, latency)
 //	GET  /debug/pprof  profiling handlers (only with Config.EnablePprof)
+//	GET  /debug/traces slowest-request span trees (only with Config.EnableTraces)
 //
 // The handler is safe for arbitrary concurrency: all shared state (the
 // pattern index, pair set, classifier) is read-only after load, and every
@@ -38,6 +39,7 @@ import (
 	"time"
 
 	"namer/internal/ast"
+	"namer/internal/buildinfo"
 	"namer/internal/core"
 	"namer/internal/obs"
 )
@@ -65,6 +67,15 @@ type Config struct {
 	ErrorLog *log.Logger
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// EnableTraces records a span tree for every scan request into a
+	// flight recorder holding the slowest recent traces, served at
+	// /debug/traces (JSON list; ?id=<trace id> or ?id=slowest for a
+	// Chrome trace-event export). Gated like pprof: traces reveal
+	// request paths and timing structure, so they are off by default.
+	EnableTraces bool
+	// TraceRingSize is the flight-recorder capacity; 0 means
+	// DefaultTraceRing.
+	TraceRingSize int
 }
 
 // Defaults for the zero Config.
@@ -72,6 +83,7 @@ const (
 	DefaultMaxBody     = 4 << 20
 	DefaultScanTimeout = 30 * time.Second
 	DefaultMaxInFlight = 64
+	DefaultTraceRing   = 32
 )
 
 // Server answers scan requests against one loaded knowledge artifact.
@@ -91,6 +103,10 @@ type Server struct {
 	// request. It is a field so robustness tests can substitute a
 	// panicking or slow front-end stub.
 	analyze func(ctx context.Context, lang ast.Language, files []ScanFile, all bool) *ScanResponse
+
+	// recorder is the slow-request flight recorder behind /debug/traces;
+	// nil unless Config.EnableTraces.
+	recorder *obs.FlightRecorder
 
 	// Per-server metrics (the /metrics page). Unlike the expvar
 	// counters these are instance-scoped, so tests and multi-server
@@ -171,11 +187,22 @@ func New(sys *core.System, cfg Config) *Server {
 	sv.hProcess = sv.metrics.Histogram(`namer_stage_seconds{stage="scan_process"}`, nil)
 	sv.hMatch = sv.metrics.Histogram(`namer_stage_seconds{stage="scan_match"}`, nil)
 
+	obs.RegisterGoMetrics(sv.metrics)
+	buildinfo.Register(sv.metrics)
+
 	statKnowledge.Set(cfg.KnowledgeInfo)
 	sv.mux.HandleFunc("/healthz", sv.handleHealth)
 	sv.mux.HandleFunc("/v1/scan", sv.handleScan)
 	sv.mux.Handle("/metrics", sv.metrics.Handler())
 	sv.mux.Handle("/debug/vars", expvar.Handler())
+	if cfg.EnableTraces {
+		ring := cfg.TraceRingSize
+		if ring <= 0 {
+			ring = DefaultTraceRing
+		}
+		sv.recorder = obs.NewFlightRecorder(ring)
+		sv.mux.Handle("/debug/traces", sv.recorder.Handler())
+	}
 	if cfg.EnablePprof {
 		sv.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		sv.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -329,7 +356,16 @@ func (sv *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	resp, err := sv.scan(r.Context(), lang, files, req.All)
+	// With the flight recorder on, the whole analysis runs under a span
+	// tree whose trace id is the request id, so a slow request found in
+	// the access log can be pulled up on /debug/traces by the same id.
+	ctx := r.Context()
+	var tr *obs.Trace
+	if sv.recorder != nil {
+		ctx, tr = obs.NewTrace(ctx, "scan_request", obs.RequestID(ctx))
+		tr.Root().SetAttrInt("files_received", len(files))
+	}
+	resp, err := sv.scan(ctx, lang, files, req.All)
 	if err != nil {
 		switch {
 		case errors.Is(err, context.Canceled):
@@ -346,6 +382,13 @@ func (sv *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 			sv.fail(w, http.StatusInternalServerError, err.Error())
 		}
 		return
+	}
+	if tr != nil {
+		// Record only completed analyses: on timeout/cancel the
+		// abandoned goroutine may still be writing spans, so those
+		// traces are dropped rather than exported mid-write.
+		tr.Finish()
+		sv.recorder.Add(tr)
 	}
 	sv.writeJSON(w, http.StatusOK, resp)
 }
@@ -395,8 +438,9 @@ func (sv *Server) scan(ctx context.Context, lang ast.Language, files []ScanFile,
 
 // doAnalyze is the real analysis pipeline: parse every file, scan the
 // parsed set against the knowledge, classify the violations. Each stage
-// feeds its latency histogram.
-func (sv *Server) doAnalyze(_ context.Context, lang ast.Language, files []ScanFile, all bool) *ScanResponse {
+// is a span under the request's trace (when the flight recorder is on)
+// and feeds its latency histogram either way.
+func (sv *Server) doAnalyze(ctx context.Context, lang ast.Language, files []ScanFile, all bool) *ScanResponse {
 	start := time.Now()
 	resp := &ScanResponse{
 		Lang:          lang.String(),
@@ -405,9 +449,13 @@ func (sv *Server) doAnalyze(_ context.Context, lang ast.Language, files []ScanFi
 	}
 
 	stage := time.Now()
+	pctx, parseSpan := obs.StartSpan(ctx, "parse")
 	var inputs []*core.InputFile
 	for _, f := range files {
+		_, fsp := obs.StartSpan(pctx, "file")
+		fsp.SetAttr("path", f.Path)
 		root, err := core.ParseSource(lang, f.Source)
+		fsp.End()
 		if err != nil {
 			resp.Errors = append(resp.Errors, fmt.Sprintf("%s: %v", f.Path, err))
 			continue
@@ -416,11 +464,14 @@ func (sv *Server) doAnalyze(_ context.Context, lang ast.Language, files []ScanFi
 			Repo: "request", Path: f.Path, Source: f.Source, Root: root,
 		})
 	}
+	parseSpan.End()
 	sv.hParse.Since(stage)
 	resp.FilesScanned = len(inputs)
 
 	stage = time.Now()
-	res := sv.sys.ScanFiles(inputs)
+	sctx, scanSpan := obs.StartSpan(ctx, "scan")
+	res := sv.sys.ScanFilesCtx(sctx, inputs)
+	scanSpan.End()
 	sv.hScan.Since(stage)
 	sv.hProcess.Observe(res.Timings.Process)
 	sv.hMatch.Observe(res.Timings.Match)
@@ -434,6 +485,7 @@ func (sv *Server) doAnalyze(_ context.Context, lang ast.Language, files []ScanFi
 	sv.mViol.Add(int64(len(res.Violations)))
 
 	stage = time.Now()
+	_, classifySpan := obs.StartSpan(ctx, "classify")
 	for _, v := range res.Violations {
 		classified := sv.sys.ClassifyIn(res.Stats, v)
 		if !classified && !all {
@@ -457,6 +509,9 @@ func (sv *Server) doAnalyze(_ context.Context, lang ast.Language, files []ScanFi
 		}
 		resp.Violations = append(resp.Violations, out)
 	}
+	classifySpan.SetAttrInt("violations", len(res.Violations))
+	classifySpan.SetAttrInt("reported", len(resp.Violations))
+	classifySpan.End()
 	sv.hClassify.Since(stage)
 
 	resp.ScanMillis = float64(time.Since(start).Microseconds()) / 1000

@@ -23,6 +23,14 @@ import (
 // returned sources are corpus files usable as scan request bodies.
 func newTestServer(t testing.TB) (*Server, []string) {
 	t.Helper()
+	sys, sources := newTestSystem(t)
+	return New(sys, Config{KnowledgeInfo: "test knowledge"}), sources
+}
+
+// newTestSystem mines the small corpus backing newTestServer, for tests
+// that need a Server with a non-default Config.
+func newTestSystem(t testing.TB) (*core.System, []string) {
+	t.Helper()
 	ccfg := corpus.DefaultConfig(ast.Python)
 	ccfg.Repos = 20
 	ccfg.FilesPerRepo = 4
@@ -59,7 +67,7 @@ func newTestServer(t testing.TB) (*Server, []string) {
 	if err := fresh.ImportKnowledge(k); err != nil {
 		t.Fatal(err)
 	}
-	return New(fresh, Config{KnowledgeInfo: "test knowledge"}), sources
+	return fresh, sources
 }
 
 func postScan(t *testing.T, url string, body string) (*http.Response, []byte) {

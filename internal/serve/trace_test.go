@@ -1,0 +1,119 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// TestTracesGatedOff pins that the flight recorder is opt-in: without
+// Config.EnableTraces there is no /debug/traces route at all.
+func TestTracesGatedOff(t *testing.T) {
+	sv, _ := newTestServer(t)
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("/debug/traces without EnableTraces: status %d, want 404", resp.StatusCode)
+	}
+}
+
+// TestScanRequestTraced runs a scan against a traces-enabled server and
+// checks the recorded span tree: the trace id matches the request's
+// X-Request-Id, and the tree covers the whole pipeline (parse with
+// per-file children, scan with process/match stages, classify).
+func TestScanRequestTraced(t *testing.T) {
+	sys, sources := newTestSystem(t)
+	sv := New(sys, Config{KnowledgeInfo: "test knowledge", EnableTraces: true, TraceRingSize: 4})
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	body := fmt.Sprintf(`{"lang":"python","files":[{"path":"a.py","source":%q},{"path":"b.py","source":%q}]}`,
+		sources[0], sources[1])
+	resp, err := http.Post(ts.URL+"/v1/scan", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("scan status = %d", resp.StatusCode)
+	}
+	reqID := resp.Header.Get("X-Request-Id")
+	if reqID == "" {
+		t.Fatal("scan response has no X-Request-Id")
+	}
+
+	if sv.recorder.Len() != 1 {
+		t.Fatalf("recorder holds %d traces, want 1", sv.recorder.Len())
+	}
+	tr := sv.recorder.Get(reqID)
+	if tr == nil {
+		t.Fatalf("no recorded trace with id %q (the request id)", reqID)
+	}
+
+	spans := tr.Spans()
+	parents := map[int]string{} // span id -> name, for parent lookups
+	count := map[string]int{}
+	for _, s := range spans {
+		parents[s.ID] = s.Name
+		count[s.Name]++
+	}
+	for _, want := range []string{"scan_request", "parse", "scan", "process", "match", "classify"} {
+		if count[want] == 0 {
+			t.Errorf("trace missing span %q (have %v)", want, count)
+		}
+	}
+	// Two request files -> two per-file parse children; the scan stage
+	// re-parses them through core, so "file" spans appear under both.
+	fileUnderParse := 0
+	for _, s := range spans {
+		if s.Name == "file" && parents[s.Parent] == "parse" {
+			fileUnderParse++
+		}
+	}
+	if fileUnderParse != 2 {
+		t.Errorf("got %d file spans under parse, want 2", fileUnderParse)
+	}
+	// The derived StageTimings view and the span tree must agree: the
+	// process/match stages exist in both, so neither can be zero.
+	for _, s := range spans {
+		if s.Name == "process" || s.Name == "match" {
+			if s.Duration <= 0 {
+				t.Errorf("span %q has non-positive duration %v", s.Name, s.Duration)
+			}
+		}
+	}
+
+	// The endpoint serves the listing and the per-trace Chrome export.
+	r2, err := http.Get(ts.URL + "/debug/traces")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var list []json.RawMessage
+	if err := json.NewDecoder(r2.Body).Decode(&list); err != nil {
+		t.Fatalf("listing not valid JSON: %v", err)
+	}
+	r2.Body.Close()
+	if len(list) != 1 {
+		t.Fatalf("listing has %d traces, want 1", len(list))
+	}
+	r3, err := http.Get(ts.URL + "/debug/traces?id=" + reqID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []map[string]any
+	if err := json.NewDecoder(r3.Body).Decode(&events); err != nil {
+		t.Fatalf("Chrome export not valid JSON: %v", err)
+	}
+	r3.Body.Close()
+	if len(events) != len(spans) {
+		t.Errorf("Chrome export has %d events for %d spans", len(events), len(spans))
+	}
+}
