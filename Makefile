@@ -45,12 +45,16 @@ bench:
 # End-to-end smoke test of the serving layer: generate a corpus, mine
 # binary knowledge (with a -trace export that must contain the FP
 # stages), boot namer-serve on a random port with the flight recorder
-# on, and require 200s from /healthz and /v1/scan. The /metrics scrape
-# must parse as Prometheus text format and carry the request counter,
-# every parse/scan/classify stage histogram, the Go runtime gauges, and
-# the build-info series. /debug/traces must list the scan's trace and
-# its Chrome export must cover the parse/match/classify pipeline. A
-# TERM at the end checks clean shutdown.
+# on, and require 200s from /healthz, /v1/scan, and /v1/diff (both the
+# before/after and the unified-diff "patch" forms). Repeating the same
+# scan must hit the per-file cache (asserted in the response and in the
+# namer_cache_hits_total counter). The /metrics scrape must parse as
+# Prometheus text format and carry the request counter, every
+# parse/scan/classify/diff stage histogram, the cache counters and
+# gauges, the Go runtime gauges, and the build-info series.
+# /debug/traces must list the scan's trace and its Chrome export must
+# cover the parse/match/classify pipeline. A TERM at the end checks
+# clean shutdown.
 serve-smoke:
 	@set -e; \
 	tmp=$$(mktemp -d); \
@@ -77,6 +81,22 @@ serve-smoke:
 	[ "$$code" = 200 ] || { echo "serve-smoke: /v1/scan returned $$code"; cat "$$tmp/scan.json"; exit 1; }; \
 	code=$$(curl -s -o /dev/null -w '%{http_code}' -X POST -d '{"source":"def f(:\n"}' "http://$$addr/v1/scan"); \
 	[ "$$code" = 200 ] || { echo "serve-smoke: malformed-source scan returned $$code"; exit 1; }; \
+	code=$$(curl -s -o "$$tmp/scan2.json" -w '%{http_code}' -X POST \
+		-d '{"lang":"python","source":"upload_cnt = upload_count + 1\n","all":true}' \
+		"http://$$addr/v1/scan"); \
+	[ "$$code" = 200 ] || { echo "serve-smoke: warm /v1/scan returned $$code"; cat "$$tmp/scan2.json"; exit 1; }; \
+	grep -qE '"cache_hits": [1-9]' "$$tmp/scan2.json" || \
+		{ echo "serve-smoke: repeated scan did not hit the cache"; cat "$$tmp/scan2.json"; exit 1; }; \
+	code=$$(curl -s -o "$$tmp/diff.json" -w '%{http_code}' -X POST \
+		-d '{"lang":"python","files":[{"path":"d.py","before":"value = 1\n","after":"value = 1\nupload_cnt = upload_count + 1\n"}],"all":true}' \
+		"http://$$addr/v1/diff"); \
+	[ "$$code" = 200 ] || { echo "serve-smoke: /v1/diff returned $$code"; cat "$$tmp/diff.json"; exit 1; }; \
+	grep -qE '"changed_statements": [1-9]' "$$tmp/diff.json" || \
+		{ echo "serve-smoke: /v1/diff saw no changed statements"; cat "$$tmp/diff.json"; exit 1; }; \
+	code=$$(curl -s -o "$$tmp/diff2.json" -w '%{http_code}' -X POST \
+		-d '{"files":[{"path":"p.py","before":"a = 1\n","patch":"@@ -1,1 +1,2 @@\n a = 1\n+b = 2\n"}]}' \
+		"http://$$addr/v1/diff"); \
+	[ "$$code" = 200 ] || { echo "serve-smoke: patch /v1/diff returned $$code"; cat "$$tmp/diff2.json"; exit 1; }; \
 	code=$$(curl -s -o "$$tmp/metrics.txt" -w '%{http_code}' "http://$$addr/metrics"); \
 	[ "$$code" = 200 ] || { echo "serve-smoke: /metrics returned $$code"; exit 1; }; \
 	for series in 'namer_scan_requests_total' 'namer_scans_total' \
@@ -84,8 +104,14 @@ serve-smoke:
 		'namer_stage_seconds_bucket{stage="parse",le="+Inf"}' \
 		'namer_stage_seconds_bucket{stage="scan",le="+Inf"}' \
 		'namer_stage_seconds_bucket{stage="classify",le="+Inf"}' \
+		'namer_stage_seconds_bucket{stage="diff",le="+Inf"}' \
 		'namer_http_responses_total{status="200"}' \
 		'namer_scan_inflight' \
+		'namer_diff_requests_total' \
+		'namer_cache_misses_total' \
+		'namer_cache_evictions_total' \
+		'namer_cache_bytes' \
+		'namer_cache_entries' \
 		'go_goroutines' \
 		'go_heap_alloc_bytes' \
 		'go_gc_pause_seconds_bucket' \
@@ -93,6 +119,9 @@ serve-smoke:
 		grep -qF "$$series" "$$tmp/metrics.txt" || \
 			{ echo "serve-smoke: /metrics missing $$series"; cat "$$tmp/metrics.txt"; exit 1; }; \
 	done; \
+	grep -qE '^namer_cache_hits_total [1-9]' "$$tmp/metrics.txt" || \
+		{ echo "serve-smoke: namer_cache_hits_total did not count the warm scan"; \
+		  grep namer_cache "$$tmp/metrics.txt"; exit 1; }; \
 	bad=$$(grep -cvE '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(_bucket|_sum|_count)?(\{[^{}]*\})? -?[0-9.eE+-]+|)$$' "$$tmp/metrics.txt" || true); \
 	[ "$$bad" = 0 ] || { echo "serve-smoke: $$bad unparsable /metrics lines"; \
 		grep -vE '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(_bucket|_sum|_count)?(\{[^{}]*\})? -?[0-9.eE+-]+|)$$' "$$tmp/metrics.txt"; exit 1; }; \

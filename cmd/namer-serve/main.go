@@ -8,6 +8,13 @@
 //	curl -X POST localhost:8737/v1/scan \
 //	     -d '{"lang":"python","source":"upload_cnt = upload_count + 1\n"}'
 //
+// POST /v1/diff takes before/after versions of files (or a unified
+// diff via "patch") and reports only the violations *introduced* by
+// the change, plus identifier renames found by AST alignment. Repeat
+// file contents across requests are served from a bounded per-file
+// scan cache (-cache-entries / -cache-bytes; hit/miss/eviction
+// counters and size gauges on /metrics).
+//
 // Liveness is at /healthz, Prometheus counters and latency histograms
 // at /metrics, legacy expvar counters at /debug/vars, and profiling at
 // /debug/pprof (only with -pprof). With -traces, a flight recorder
@@ -43,6 +50,10 @@ func main() {
 	scanTimeout := flag.Duration("scan-timeout", serve.DefaultScanTimeout, "per-request scan deadline")
 	maxInFlight := flag.Int("max-inflight", serve.DefaultMaxInFlight,
 		"concurrent scan limit; excess requests are shed with 429")
+	cacheEntries := flag.Int("cache-entries", serve.DefaultCacheEntries,
+		"per-file scan cache capacity in files; 0 disables the cache")
+	cacheBytes := flag.Int64("cache-bytes", serve.DefaultCacheBytes,
+		"per-file scan cache capacity in estimated bytes")
 	accessLog := flag.String("access-log", "stdout",
 		"JSON access log destination: stdout, stderr, off, or a file path")
 	pprofFlag := flag.Bool("pprof", false, "expose profiling handlers under /debug/pprof/")
@@ -75,10 +86,16 @@ func main() {
 	if err != nil {
 		fatal(fmt.Errorf("opening access log: %w", err))
 	}
+	entries := *cacheEntries
+	if entries == 0 {
+		entries = -1 // flag semantics: 0 disables; Config semantics: negative disables
+	}
 	sv := serve.New(sys, serve.Config{
 		MaxBodyBytes:  *maxBody,
 		ScanTimeout:   *scanTimeout,
 		MaxInFlight:   *maxInFlight,
+		CacheEntries:  entries,
+		CacheBytes:    *cacheBytes,
 		KnowledgeInfo: info,
 		AccessLog:     logw,
 		EnablePprof:   *pprofFlag,
@@ -90,7 +107,7 @@ func main() {
 		fatal(err)
 	}
 	bound := ln.Addr().String()
-	fmt.Printf("namer-serve: listening on http://%s (POST /v1/scan, GET /healthz, GET /metrics, GET /debug/vars)\n", bound)
+	fmt.Printf("namer-serve: listening on http://%s (POST /v1/scan, POST /v1/diff, GET /healthz, GET /metrics, GET /debug/vars)\n", bound)
 	if *readyFile != "" {
 		if err := os.WriteFile(*readyFile, []byte(bound+"\n"), 0o644); err != nil {
 			ln.Close()

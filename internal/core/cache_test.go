@@ -1,0 +1,235 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"namer/internal/ast"
+)
+
+// mapCache is an unbounded FileCache for core tests (the bounded LRU
+// lives in internal/servecache, which cannot be imported from here
+// without a cycle).
+type mapCache struct {
+	mu sync.Mutex
+	m  map[string]*CachedFile
+}
+
+func newMapCache() *mapCache { return &mapCache{m: map[string]*CachedFile{}} }
+
+func (c *mapCache) Get(key string) (*CachedFile, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.m[key]
+	return f, ok
+}
+
+func (c *mapCache) Add(key string, f *CachedFile) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[key] = f
+}
+
+func (c *mapCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// scanReports renders a scan's violations (with classification) into
+// comparable strings, so "byte-identical results" is literal.
+func scanReports(sys *System, res *ScanResult) []string {
+	out := make([]string, 0, len(res.Violations))
+	for _, v := range res.Violations {
+		s := v.Report()
+		if sys.ClassifyIn(res.Stats, v) {
+			s += " [classified]"
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// freshScanSystem exports the mined knowledge into a fresh system, the
+// way a serving daemon loads it, and returns the corpus files as
+// source-only inputs (no pre-parsed Root, so the scan path parses).
+func freshScanSystem(t *testing.T) (*System, []*InputFile) {
+	t.Helper()
+	sys, c, _ := buildSystem(t, ast.Python, smallSystemConfig(ast.Python), smallCorpusConfig(ast.Python))
+	k, err := sys.ExportKnowledge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewSystem(DefaultConfig(ast.Python))
+	if err := fresh.ImportKnowledge(k); err != nil {
+		t.Fatal(err)
+	}
+	var files []*InputFile
+	for _, r := range c.Repos {
+		for _, f := range r.Files {
+			files = append(files, &InputFile{Repo: r.Name, Path: f.Path, Source: f.Source})
+		}
+	}
+	return fresh, files
+}
+
+// TestScanFilesCachedIdentical pins the acceptance criterion: scans with
+// the cache (cold and warm) produce byte-identical violation reports and
+// classifications to scans without it.
+func TestScanFilesCachedIdentical(t *testing.T) {
+	sys, files := freshScanSystem(t)
+
+	base := sys.ScanFiles(files)
+	if len(base.Errors) != 0 {
+		t.Fatalf("baseline errors: %v", base.Errors)
+	}
+	if base.CacheHits != 0 || base.CacheMisses != 0 {
+		t.Fatalf("cacheless scan counted lookups: %d/%d", base.CacheHits, base.CacheMisses)
+	}
+	want := scanReports(sys, base)
+	if len(want) == 0 {
+		t.Fatal("baseline found no violations; corpus too clean to test")
+	}
+
+	cache := newMapCache()
+	sys.SetFileCache(cache)
+	defer sys.SetFileCache(nil)
+
+	cold := sys.ScanFiles(files)
+	if cold.CacheMisses != len(files) || cold.CacheHits != 0 {
+		t.Fatalf("cold scan hits/misses = %d/%d, want 0/%d", cold.CacheHits, cold.CacheMisses, len(files))
+	}
+	warm := sys.ScanFiles(files)
+	if warm.CacheHits != len(files) || warm.CacheMisses != 0 {
+		t.Fatalf("warm scan hits/misses = %d/%d, want %d/0", warm.CacheHits, warm.CacheMisses, len(files))
+	}
+	if warm.FilesParsed != len(files) || warm.Statements != base.Statements {
+		t.Fatalf("warm scan parsed=%d statements=%d, want %d/%d",
+			warm.FilesParsed, warm.Statements, len(files), base.Statements)
+	}
+
+	for name, res := range map[string]*ScanResult{"cold": cold, "warm": warm} {
+		got := scanReports(sys, res)
+		if len(got) != len(want) {
+			t.Fatalf("%s scan: %d violations, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("%s scan diverged at %d:\n got %q\nwant %q", name, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestScanFilesCachedDuplicates: the same file twice in one request must
+// behave identically cached and uncached (dedup is value-keyed, so the
+// shared cached statements cannot change the outcome).
+func TestScanFilesCachedDuplicates(t *testing.T) {
+	sys, files := freshScanSystem(t)
+	dup := append([]*InputFile{files[0]}, files[0], files[1])
+
+	base := sys.ScanFiles(dup)
+	cache := newMapCache()
+	sys.SetFileCache(cache)
+	defer sys.SetFileCache(nil)
+	sys.ScanFiles(dup) // prime
+	warm := sys.ScanFiles(dup)
+
+	if warm.CacheHits != 3 {
+		t.Fatalf("warm hits = %d, want 3", warm.CacheHits)
+	}
+	gotW, gotB := scanReports(sys, warm), scanReports(sys, base)
+	if len(gotW) != len(gotB) {
+		t.Fatalf("duplicate handling diverged: cached %d vs uncached %d violations", len(gotW), len(gotB))
+	}
+	for i := range gotB {
+		if gotW[i] != gotB[i] {
+			t.Fatalf("duplicate scan diverged at %d: %q vs %q", i, gotW[i], gotB[i])
+		}
+	}
+}
+
+// TestScanFilesCacheBypassedWithoutKnowledge: cached units embed match
+// output, so without a pattern index nothing may be cached or served —
+// otherwise entries created before a knowledge load would poison scans
+// after it.
+func TestScanFilesCacheBypassedWithoutKnowledge(t *testing.T) {
+	_, files := freshScanSystem(t)
+	empty := NewSystem(DefaultConfig(ast.Python))
+	cache := newMapCache()
+	empty.SetFileCache(cache)
+	res := empty.ScanFiles(files[:2])
+	if res.CacheHits != 0 || res.CacheMisses != 0 {
+		t.Fatalf("knowledge-less scan touched the cache: %d/%d", res.CacheHits, res.CacheMisses)
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("knowledge-less scan cached %d units", cache.Len())
+	}
+}
+
+// TestScanFilesConcurrentSharedCache runs many scans over one shared
+// cache; under -race this is the concurrency check for the cached unit
+// sharing (all consumers treat units as read-only).
+func TestScanFilesConcurrentSharedCache(t *testing.T) {
+	sys, files := freshScanSystem(t)
+	cache := newMapCache()
+	sys.SetFileCache(cache)
+	defer sys.SetFileCache(nil)
+
+	base := sys.ScanFiles(files)
+	want := len(base.Violations)
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Stagger the slice so goroutines mix hits and misses.
+			sub := files[g%4:]
+			for i := 0; i < 4; i++ {
+				res := sys.ScanFiles(sub)
+				if len(res.Errors) != 0 {
+					errs <- res.Errors[0].Error()
+					return
+				}
+				if g%4 == 0 && len(res.Violations) != want {
+					errs <- "violation count diverged under concurrency"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+// TestFileCacheKey pins the key contract: language, repo, path, and
+// content all participate, and equal inputs collide.
+func TestFileCacheKey(t *testing.T) {
+	py := NewSystem(DefaultConfig(ast.Python))
+	f := &InputFile{Repo: "r", Path: "p.py", Source: "x = 1\n"}
+	if py.FileCacheKey(f) != py.FileCacheKey(&InputFile{Repo: "r", Path: "p.py", Source: "x = 1\n"}) {
+		t.Fatal("equal inputs produced different keys")
+	}
+	distinct := map[string]string{}
+	for name, g := range map[string]*InputFile{
+		"base":    f,
+		"content": {Repo: "r", Path: "p.py", Source: "x = 2\n"},
+		"path":    {Repo: "r", Path: "q.py", Source: "x = 1\n"},
+		"repo":    {Repo: "s", Path: "p.py", Source: "x = 1\n"},
+	} {
+		distinct[name] = py.FileCacheKey(g)
+	}
+	distinct["lang"] = NewSystem(DefaultConfig(ast.Java)).FileCacheKey(f)
+	seen := map[string]string{}
+	for name, key := range distinct {
+		if other, dup := seen[key]; dup {
+			t.Fatalf("%s and %s collide on key %s", name, other, key)
+		}
+		seen[key] = name
+	}
+}

@@ -110,6 +110,7 @@ type System struct {
 
 	classifier *ml.Pipeline
 	index      *mining.Index
+	cache      FileCache
 }
 
 // MiningStat is the FP-tree shape of one mining pass.
@@ -335,16 +336,23 @@ func (s *System) ScanCtx(ctx context.Context) []*Violation {
 // Dedup collapses violations that flag the same statement with the same
 // original/suggested subtokens (near-identical patterns produce duplicate
 // reports); the first occurrence — the lowest pattern key — is kept.
+// Statement identity is by value (location plus fingerprint), not by
+// pointer, so the cached scan path — where one statement object can back
+// several occurrences of the same file — deduplicates exactly like the
+// uncached one.
 func Dedup(vs []*Violation) []*Violation {
 	type key struct {
-		stmt      *ProcStmt
-		original  string
-		suggested string
+		repo, path  string
+		line        int
+		fingerprint string
+		original    string
+		suggested   string
 	}
 	seen := map[key]bool{}
 	out := vs[:0:0]
 	for _, v := range vs {
-		k := key{v.Stmt, v.Detail.Original, v.Detail.Suggested}
+		k := key{v.Stmt.Repo, v.Stmt.Path, v.Stmt.Line, v.Stmt.Fingerprint,
+			v.Detail.Original, v.Detail.Suggested}
 		if seen[k] {
 			continue
 		}

@@ -1,0 +1,232 @@
+// Diff-aware scanning: the CI/PR-review workload. A diff scan takes
+// before/after versions of files, analyzes both sides through the same
+// cached per-file units as ScanFiles, and reports only the violations
+// *introduced* by the change — what a review bot should comment on a PR,
+// rather than re-litigating every pre-existing issue in the file.
+//
+// Semantics, per file:
+//
+//   - Statements are compared by fingerprint multiset. After-side
+//     statements not covered by the before side are the changed set;
+//     only their violations are candidates.
+//   - Violations carried over from changed before-side statements (same
+//     original/suggested rewrite on a statement that was merely edited)
+//     are subtracted, so editing an already-flagged line without fixing
+//     it is not re-reported as a new issue.
+//   - Classification runs against the after side's statistics, the same
+//     statistics a full /v1/scan of the after files would use.
+//
+// treediff aligns the before/after ASTs (the same alignment the pair
+// miner applies to commit histories) and reports identifier renames;
+// renames matching a mined confusing-word pair are flagged, surfacing
+// "this rename goes from/to a commonly confused name" directly in
+// review.
+package core
+
+import (
+	"context"
+	"errors"
+
+	"namer/internal/features"
+	"namer/internal/obs"
+	"namer/internal/subtoken"
+	"namer/internal/treediff"
+)
+
+// DiffFile is one before/after file pair handed to the diff scan.
+type DiffFile struct {
+	Repo   string
+	Path   string
+	Before string
+	After  string
+}
+
+// Rename is one identifier rename the tree alignment found, attributed
+// to its file.
+type Rename struct {
+	Path   string
+	Before string
+	After  string
+	// KnownPair reports whether the renamed subtoken pair (in either
+	// direction) is in the mined confusing-word pair set — the rename
+	// crosses a boundary developers demonstrably mix up.
+	KnownPair bool
+}
+
+// DiffResult is the outcome of a diff scan (DiffFiles).
+type DiffResult struct {
+	// Introduced are the violations present on changed after-side
+	// statements and not carried over from the before side, deduplicated,
+	// in deterministic order.
+	Introduced []*Violation
+	// Renames are the identifier renames of the tree alignment, deduped
+	// per file in first-occurrence order.
+	Renames []Rename
+	// Stats is the after side's statistics index; classify Introduced
+	// against it (ClassifyIn), exactly as a full scan of the after files
+	// would.
+	Stats *features.Index
+	// Statements counts after-side statements; Changed counts the subset
+	// not present (by fingerprint) in the before side.
+	Statements int
+	Changed    int
+	// FilesParsed counts the file pairs where both sides parsed.
+	FilesParsed int
+	// CacheHits/CacheMisses aggregate per-file cache lookups across both
+	// sides.
+	CacheHits   int
+	CacheMisses int
+	// Errors holds per-side parse/analysis failures; a pair with a failed
+	// side is skipped, the rest are diffed normally.
+	Errors []error
+	// Timings records the stage split (see StageTimings).
+	Timings StageTimings
+}
+
+// ErrNoKnowledge is returned (via DiffResult.Errors) when a diff scan
+// runs before any knowledge is mined or imported.
+var ErrNoKnowledge = errors.New("core: no knowledge loaded")
+
+// DiffFiles is DiffFilesCtx without tracing.
+func (s *System) DiffFiles(files []DiffFile) *DiffResult {
+	return s.DiffFilesCtx(context.Background(), files)
+}
+
+// DiffFilesCtx scans before/after file pairs and reports only the
+// violations introduced by the change, plus the identifier renames of
+// the AST alignment. Like ScanFilesCtx it is read-only on the system,
+// safe for concurrent use, and serves both sides of every pair from the
+// per-file cache when one is installed. Span structure: "process" (one
+// "file" child per side), "match", and "align" for the tree diff.
+func (s *System) DiffFilesCtx(ctx context.Context, files []DiffFile) *DiffResult {
+	res := &DiffResult{Stats: features.NewIndex()}
+	if s.index == nil {
+		res.Errors = append(res.Errors, ErrNoKnowledge)
+		return res
+	}
+
+	type pairEval struct {
+		path          string
+		before, after *fileEval
+	}
+	pairs := make([]pairEval, 0, len(files))
+	pctx, stopProcess := stage(ctx, "process")
+	for _, df := range files {
+		b := s.frontEndFile(pctx, &InputFile{Repo: df.Repo, Path: df.Path, Source: df.Before}, &res.Timings)
+		a := s.frontEndFile(pctx, &InputFile{Repo: df.Repo, Path: df.Path, Source: df.After}, &res.Timings)
+		okB := accountEval(b, new(int), &res.CacheHits, &res.CacheMisses, &res.Errors)
+		okA := accountEval(a, new(int), &res.CacheHits, &res.CacheMisses, &res.Errors)
+		if !okB || !okA {
+			continue
+		}
+		res.FilesParsed++
+		pairs = append(pairs, pairEval{path: df.Path, before: b, after: a})
+	}
+	res.Timings.Process = stopProcess()
+
+	_, stopMatch := stage(ctx, "match")
+	var introduced []*Violation
+	for _, pe := range pairs {
+		s.matchFile(pe.before)
+		s.matchFile(pe.after)
+		res.Stats.Merge(pe.after.ent.Stats)
+		res.Statements += len(pe.after.ent.Stmts)
+
+		// Changed statements on each side: the occurrences not covered by
+		// the other side's fingerprint multiset (so k unchanged copies
+		// cancel k copies, and the k+1st counts as changed).
+		changedAfter := uncovered(pe.after.ent.Stmts, pe.before.ent.Stmts)
+		changedBefore := uncovered(pe.before.ent.Stmts, pe.after.ent.Stmts)
+		res.Changed += len(changedAfter)
+
+		// Rewrites already flagged on changed before-side statements are
+		// carried over, not introduced.
+		carried := map[[2]string]int{}
+		for _, v := range Dedup(pe.before.ent.Violations) {
+			if changedBefore[v.Stmt] {
+				carried[[2]string{v.Detail.Original, v.Detail.Suggested}]++
+			}
+		}
+		for _, v := range Dedup(pe.after.ent.Violations) {
+			if !changedAfter[v.Stmt] {
+				continue
+			}
+			k := [2]string{v.Detail.Original, v.Detail.Suggested}
+			if carried[k] > 0 {
+				carried[k]--
+				continue
+			}
+			introduced = append(introduced, v)
+		}
+	}
+	res.Introduced = Dedup(introduced)
+	res.Timings.Match = stopMatch()
+
+	_, alignSp := obs.StartSpan(ctx, "align")
+	for _, pe := range pairs {
+		seen := map[[2]string]bool{}
+		for _, r := range treediff.Diff(pe.before.ent.Root, pe.after.ent.Root) {
+			k := [2]string{r.Before, r.After}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			res.Renames = append(res.Renames, Rename{
+				Path:      pe.path,
+				Before:    r.Before,
+				After:     r.After,
+				KnownPair: s.renameKnownPair(r.Before, r.After),
+			})
+		}
+	}
+	alignSp.SetAttrInt("renames", len(res.Renames))
+	alignSp.End()
+	return res
+}
+
+// uncovered returns the statements of xs whose fingerprint occurrence is
+// not covered by the fingerprint multiset of ys, preserving xs order via
+// map iteration on pointer membership at the call site.
+func uncovered(xs, ys []*ProcStmt) map[*ProcStmt]bool {
+	cover := map[string]int{}
+	for _, ps := range ys {
+		cover[ps.Fingerprint]++
+	}
+	out := map[*ProcStmt]bool{}
+	for _, ps := range xs {
+		if cover[ps.Fingerprint] > 0 {
+			cover[ps.Fingerprint]--
+			continue
+		}
+		out[ps] = true
+	}
+	return out
+}
+
+// renameKnownPair reports whether the before→after identifier rename
+// differs in exactly one subtoken and that subtoken pair (in either
+// direction) is in the mined confusing-word pair set — the same
+// single-subtoken alignment the pair miner applies to commit diffs.
+func (s *System) renameKnownPair(before, after string) bool {
+	if s.Pairs == nil {
+		return false
+	}
+	sb, sa := subtoken.Split(before), subtoken.Split(after)
+	if len(sb) != len(sa) {
+		return false
+	}
+	w1, w2 := "", ""
+	for i := range sb {
+		if sb[i] == sa[i] {
+			continue
+		}
+		if w1 != "" {
+			return false // more than one subtoken changed
+		}
+		w1, w2 = sb[i], sa[i]
+	}
+	if w1 == "" {
+		return false
+	}
+	return s.Pairs.Contains(w1, w2) || s.Pairs.Contains(w2, w1)
+}

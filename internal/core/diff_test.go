@@ -1,0 +1,298 @@
+package core
+
+import (
+	"errors"
+	"regexp"
+	"testing"
+
+	"namer/internal/ast"
+)
+
+// diffReports renders introduced violations (with classification against
+// the diff's after-side stats) into comparable strings.
+func diffReports(sys *System, res *DiffResult) []string {
+	out := make([]string, 0, len(res.Introduced))
+	for _, v := range res.Introduced {
+		s := v.Report()
+		if sys.ClassifyIn(res.Stats, v) {
+			s += " [classified]"
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestDiffFilesIdentity: an unchanged file introduces nothing, however
+// many pre-existing violations it has.
+func TestDiffFilesIdentity(t *testing.T) {
+	sys, files := freshScanSystem(t)
+	base := sys.ScanFiles(files)
+	if len(base.Violations) == 0 {
+		t.Fatal("corpus has no violations; identity test would be vacuous")
+	}
+	pairs := make([]DiffFile, 0, len(files))
+	for _, f := range files {
+		pairs = append(pairs, DiffFile{Repo: f.Repo, Path: f.Path, Before: f.Source, After: f.Source})
+	}
+	res := sys.DiffFiles(pairs)
+	if len(res.Errors) != 0 {
+		t.Fatalf("diff errors: %v", res.Errors)
+	}
+	if res.Changed != 0 {
+		t.Fatalf("identity diff reports %d changed statements", res.Changed)
+	}
+	if len(res.Introduced) != 0 {
+		t.Fatalf("identity diff introduced %d violations: %v", len(res.Introduced), res.Introduced[0].Report())
+	}
+	if len(res.Renames) != 0 {
+		t.Fatalf("identity diff found %d renames", len(res.Renames))
+	}
+	if res.FilesParsed != len(files) || res.Statements != base.Statements {
+		t.Fatalf("identity diff parsed=%d statements=%d, want %d/%d",
+			res.FilesParsed, res.Statements, len(files), base.Statements)
+	}
+}
+
+// TestDiffFilesFromEmpty: diffing from an empty file is "everything is
+// new" — the introduced set must equal a full scan of the after side,
+// classification included.
+func TestDiffFilesFromEmpty(t *testing.T) {
+	sys, files := freshScanSystem(t)
+	// Pick a file that a full scan flags.
+	base := sys.ScanFiles(files)
+	if len(base.Violations) == 0 {
+		t.Fatal("corpus has no violations")
+	}
+	v0 := base.Violations[0]
+	var target *InputFile
+	for _, f := range files {
+		if f.Repo == v0.Stmt.Repo && f.Path == v0.Stmt.Path {
+			target = f
+		}
+	}
+
+	scan := sys.ScanFiles([]*InputFile{target})
+	res := sys.DiffFiles([]DiffFile{{Repo: target.Repo, Path: target.Path, Before: "", After: target.Source}})
+	if len(res.Errors) != 0 {
+		t.Fatalf("diff errors: %v", res.Errors)
+	}
+	if res.Changed != res.Statements || res.Changed == 0 {
+		t.Fatalf("from-empty diff: %d/%d statements changed, want all", res.Changed, res.Statements)
+	}
+	want := scanReports(sys, scan)
+	got := diffReports(sys, res)
+	if len(got) != len(want) {
+		t.Fatalf("from-empty diff introduced %d violations, full scan found %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("from-empty diff diverged at %d:\n got %q\nwant %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDiffFilesLineShiftIntroducesNothing: prepending a comment moves
+// every statement to a new line but changes no statement structure, so
+// nothing is "introduced" — the multiset comparison is by fingerprint,
+// not position.
+func TestDiffFilesLineShiftIntroducesNothing(t *testing.T) {
+	sys, files := freshScanSystem(t)
+	base := sys.ScanFiles(files)
+	if len(base.Violations) == 0 {
+		t.Fatal("corpus has no violations")
+	}
+	v0 := base.Violations[0]
+	var target *InputFile
+	for _, f := range files {
+		if f.Repo == v0.Stmt.Repo && f.Path == v0.Stmt.Path {
+			target = f
+		}
+	}
+	res := sys.DiffFiles([]DiffFile{{
+		Repo: target.Repo, Path: target.Path,
+		Before: target.Source,
+		After:  "# touched in review\n" + target.Source,
+	}})
+	if len(res.Errors) != 0 {
+		t.Fatalf("diff errors: %v", res.Errors)
+	}
+	if res.Changed != 0 || len(res.Introduced) != 0 {
+		t.Fatalf("comment shift: %d changed, %d introduced; want 0/0",
+			res.Changed, len(res.Introduced))
+	}
+}
+
+// TestDiffFilesRoundTrip is the acceptance round trip: applying a
+// suggested fix introduces nothing, and reverting it (the "PR that
+// introduces a naming bug") re-introduces exactly that violation, with
+// the rename surfaced by the tree alignment.
+func TestDiffFilesRoundTrip(t *testing.T) {
+	sys, files := freshScanSystem(t)
+	base := sys.ScanFiles(files)
+
+	bySrc := map[string]*InputFile{}
+	for _, f := range files {
+		bySrc[f.Repo+"\x00"+f.Path] = f
+	}
+	tried, ok := 0, false
+	for _, v := range base.Violations {
+		from, to, fixable := v.SuggestFixedName()
+		if !fixable || from == to {
+			continue
+		}
+		f := bySrc[v.Stmt.Repo+"\x00"+v.Stmt.Path]
+		re := regexp.MustCompile(`\b` + regexp.QuoteMeta(from) + `\b`)
+		fixed := re.ReplaceAllString(f.Source, to)
+		if fixed == f.Source {
+			continue
+		}
+		if _, err := ParseSource(ast.Python, fixed); err != nil {
+			continue
+		}
+		// The rename must actually fix it: the fixed file, scanned alone,
+		// no longer reports this rewrite.
+		still := false
+		fscan := sys.ScanFiles([]*InputFile{{Repo: f.Repo, Path: f.Path, Source: fixed}})
+		for _, fv := range fscan.Violations {
+			if fv.Detail.Original == v.Detail.Original && fv.Detail.Suggested == v.Detail.Suggested {
+				still = true
+			}
+		}
+		if still {
+			continue
+		}
+		tried++
+		if tried > 25 {
+			break
+		}
+
+		fwd := sys.DiffFiles([]DiffFile{{Repo: f.Repo, Path: f.Path, Before: f.Source, After: fixed}})
+		for _, iv := range fwd.Introduced {
+			if iv.Detail.Original == v.Detail.Original && iv.Detail.Suggested == v.Detail.Suggested {
+				t.Fatalf("applying the fix %s -> %s still introduces %q", from, to, iv.Report())
+			}
+		}
+
+		rev := sys.DiffFiles([]DiffFile{{Repo: f.Repo, Path: f.Path, Before: fixed, After: f.Source}})
+		found := false
+		for _, iv := range rev.Introduced {
+			if iv.Detail.Original == v.Detail.Original && iv.Detail.Suggested == v.Detail.Suggested {
+				found = true
+			}
+		}
+		if !found {
+			continue // the rename may have shifted other statements' context
+		}
+		renamed := false
+		for _, rn := range rev.Renames {
+			if rn.Before == to && rn.After == from {
+				renamed = true
+			}
+		}
+		if !renamed {
+			t.Fatalf("reverting %s -> %s: violation re-introduced but rename not reported (%v)",
+				from, to, rev.Renames)
+		}
+		ok = true
+		break
+	}
+	if !ok {
+		t.Fatalf("no violation survived the fix/revert round trip (%d candidates tried)", tried)
+	}
+}
+
+// TestDiffFilesCarriedOverNotReintroduced: a statement that is edited
+// but keeps its pre-existing violation (same original/suggested rewrite)
+// is carried over, not re-reported.
+func TestDiffFilesCarriedOverNotReintroduced(t *testing.T) {
+	sys, files := freshScanSystem(t)
+	base := sys.ScanFiles(files)
+
+	bySrc := map[string]*InputFile{}
+	for _, f := range files {
+		bySrc[f.Repo+"\x00"+f.Path] = f
+	}
+	// Rename an *unrelated* identifier so the violating statement's
+	// fingerprint changes while its violation stays: the statement is
+	// "changed", the violation is carried.
+	done := false
+	for _, v := range base.Violations {
+		f := bySrc[v.Stmt.Repo+"\x00"+v.Stmt.Path]
+		// Pick another identifier on the violating statement's line.
+		re := regexp.MustCompile(`\b([a-z][a-z_0-9]{3,})\b`)
+		var other string
+		for _, m := range re.FindAllString(v.Stmt.SourceLine, -1) {
+			if m != v.Detail.Original && m != v.Detail.Suggested {
+				other = m
+				break
+			}
+		}
+		if other == "" {
+			continue
+		}
+		after := regexp.MustCompile(`\b`+regexp.QuoteMeta(other)+`\b`).
+			ReplaceAllString(f.Source, other+"_v2")
+		if _, err := ParseSource(ast.Python, after); err != nil {
+			continue
+		}
+		res := sys.DiffFiles([]DiffFile{{Repo: f.Repo, Path: f.Path, Before: f.Source, After: after}})
+		if len(res.Errors) != 0 {
+			continue
+		}
+		if res.Changed == 0 {
+			continue // the identifier did not appear in any statement path
+		}
+		for _, iv := range res.Introduced {
+			if iv.Detail.Original == v.Detail.Original && iv.Detail.Suggested == v.Detail.Suggested &&
+				iv.Stmt.Line == v.Stmt.Line {
+				t.Fatalf("edit to unrelated name %s re-introduced carried violation %q", other, iv.Report())
+			}
+		}
+		done = true
+		break
+	}
+	if !done {
+		t.Skip("no violating statement with an unrelated identifier to rename")
+	}
+}
+
+// TestDiffFilesNoKnowledge: diffing before any knowledge is loaded is an
+// explicit error, not a silent empty result.
+func TestDiffFilesNoKnowledge(t *testing.T) {
+	empty := NewSystem(DefaultConfig(ast.Python))
+	res := empty.DiffFiles([]DiffFile{{Repo: "r", Path: "p.py", Before: "x = 1\n", After: "y = 2\n"}})
+	if len(res.Errors) != 1 || !errors.Is(res.Errors[0], ErrNoKnowledge) {
+		t.Fatalf("errors = %v, want ErrNoKnowledge", res.Errors)
+	}
+}
+
+// TestDiffFilesCached: both sides of every pair come from the cache on a
+// repeat diff, and the result is unchanged.
+func TestDiffFilesCached(t *testing.T) {
+	sys, files := freshScanSystem(t)
+	cache := newMapCache()
+	sys.SetFileCache(cache)
+	defer sys.SetFileCache(nil)
+
+	pairs := []DiffFile{
+		{Repo: files[0].Repo, Path: files[0].Path, Before: "", After: files[0].Source},
+		{Repo: files[1].Repo, Path: files[1].Path, Before: files[1].Source, After: files[1].Source},
+	}
+	cold := sys.DiffFiles(pairs)
+	if cold.CacheHits != 0 || cold.CacheMisses != 4 {
+		t.Fatalf("cold diff hits/misses = %d/%d, want 0/4", cold.CacheHits, cold.CacheMisses)
+	}
+	warm := sys.DiffFiles(pairs)
+	if warm.CacheMisses != 0 || warm.CacheHits != 4 {
+		t.Fatalf("warm diff hits/misses = %d/%d, want 4/0", warm.CacheHits, warm.CacheMisses)
+	}
+	cw, ww := diffReports(sys, cold), diffReports(sys, warm)
+	if len(cw) != len(ww) {
+		t.Fatalf("cached diff diverged: %d vs %d introduced", len(cw), len(ww))
+	}
+	for i := range cw {
+		if cw[i] != ww[i] {
+			t.Fatalf("cached diff diverged at %d: %q vs %q", i, cw[i], ww[i])
+		}
+	}
+}

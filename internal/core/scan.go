@@ -35,16 +35,20 @@ func ParseSource(lang ast.Language, source string) (root *ast.Node, err error) {
 	return nil, fmt.Errorf("core: no parser for %v", lang)
 }
 
-// StageTimings breaks one detached scan into its two pipeline stages,
-// so the serving layer can export per-stage latency histograms and an
-// operator can tell front-end cost (analysis, AST+ transformation,
-// path extraction) apart from pattern-index matching. Under a tracing
-// context the values are a derived view of the "process" and "match"
-// spans; without one they are measured directly, so the histograms
-// stay populated either way.
+// StageTimings breaks one detached scan into its pipeline stages, so the
+// serving layer can export per-stage latency histograms and an operator
+// can tell front-end cost (parsing, analysis, AST+ transformation, path
+// extraction) apart from pattern-index matching. Under a tracing context
+// the Process/Match values are a derived view of the "process" and
+// "match" spans; without one they are measured directly, so the
+// histograms stay populated either way.
 type StageTimings struct {
-	// Process is the per-file front-end time: points-to analysis,
-	// AST+ transformation, and name path extraction.
+	// Parse is the cumulative source-parsing time across the request's
+	// files; zero for files served from the cache or handed in
+	// pre-parsed.
+	Parse time.Duration
+	// Process is the per-file front-end time: parsing (when needed),
+	// points-to analysis, AST+ transformation, and name path extraction.
 	Process time.Duration
 	// Match is the pattern matching time: candidate lookup, predicate
 	// evaluation, explanation, and dedup.
@@ -61,7 +65,15 @@ type ScanResult struct {
 	Stats *features.Index
 	// Statements is how many statements were extracted and matched.
 	Statements int
-	// Errors holds per-file analysis failures; files that fail are
+	// FilesParsed counts the input files that produced an AST (handed in
+	// pre-parsed, parsed here, or served from the cache); the difference
+	// from len(files) is itemized in Errors.
+	FilesParsed int
+	// CacheHits/CacheMisses count per-file cache lookups for this scan;
+	// both stay zero when no cache is installed.
+	CacheHits   int
+	CacheMisses int
+	// Errors holds per-file parse/analysis failures; files that fail are
 	// skipped, the rest are scanned normally.
 	Errors []error
 	// Timings records how long each scan stage took (see StageTimings).
@@ -84,59 +96,88 @@ func stage(ctx context.Context, name string) (context.Context, func() time.Durat
 	}
 }
 
-// ScanFiles analyzes the given files against the system's mined knowledge
-// without touching any system state: statements and statistics live in the
-// returned ScanResult rather than in s.Stmts/s.StatsIx. Unlike
-// ProcessFiles+Scan, this path is safe for concurrent read-only use — the
-// serving layer runs one ScanFiles per request over a shared System. The
-// system must not be mutated (mining, training, importing) while detached
-// scans are in flight.
-func (s *System) ScanFiles(files []*InputFile) *ScanResult {
-	return s.ScanFilesCtx(context.Background(), files)
+// fileEval tracks one request file through the per-file pipeline.
+type fileEval struct {
+	key      string // cache key; "" when the cache is bypassed
+	ent      *CachedFile
+	hit      bool
+	parsedOK bool
+	err      error
 }
 
-// ScanFilesCtx is ScanFiles under a tracing context: a "process" span
-// (one "file" child per input, with path and statement count) and a
-// "match" span, from which ScanResult.Timings is derived.
-func (s *System) ScanFilesCtx(ctx context.Context, files []*InputFile) *ScanResult {
-	res := &ScanResult{Stats: features.NewIndex()}
-	var stmts []*ProcStmt
-	pctx, stopProcess := stage(ctx, "process")
-	// Requests are small (a snippet or a handful of files); concurrency
-	// comes from scanning many requests at once, so each request is
-	// processed serially to avoid worker-pool churn per request.
-	for _, f := range files {
-		_, fsp := obs.StartSpan(pctx, "file")
-		fsp.SetAttr("path", f.Path)
-		out, err := s.processFileSafe(f)
+// frontEndFile runs the per-file front end under a "file" span (path,
+// cache_hit, statement-count attributes), consulting the cache first. On
+// a hit the returned unit is complete, match fragment included; on a
+// miss it carries the parsed AST, statements, and statement statistics,
+// and matchFile finishes and publishes it. Files arriving with Root set
+// skip parsing; files without one are parsed from Source (a "parse"
+// child span, accumulated into timings.Parse).
+func (s *System) frontEndFile(pctx context.Context, f *InputFile, timings *StageTimings) *fileEval {
+	fctx, fsp := obs.StartSpan(pctx, "file")
+	defer fsp.End()
+	fsp.SetAttr("path", f.Path)
+	fe := &fileEval{}
+	if s.cacheActive() {
+		fe.key = s.FileCacheKey(f)
+		if ent, ok := s.cache.Get(fe.key); ok {
+			fsp.SetAttr("cache_hit", "true")
+			fsp.SetAttrInt("statements", len(ent.Stmts))
+			fe.ent, fe.hit, fe.parsedOK = ent, true, true
+			return fe
+		}
+		fsp.SetAttr("cache_hit", "false")
+	}
+	root := f.Root
+	if root == nil {
+		start := time.Now()
+		_, psp := obs.StartSpan(fctx, "parse")
+		parsed, err := ParseSource(s.cfg.Lang, f.Source)
+		psp.End()
+		timings.Parse += time.Since(start)
 		if err != nil {
-			res.Errors = append(res.Errors, err)
+			fe.err = fmt.Errorf("%s/%s: %v", f.Repo, f.Path, err)
 			fsp.SetAttr("error", err.Error())
-			fsp.End()
-			continue
+			return fe
 		}
-		for _, ps := range out {
-			stmts = append(stmts, ps)
-			res.Stats.AddStatement(ps.Repo, ps.Path, ps.Fingerprint)
-		}
-		fsp.SetAttrInt("statements", len(out))
-		fsp.End()
+		root = parsed
 	}
-	res.Statements = len(stmts)
-	res.Timings.Process = stopProcess()
-	if s.index == nil {
-		// No knowledge imported/mined yet: nothing to match against.
-		return res
+	fe.parsedOK = true
+	in := f
+	if in.Root != root {
+		in = &InputFile{Repo: f.Repo, Path: f.Path, Source: f.Source, Root: root}
 	}
-	_, stopMatch := stage(ctx, "match")
-	var vs []*Violation
+	stmts, err := s.processFileSafe(in)
+	if err != nil {
+		fe.err = err
+		fsp.SetAttr("error", err.Error())
+		return fe
+	}
+	stats := features.NewIndex()
 	for _, ps := range stmts {
+		stats.AddStatement(ps.Repo, ps.Path, ps.Fingerprint)
+	}
+	fe.ent = &CachedFile{Root: root, Stmts: stmts, Stats: stats}
+	fsp.SetAttrInt("statements", len(stmts))
+	return fe
+}
+
+// matchFile finishes a missed per-file unit: the match fragment (pattern
+// observations into the unit's statistics plus the per-file violations)
+// is computed against the pattern index, and the completed unit is
+// published to the cache. Cache hits and failed files are no-ops. Must
+// only run with a loaded pattern index.
+func (s *System) matchFile(fe *fileEval) {
+	if fe.err != nil || fe.ent == nil || fe.hit {
+		return
+	}
+	ent := fe.ent
+	for _, ps := range ent.Stmts {
 		for _, p := range s.index.Candidates(ps.PS) {
 			if !ps.PS.Matches(p) {
 				continue
 			}
 			satisfied := ps.PS.Satisfied(p)
-			res.Stats.AddObservation(ps.Repo, ps.Path, p, satisfied)
+			ent.Stats.AddObservation(ps.Repo, ps.Path, p, satisfied)
 			if satisfied {
 				continue
 			}
@@ -144,8 +185,80 @@ func (s *System) ScanFilesCtx(ctx context.Context, files []*InputFile) *ScanResu
 			if !ok {
 				continue
 			}
-			vs = append(vs, &Violation{Stmt: ps, Pattern: p, Detail: detail})
+			ent.Violations = append(ent.Violations, &Violation{Stmt: ps, Pattern: p, Detail: detail})
 		}
+	}
+	if fe.key != "" {
+		ent.Cost = ent.cost()
+		s.cache.Add(fe.key, ent)
+	}
+}
+
+// accountEval folds one per-file evaluation into the scan result's
+// counters and error list; it reports whether the file survived.
+func accountEval(fe *fileEval, parsed, hits, misses *int, errs *[]error) bool {
+	if fe.hit {
+		*hits++
+	} else if fe.key != "" {
+		*misses++
+	}
+	if fe.parsedOK {
+		*parsed++
+	}
+	if fe.err != nil {
+		*errs = append(*errs, fe.err)
+		return false
+	}
+	return true
+}
+
+// ScanFiles analyzes the given files against the system's mined knowledge
+// without touching any system state: statements and statistics live in the
+// returned ScanResult rather than in s.Stmts/s.StatsIx. Unlike
+// ProcessFiles+Scan, this path is safe for concurrent read-only use — the
+// serving layer runs one ScanFiles per request over a shared System. The
+// system must not be mutated (mining, training, importing) while detached
+// scans are in flight. Files may arrive pre-parsed (Root set) or as raw
+// Source; with a FileCache installed, repeat files skip the whole
+// parse/analyze/match pipeline.
+func (s *System) ScanFiles(files []*InputFile) *ScanResult {
+	return s.ScanFilesCtx(context.Background(), files)
+}
+
+// ScanFilesCtx is ScanFiles under a tracing context: a "process" span
+// (one "file" child per input with path, cache_hit, and statement-count
+// attributes, plus a "parse" child per parsed file) and a "match" span,
+// from which ScanResult.Timings is derived.
+func (s *System) ScanFilesCtx(ctx context.Context, files []*InputFile) *ScanResult {
+	res := &ScanResult{Stats: features.NewIndex()}
+	evals := make([]*fileEval, 0, len(files))
+	pctx, stopProcess := stage(ctx, "process")
+	// Requests are small (a snippet or a handful of files); concurrency
+	// comes from scanning many requests at once, so each request is
+	// processed serially to avoid worker-pool churn per request.
+	for _, f := range files {
+		fe := s.frontEndFile(pctx, f, &res.Timings)
+		if !accountEval(fe, &res.FilesParsed, &res.CacheHits, &res.CacheMisses, &res.Errors) {
+			continue
+		}
+		res.Statements += len(fe.ent.Stmts)
+		evals = append(evals, fe)
+	}
+	res.Timings.Process = stopProcess()
+	if s.index == nil {
+		// No knowledge imported/mined yet: nothing to match against, but
+		// the statement statistics are still reported.
+		for _, fe := range evals {
+			res.Stats.Merge(fe.ent.Stats)
+		}
+		return res
+	}
+	_, stopMatch := stage(ctx, "match")
+	var vs []*Violation
+	for _, fe := range evals {
+		s.matchFile(fe)
+		res.Stats.Merge(fe.ent.Stats)
+		vs = append(vs, fe.ent.Violations...)
 	}
 	res.Violations = Dedup(vs)
 	res.Timings.Match = stopMatch()

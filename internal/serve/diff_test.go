@@ -1,0 +1,313 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"namer/internal/ast"
+	"namer/internal/core"
+)
+
+func postDiff(t *testing.T, url string, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url+"/v1/diff", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// TestDiffEndpoint: an unchanged file introduces nothing; a file diffed
+// from empty reports the same violations a plain scan of it does.
+func TestDiffEndpoint(t *testing.T) {
+	sv, sources := newTestServer(t)
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	// Identity diff: nothing introduced, nothing renamed.
+	body, _ := json.Marshal(DiffRequest{Files: []DiffFile{
+		{Path: "a.py", Before: sources[0], After: sources[0]},
+	}, All: true})
+	resp, data := postDiff(t, ts.URL, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("identity diff: %d (%s)", resp.StatusCode, data)
+	}
+	var out DiffResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.FilesReceived != 1 || out.FilesScanned != 1 {
+		t.Fatalf("received/scanned = %d/%d, want 1/1", out.FilesReceived, out.FilesScanned)
+	}
+	if out.ChangedStatements != 0 || len(out.Violations) != 0 || len(out.Renames) != 0 {
+		t.Fatalf("identity diff: changed=%d violations=%d renames=%d, want 0/0/0",
+			out.ChangedStatements, len(out.Violations), len(out.Renames))
+	}
+	if out.Statements == 0 {
+		t.Fatal("identity diff scanned no statements")
+	}
+
+	// Find a source the scanner flags, then diff it from empty: the
+	// introduced set must match the scan exactly (same wire form).
+	var flagged string
+	var scanOut ScanResponse
+	for _, src := range sources {
+		sb, _ := json.Marshal(ScanRequest{Source: src, Path: "b.py", All: true})
+		sresp, sdata := postScan(t, ts.URL, string(sb))
+		if sresp.StatusCode != http.StatusOK {
+			t.Fatalf("scan: %d (%s)", sresp.StatusCode, sdata)
+		}
+		if err := json.Unmarshal(sdata, &scanOut); err != nil {
+			t.Fatal(err)
+		}
+		if len(scanOut.Violations) > 0 {
+			flagged = src
+			break
+		}
+	}
+	if flagged == "" {
+		t.Fatal("no corpus source is flagged by the scanner")
+	}
+	body2, _ := json.Marshal(DiffRequest{Files: []DiffFile{{Path: "b.py", Before: "", After: flagged}}, All: true})
+	resp2, data2 := postDiff(t, ts.URL, string(body2))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("from-empty diff: %d (%s)", resp2.StatusCode, data2)
+	}
+	var out2 DiffResponse
+	if err := json.Unmarshal(data2, &out2); err != nil {
+		t.Fatal(err)
+	}
+	if out2.ChangedStatements != out2.Statements || out2.ChangedStatements == 0 {
+		t.Fatalf("from-empty diff: changed=%d statements=%d, want all changed",
+			out2.ChangedStatements, out2.Statements)
+	}
+	if len(out2.Violations) != len(scanOut.Violations) {
+		t.Fatalf("from-empty diff introduced %d violations, scan found %d",
+			len(out2.Violations), len(scanOut.Violations))
+	}
+	for i := range out2.Violations {
+		if out2.Violations[i] != scanOut.Violations[i] {
+			t.Fatalf("diff violation %d diverged from scan: %+v vs %+v",
+				i, out2.Violations[i], scanOut.Violations[i])
+		}
+	}
+}
+
+// TestDiffEndpointPatch: the after side can arrive as a unified diff;
+// bad patches are a 400, not a garbage scan.
+func TestDiffEndpointPatch(t *testing.T) {
+	sv, _ := newTestServer(t)
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	before := "total = 1\nvalue = 2\n"
+	patch := "@@ -1,2 +1,3 @@\n total = 1\n value = 2\n+extra = 3\n"
+	body, _ := json.Marshal(DiffRequest{Files: []DiffFile{{Path: "p.py", Before: before, Patch: patch}}})
+	resp, data := postDiff(t, ts.URL, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("patch diff: %d (%s)", resp.StatusCode, data)
+	}
+	var out DiffResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.ChangedStatements != 1 {
+		t.Fatalf("patch adding one statement: changed=%d, want 1", out.ChangedStatements)
+	}
+
+	for name, f := range map[string]DiffFile{
+		"bad patch":      {Path: "p.py", Before: before, Patch: "@@ -9,1 +9,1 @@\n-nope\n+np\n"},
+		"after and diff": {Path: "p.py", Before: before, After: before, Patch: patch},
+		"no path":        {Before: before, After: before},
+	} {
+		b, _ := json.Marshal(DiffRequest{Files: []DiffFile{f}})
+		r, d := postDiff(t, ts.URL, string(b))
+		if r.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: got %d want 400 (%s)", name, r.StatusCode, d)
+		}
+	}
+}
+
+// TestDiffRejectsBadRequests mirrors the scan endpoint's contract: the
+// diff endpoint sits behind the same method/body/lang validation.
+func TestDiffRejectsBadRequests(t *testing.T) {
+	sv, _ := newTestServer(t)
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"malformed JSON", `{"files": [`, http.StatusBadRequest},
+		{"empty request", `{}`, http.StatusBadRequest},
+		{"no files", `{"files":[]}`, http.StatusBadRequest},
+		{"unknown lang", `{"lang":"cobol","files":[{"path":"a.py","before":"","after":"x = 1\n"}]}`, http.StatusBadRequest},
+		{"lang mismatch", `{"lang":"java","files":[{"path":"a.py","before":"","after":"x = 1\n"}]}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, data := postDiff(t, ts.URL, tc.body)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: got %d want %d (%s)", tc.name, resp.StatusCode, tc.want, data)
+		}
+		var e errorResponse
+		if err := json.Unmarshal(data, &e); err != nil || e.Error == "" {
+			t.Errorf("%s: error body not JSON: %s", tc.name, data)
+		}
+	}
+
+	// Malformed source on either side is a 200 with per-file errors.
+	resp, data := postDiff(t, ts.URL, `{"files":[{"path":"a.py","before":"def f(:\n  ))(","after":"x = 1\n"}]}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("malformed before-side: got %d (%s)", resp.StatusCode, data)
+	}
+	var out DiffResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Errors) == 0 || out.FilesScanned != 0 {
+		t.Fatalf("malformed before-side: errors=%v scanned=%d, want itemized error and 0", out.Errors, out.FilesScanned)
+	}
+
+	resp2, err := http.Get(ts.URL + "/v1/diff")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET diff: %d", resp2.StatusCode)
+	}
+}
+
+// TestDiffSharesAdmissionControl: scan and diff share one in-flight
+// semaphore — a saturating diff sheds the next scan, and vice versa.
+func TestDiffSharesAdmissionControl(t *testing.T) {
+	sv, _ := newStubServer(t, Config{MaxInFlight: 1})
+	release := make(chan struct{})
+	entered := make(chan struct{}, 1)
+	sv.analyzeDiff = func(ctx context.Context, lang ast.Language, files []core.DiffFile, all bool) *DiffResponse {
+		entered <- struct{}{}
+		<-release
+		return &DiffResponse{Lang: lang.String()}
+	}
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	diffBody, _ := json.Marshal(DiffRequest{Files: []DiffFile{{Path: "a.py", Before: "", After: "x = 1\n"}}})
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/diff", "application/json", bytes.NewReader(diffBody))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	select {
+	case <-entered:
+	case <-time.After(5 * time.Second):
+		t.Fatal("diff analysis never started")
+	}
+
+	scanBody, _ := json.Marshal(ScanRequest{Source: "x = 1\n"})
+	resp, data := postScan(t, ts.URL, string(scanBody))
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("scan while diff holds the slot: got %d want 429 (%s)", resp.StatusCode, data)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After")
+	}
+	close(release)
+}
+
+// TestDiffPanicContained: the diff pipeline runs inside the same
+// panic-containing goroutine as scans — a poisoned diff is one sanitized
+// 500, and the daemon keeps serving.
+func TestDiffPanicContained(t *testing.T) {
+	sv, logs := newStubServer(t, Config{})
+	sv.analyzeDiff = func(ctx context.Context, lang ast.Language, files []core.DiffFile, all bool) *DiffResponse {
+		panic("diff analyzer exploded: secret diff state")
+	}
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	body, _ := json.Marshal(DiffRequest{Files: []DiffFile{{Path: "a.py", Before: "", After: "x = 1\n"}}})
+	resp, data := postDiff(t, ts.URL, string(body))
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Fatalf("panicking diff: got %d want 500 (%s)", resp.StatusCode, data)
+	}
+	if strings.Contains(string(data), "secret diff state") {
+		t.Errorf("panic value leaked to the client: %s", data)
+	}
+	if !strings.Contains(logs.String(), "secret diff state") {
+		t.Errorf("panic value missing from error log:\n%s", logs.String())
+	}
+	if resp.Header.Get("X-Request-Id") == "" {
+		t.Error("diff response without X-Request-Id")
+	}
+
+	hresp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz after diff panic: %d", hresp.StatusCode)
+	}
+}
+
+// TestDiffWarmsFromScanCache: a scan primes the per-file cache, and a
+// subsequent diff with the same content on the unchanged side hits it.
+func TestDiffWarmsFromScanCache(t *testing.T) {
+	sv, sources := newTestServer(t)
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	sb, _ := json.Marshal(ScanRequest{Path: "w.py", Source: sources[0]})
+	sresp, sdata := postScan(t, ts.URL, string(sb))
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("priming scan: %d (%s)", sresp.StatusCode, sdata)
+	}
+	var scanOut ScanResponse
+	if err := json.Unmarshal(sdata, &scanOut); err != nil {
+		t.Fatal(err)
+	}
+	if scanOut.CacheMisses == 0 || scanOut.CacheHits != 0 {
+		t.Fatalf("priming scan hits/misses = %d/%d, want 0/>0", scanOut.CacheHits, scanOut.CacheMisses)
+	}
+
+	body, _ := json.Marshal(DiffRequest{Files: []DiffFile{
+		{Path: "w.py", Before: sources[0], After: sources[0] + "touched_extra = 1\n"},
+	}})
+	resp, data := postDiff(t, ts.URL, string(body))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("diff: %d (%s)", resp.StatusCode, data)
+	}
+	var out DiffResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.CacheHits != 1 || out.CacheMisses != 1 {
+		t.Fatalf("diff after scan: hits/misses = %d/%d, want 1/1 (before side primed)",
+			out.CacheHits, out.CacheMisses)
+	}
+	if st := sv.Cache().Stats(); st.Hits == 0 || st.Entries == 0 {
+		t.Fatalf("cache stats after scan+diff: %+v", st)
+	}
+	if got := counterValue(t, sv.Metrics(), "namer_cache_hits_total"); got < 1 {
+		t.Errorf("namer_cache_hits_total = %d, want >= 1", got)
+	}
+	if got := counterValue(t, sv.Metrics(), "namer_cache_misses_total"); got < 2 {
+		t.Errorf("namer_cache_misses_total = %d, want >= 2", got)
+	}
+}

@@ -7,6 +7,7 @@
 //
 //	GET  /healthz      liveness + knowledge summary
 //	POST /v1/scan      scan source for naming issues
+//	POST /v1/diff      scan a change, report only introduced issues
 //	GET  /metrics      Prometheus text-format counters + latency histograms
 //	GET  /debug/vars   expvar counters (requests, violations, latency)
 //	GET  /debug/pprof  profiling handlers (only with Config.EnablePprof)
@@ -14,13 +15,17 @@
 //
 // The handler is safe for arbitrary concurrency: all shared state (the
 // pattern index, pair set, classifier) is read-only after load, and every
-// request keeps its own statement and statistics storage. Robustness
-// guarantees, in order of the request path: admission control sheds
-// load past Config.MaxInFlight with 429 + Retry-After instead of
+// request keeps its own statement and statistics storage. Repeat files
+// are served from a bounded content-hash cache of analyzed per-file
+// units (internal/servecache), so an editor or CI bot re-scanning a
+// mostly-unchanged file set pays only for the files that changed.
+// Robustness guarantees, in order of the request path: admission control
+// sheds load past Config.MaxInFlight with 429 + Retry-After instead of
 // queueing unboundedly; the analysis goroutine contains any panic, so a
 // pathological request costs one 500, never the process; client
 // disconnects are logged and dropped without 5xx accounting; scan
-// deadlines surface as 503.
+// deadlines surface as 503. Both analysis endpoints go through the same
+// gate/decode/trace/contain pipeline — /v1/diff is not a side door.
 package serve
 
 import (
@@ -42,6 +47,8 @@ import (
 	"namer/internal/buildinfo"
 	"namer/internal/core"
 	"namer/internal/obs"
+	"namer/internal/servecache"
+	"namer/internal/udiff"
 )
 
 // Config tunes the request handling limits.
@@ -55,6 +62,13 @@ type Config struct {
 	// requests are shed immediately with 429 + Retry-After rather than
 	// queued. 0 means DefaultMaxInFlight.
 	MaxInFlight int
+	// CacheEntries bounds the per-file scan cache by unit count: 0 means
+	// DefaultCacheEntries, negative disables the cache entirely.
+	CacheEntries int
+	// CacheBytes bounds the per-file scan cache by estimated resident
+	// bytes; 0 or negative means DefaultCacheBytes. Ignored when the
+	// cache is disabled.
+	CacheBytes int64
 	// KnowledgeInfo describes the loaded artifact (path, format, version)
 	// for /healthz and the expvar page.
 	KnowledgeInfo string
@@ -80,10 +94,12 @@ type Config struct {
 
 // Defaults for the zero Config.
 const (
-	DefaultMaxBody     = 4 << 20
-	DefaultScanTimeout = 30 * time.Second
-	DefaultMaxInFlight = 64
-	DefaultTraceRing   = 32
+	DefaultMaxBody      = 4 << 20
+	DefaultScanTimeout  = 30 * time.Second
+	DefaultMaxInFlight  = 64
+	DefaultTraceRing    = 32
+	DefaultCacheEntries = 4096
+	DefaultCacheBytes   = 256 << 20
 )
 
 // Server answers scan requests against one loaded knowledge artifact.
@@ -104,6 +120,13 @@ type Server struct {
 	// panicking or slow front-end stub.
 	analyze func(ctx context.Context, lang ast.Language, files []ScanFile, all bool) *ScanResponse
 
+	// analyzeDiff is the /v1/diff pipeline, a field for the same reason.
+	analyzeDiff func(ctx context.Context, lang ast.Language, files []core.DiffFile, all bool) *DiffResponse
+
+	// cache is the bounded per-file scan cache installed on the system;
+	// nil when Config.CacheEntries is negative.
+	cache *servecache.Cache
+
 	// recorder is the slow-request flight recorder behind /debug/traces;
 	// nil unless Config.EnableTraces.
 	recorder *obs.FlightRecorder
@@ -120,6 +143,8 @@ type Server struct {
 	mScans    *obs.Counter
 	mViol     *obs.Counter
 	mReported *obs.Counter
+	mDiffReqs *obs.Counter
+	mDiffViol *obs.Counter
 	gInflight *obs.Gauge
 	hRequest  *obs.Histogram
 	hParse    *obs.Histogram
@@ -127,6 +152,7 @@ type Server struct {
 	hClassify *obs.Histogram
 	hProcess  *obs.Histogram
 	hMatch    *obs.Histogram
+	hDiff     *obs.Histogram
 }
 
 // Package-level expvar counters, registered once: expvar panics on
@@ -146,7 +172,11 @@ var (
 )
 
 // New builds a server over a system with imported knowledge. The system
-// must not be mutated after this point.
+// must not be mutated after this point. New installs (or, with a
+// negative Config.CacheEntries, removes) the system's per-file scan
+// cache: the cached units embed match output against the loaded pattern
+// index, so the cache's lifetime is exactly one (system, knowledge)
+// pair and a fresh Server gets a fresh cache.
 func New(sys *core.System, cfg Config) *Server {
 	if cfg.MaxBodyBytes <= 0 {
 		cfg.MaxBodyBytes = DefaultMaxBody
@@ -169,6 +199,7 @@ func New(sys *core.System, cfg Config) *Server {
 		metrics:  obs.NewRegistry(),
 	}
 	sv.analyze = sv.doAnalyze
+	sv.analyzeDiff = sv.doAnalyzeDiff
 
 	sv.mRequests = sv.metrics.Counter("namer_scan_requests_total")
 	sv.mShed = sv.metrics.Counter("namer_scan_shed_total")
@@ -178,6 +209,8 @@ func New(sys *core.System, cfg Config) *Server {
 	sv.mScans = sv.metrics.Counter("namer_scans_total")
 	sv.mViol = sv.metrics.Counter("namer_violations_total")
 	sv.mReported = sv.metrics.Counter("namer_reported_total")
+	sv.mDiffReqs = sv.metrics.Counter("namer_diff_requests_total")
+	sv.mDiffViol = sv.metrics.Counter("namer_diff_violations_total")
 	sv.gInflight = sv.metrics.Gauge("namer_scan_inflight")
 	sv.metrics.Gauge("namer_scan_inflight_limit").Set(int64(cfg.MaxInFlight))
 	sv.hRequest = sv.metrics.Histogram("namer_request_seconds", nil)
@@ -186,6 +219,32 @@ func New(sys *core.System, cfg Config) *Server {
 	sv.hClassify = sv.metrics.Histogram(`namer_stage_seconds{stage="classify"}`, nil)
 	sv.hProcess = sv.metrics.Histogram(`namer_stage_seconds{stage="scan_process"}`, nil)
 	sv.hMatch = sv.metrics.Histogram(`namer_stage_seconds{stage="scan_match"}`, nil)
+	sv.hDiff = sv.metrics.Histogram(`namer_stage_seconds{stage="diff"}`, nil)
+
+	if cfg.CacheEntries >= 0 {
+		entries := cfg.CacheEntries
+		if entries == 0 {
+			entries = DefaultCacheEntries
+		}
+		bytes := cfg.CacheBytes
+		if bytes <= 0 {
+			bytes = DefaultCacheBytes
+		}
+		sv.cache = servecache.New(entries, bytes)
+		sv.cache.SetMetrics(servecache.Metrics{
+			Hits:      sv.metrics.Counter("namer_cache_hits_total"),
+			Misses:    sv.metrics.Counter("namer_cache_misses_total"),
+			Evictions: sv.metrics.Counter("namer_cache_evictions_total"),
+			Bytes:     sv.metrics.Gauge("namer_cache_bytes"),
+			Entries:   sv.metrics.Gauge("namer_cache_entries"),
+		})
+	}
+	if sv.cache != nil {
+		sys.SetFileCache(sv.cache)
+	} else {
+		// Install a true nil, not a nil *Cache boxed in the interface.
+		sys.SetFileCache(nil)
+	}
 
 	obs.RegisterGoMetrics(sv.metrics)
 	buildinfo.Register(sv.metrics)
@@ -193,6 +252,7 @@ func New(sys *core.System, cfg Config) *Server {
 	statKnowledge.Set(cfg.KnowledgeInfo)
 	sv.mux.HandleFunc("/healthz", sv.handleHealth)
 	sv.mux.HandleFunc("/v1/scan", sv.handleScan)
+	sv.mux.HandleFunc("/v1/diff", sv.handleDiff)
 	sv.mux.Handle("/metrics", sv.metrics.Handler())
 	sv.mux.Handle("/debug/vars", expvar.Handler())
 	if cfg.EnableTraces {
@@ -221,6 +281,10 @@ func (sv *Server) Handler() http.Handler { return sv.handler }
 // Metrics exposes the server's metric registry (what /metrics renders),
 // for benchmarks and embedding processes.
 func (sv *Server) Metrics() *obs.Registry { return sv.metrics }
+
+// Cache exposes the per-file scan cache, nil when disabled; tests and
+// benchmarks read its Stats.
+func (sv *Server) Cache() *servecache.Cache { return sv.cache }
 
 // ScanFile is one source file in a scan request.
 type ScanFile struct {
@@ -260,6 +324,8 @@ type ScanViolation struct {
 // ScanResponse is the POST /v1/scan reply. FilesReceived counts the
 // inputs in the request; FilesScanned counts the subset that parsed —
 // the difference is itemized in Errors, never silently absorbed.
+// CacheHits/CacheMisses report how many of the request's files were
+// served from the per-file scan cache (both zero when it is disabled).
 type ScanResponse struct {
 	Lang          string          `json:"lang"`
 	FilesReceived int             `json:"files_received"`
@@ -267,7 +333,53 @@ type ScanResponse struct {
 	Statements    int             `json:"statements"`
 	Violations    []ScanViolation `json:"violations"`
 	Errors        []string        `json:"errors,omitempty"`
+	CacheHits     int             `json:"cache_hits"`
+	CacheMisses   int             `json:"cache_misses"`
 	ScanMillis    float64         `json:"scan_millis"`
+}
+
+// DiffFile is one changed file in a diff request: the before and after
+// versions of its source. After may instead be given as Patch, a unified
+// diff (`git diff` output for this file) applied server-side to Before.
+type DiffFile struct {
+	Path   string `json:"path"`
+	Before string `json:"before"`
+	After  string `json:"after,omitempty"`
+	Patch  string `json:"patch,omitempty"`
+}
+
+// DiffRequest is the POST /v1/diff body.
+type DiffRequest struct {
+	Lang  string     `json:"lang,omitempty"`
+	Files []DiffFile `json:"files"`
+	// All includes introduced violations the classifier rejects.
+	All bool `json:"all,omitempty"`
+}
+
+// DiffRename is one identifier rename found by aligning the before/after
+// ASTs; KnownPair marks renames crossing a mined confusing-word pair.
+type DiffRename struct {
+	Path      string `json:"path"`
+	Before    string `json:"before"`
+	After     string `json:"after"`
+	KnownPair bool   `json:"known_pair"`
+}
+
+// DiffResponse is the POST /v1/diff reply. Violations holds only the
+// issues *introduced* by the change — present on changed after-side
+// statements and not carried over from the before side.
+type DiffResponse struct {
+	Lang              string          `json:"lang"`
+	FilesReceived     int             `json:"files_received"`
+	FilesScanned      int             `json:"files_scanned"`
+	Statements        int             `json:"statements"`
+	ChangedStatements int             `json:"changed_statements"`
+	Violations        []ScanViolation `json:"violations"`
+	Renames           []DiffRename    `json:"renames,omitempty"`
+	Errors            []string        `json:"errors,omitempty"`
+	CacheHits         int             `json:"cache_hits"`
+	CacheMisses       int             `json:"cache_misses"`
+	ScanMillis        float64         `json:"scan_millis"`
 }
 
 type errorResponse struct {
@@ -285,63 +397,135 @@ func (sv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-func (sv *Server) handleScan(w http.ResponseWriter, r *http.Request) {
-	statRequests.Add(1)
-	sv.mRequests.Inc()
-	start := time.Now()
-	defer func() { sv.hRequest.Since(start) }()
-
+// gate runs the shared request admission path: method check, then the
+// in-flight semaphore. On success the caller must invoke the returned
+// release function when the request is done. A bounded semaphore instead
+// of a queue means saturation costs the client one cheap round trip, not
+// an unbounded wait, and the daemon's memory stays flat under load.
+func (sv *Server) gate(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
 	if r.Method != http.MethodPost {
 		w.Header().Set("Allow", http.MethodPost)
 		sv.fail(w, http.StatusMethodNotAllowed, "POST required")
-		return
+		return nil, false
 	}
-
-	// Admission control: take an in-flight slot or shed the request
-	// before reading the body. A bounded semaphore instead of a queue
-	// means saturation costs the client one cheap round trip, not an
-	// unbounded wait, and the daemon's memory stays flat under load.
 	select {
 	case sv.inflight <- struct{}{}:
 		sv.gInflight.Add(1)
-		defer func() {
+		return func() {
 			<-sv.inflight
 			sv.gInflight.Add(-1)
-		}()
+		}, true
 	default:
 		statShed.Add(1)
 		sv.mShed.Inc()
 		w.Header().Set("Retry-After", "1")
 		sv.fail(w, http.StatusTooManyRequests,
 			fmt.Sprintf("server at capacity (%d scans in flight); retry later", sv.cfg.MaxInFlight))
-		return
+		return nil, false
 	}
+}
 
+// readJSON decodes the size-capped request body into v, answering 413 or
+// 400 itself; it reports whether the caller should proceed.
+func (sv *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	r.Body = http.MaxBytesReader(w, r.Body, sv.cfg.MaxBodyBytes)
-	var req ScanRequest
-	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			sv.fail(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("request body exceeds %d bytes", sv.cfg.MaxBodyBytes))
-			return
+			return false
 		}
 		sv.fail(w, http.StatusBadRequest, "malformed JSON body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+// resolveLang validates an optional request language against the loaded
+// knowledge, answering 400 on mismatch.
+func (sv *Server) resolveLang(w http.ResponseWriter, reqLang string) (ast.Language, bool) {
+	lang := sv.sys.Config().Lang
+	if reqLang == "" {
+		return lang, true
+	}
+	got, err := ast.ParseLanguage(reqLang)
+	if err != nil {
+		sv.fail(w, http.StatusBadRequest, err.Error())
+		return lang, false
+	}
+	if got != lang {
+		sv.fail(w, http.StatusBadRequest, fmt.Sprintf(
+			"knowledge is for %v, request is %v", lang, got))
+		return lang, false
+	}
+	return lang, true
+}
+
+// traced wraps the request context in a span tree when the flight
+// recorder is on. The trace id is the request id, so a slow request
+// found in the access log can be pulled up on /debug/traces by the same
+// id.
+func (sv *Server) traced(ctx context.Context, root string, files int) (context.Context, *obs.Trace) {
+	if sv.recorder == nil {
+		return ctx, nil
+	}
+	ctx, tr := obs.NewTrace(ctx, root, obs.RequestID(ctx))
+	tr.Root().SetAttrInt("files_received", files)
+	return ctx, tr
+}
+
+// finish dispatches the analysis outcome shared by both endpoints:
+// client cancels are logged and dropped without error accounting,
+// deadlines surface as 503, other errors as 500, and — only on success —
+// the request's trace is recorded (on timeout/cancel the abandoned
+// goroutine may still be writing spans, so those traces are dropped
+// rather than exported mid-write). It reports whether the caller should
+// write its 200 response.
+func (sv *Server) finish(w http.ResponseWriter, r *http.Request, tr *obs.Trace, err error) bool {
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled):
+			// The client went away; nobody is reading the response.
+			// A disconnect is not a server error and must not trip
+			// error alerts.
+			statCanceled.Add(1)
+			sv.mCanceled.Inc()
+			sv.errlog.Printf("serve: scan canceled by client (request %s)", obs.RequestID(r.Context()))
+		case errors.Is(err, context.DeadlineExceeded):
+			sv.mTimeouts.Inc()
+			sv.fail(w, http.StatusServiceUnavailable, "scan timed out")
+		default:
+			sv.fail(w, http.StatusInternalServerError, err.Error())
+		}
+		return false
+	}
+	if tr != nil {
+		tr.Finish()
+		sv.recorder.Add(tr)
+	}
+	return true
+}
+
+func (sv *Server) handleScan(w http.ResponseWriter, r *http.Request) {
+	statRequests.Add(1)
+	sv.mRequests.Inc()
+	start := time.Now()
+	defer func() { sv.hRequest.Since(start) }()
+
+	release, ok := sv.gate(w, r)
+	if !ok {
 		return
 	}
+	defer release()
 
-	lang := sv.sys.Config().Lang
-	if req.Lang != "" {
-		got, err := ast.ParseLanguage(req.Lang)
-		if err != nil {
-			sv.fail(w, http.StatusBadRequest, err.Error())
-			return
-		}
-		if got != lang {
-			sv.fail(w, http.StatusBadRequest, fmt.Sprintf(
-				"knowledge is for %v, request is %v", lang, got))
-			return
-		}
+	var req ScanRequest
+	if !sv.readJSON(w, r, &req) {
+		return
+	}
+	lang, ok := sv.resolveLang(w, req.Lang)
+	if !ok {
+		return
 	}
 	files := req.Files
 	if req.Source != "" {
@@ -356,39 +540,71 @@ func (sv *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// With the flight recorder on, the whole analysis runs under a span
-	// tree whose trace id is the request id, so a slow request found in
-	// the access log can be pulled up on /debug/traces by the same id.
-	ctx := r.Context()
-	var tr *obs.Trace
-	if sv.recorder != nil {
-		ctx, tr = obs.NewTrace(ctx, "scan_request", obs.RequestID(ctx))
-		tr.Root().SetAttrInt("files_received", len(files))
-	}
-	resp, err := sv.scan(ctx, lang, files, req.All)
-	if err != nil {
-		switch {
-		case errors.Is(err, context.Canceled):
-			// The client went away; nobody is reading the response.
-			// Log and drop without 4xx/5xx accounting — a disconnect
-			// is not a server error and must not trip error alerts.
-			statCanceled.Add(1)
-			sv.mCanceled.Inc()
-			sv.errlog.Printf("serve: scan canceled by client (request %s)", obs.RequestID(r.Context()))
-		case errors.Is(err, context.DeadlineExceeded):
-			sv.mTimeouts.Inc()
-			sv.fail(w, http.StatusServiceUnavailable, "scan timed out")
-		default:
-			sv.fail(w, http.StatusInternalServerError, err.Error())
-		}
+	ctx, tr := sv.traced(r.Context(), "scan_request", len(files))
+	resp, err := run(sv, ctx, func(ctx context.Context) *ScanResponse {
+		return sv.analyze(ctx, lang, files, req.All)
+	})
+	if !sv.finish(w, r, tr, err) {
 		return
 	}
-	if tr != nil {
-		// Record only completed analyses: on timeout/cancel the
-		// abandoned goroutine may still be writing spans, so those
-		// traces are dropped rather than exported mid-write.
-		tr.Finish()
-		sv.recorder.Add(tr)
+	sv.writeJSON(w, http.StatusOK, resp)
+}
+
+func (sv *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
+	statRequests.Add(1)
+	sv.mDiffReqs.Inc()
+	start := time.Now()
+	defer func() { sv.hRequest.Since(start) }()
+
+	release, ok := sv.gate(w, r)
+	if !ok {
+		return
+	}
+	defer release()
+
+	var req DiffRequest
+	if !sv.readJSON(w, r, &req) {
+		return
+	}
+	lang, ok := sv.resolveLang(w, req.Lang)
+	if !ok {
+		return
+	}
+	if len(req.Files) == 0 {
+		sv.fail(w, http.StatusBadRequest, `provide "files" with before/after versions`)
+		return
+	}
+	pairs := make([]core.DiffFile, 0, len(req.Files))
+	for _, f := range req.Files {
+		if f.Path == "" {
+			sv.fail(w, http.StatusBadRequest, `every diff file needs a "path"`)
+			return
+		}
+		after := f.After
+		if f.Patch != "" {
+			if f.After != "" {
+				sv.fail(w, http.StatusBadRequest,
+					fmt.Sprintf("%s: provide either %q or %q, not both", f.Path, "after", "patch"))
+				return
+			}
+			applied, err := udiff.Apply(f.Before, f.Patch)
+			if err != nil {
+				sv.fail(w, http.StatusBadRequest, fmt.Sprintf("%s: %v", f.Path, err))
+				return
+			}
+			after = applied
+		}
+		pairs = append(pairs, core.DiffFile{
+			Repo: "request", Path: f.Path, Before: f.Before, After: after,
+		})
+	}
+
+	ctx, tr := sv.traced(r.Context(), "diff_request", len(pairs))
+	resp, err := run(sv, ctx, func(ctx context.Context) *DiffResponse {
+		return sv.analyzeDiff(ctx, lang, pairs, req.All)
+	})
+	if !sv.finish(w, r, tr, err) {
+		return
 	}
 	sv.writeJSON(w, http.StatusOK, resp)
 }
@@ -398,20 +614,20 @@ func (sv *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 // request id, never over the wire.
 var errAnalysisPanic = errors.New("internal error analyzing request")
 
-// scan runs the analysis pipeline bounded by the configured timeout. The
-// work runs in a helper goroutine so a stuck analysis cannot pin the
+// run executes one analysis pipeline bounded by the configured timeout.
+// The work runs in a helper goroutine so a stuck analysis cannot pin the
 // handler past its deadline (the goroutine finishes in the background;
 // the system has no unbounded analyses, so this is a latency bound, not
 // a leak risk). The goroutine recovers its own panics: it runs outside
 // net/http's per-connection recover, so an uncontained panic here —
-// ScanFiles, Explain, Dedup, the classifier — would kill the whole
-// daemon, not just the request.
-func (sv *Server) scan(ctx context.Context, lang ast.Language, files []ScanFile, all bool) (*ScanResponse, error) {
+// ScanFiles, DiffFiles, Explain, Dedup, the classifier — would kill the
+// whole daemon, not just the request.
+func run[T any](sv *Server, ctx context.Context, fn func(context.Context) T) (T, error) {
 	ctx, cancel := context.WithTimeout(ctx, sv.cfg.ScanTimeout)
 	defer cancel()
 
 	type outcome struct {
-		resp *ScanResponse
+		resp T
 		err  error
 	}
 	done := make(chan outcome, 1)
@@ -425,21 +641,23 @@ func (sv *Server) scan(ctx context.Context, lang ast.Language, files []ScanFile,
 				done <- outcome{err: errAnalysisPanic}
 			}
 		}()
-		done <- outcome{resp: sv.analyze(ctx, lang, files, all)}
+		done <- outcome{resp: fn(ctx)}
 	}()
 
 	select {
 	case <-ctx.Done():
-		return nil, ctx.Err()
+		var zero T
+		return zero, ctx.Err()
 	case o := <-done:
 		return o.resp, o.err
 	}
 }
 
-// doAnalyze is the real analysis pipeline: parse every file, scan the
-// parsed set against the knowledge, classify the violations. Each stage
-// is a span under the request's trace (when the flight recorder is on)
-// and feeds its latency histogram either way.
+// doAnalyze is the real /v1/scan pipeline: scan the files against the
+// knowledge (the core scan path parses per file, consulting the cache
+// first), then classify the violations. Each stage is a span under the
+// request's trace (when the flight recorder is on) and feeds its latency
+// histogram either way.
 func (sv *Server) doAnalyze(ctx context.Context, lang ast.Language, files []ScanFile, all bool) *ScanResponse {
 	start := time.Now()
 	resp := &ScanResponse{
@@ -448,34 +666,25 @@ func (sv *Server) doAnalyze(ctx context.Context, lang ast.Language, files []Scan
 		Violations:    []ScanViolation{},
 	}
 
-	stage := time.Now()
-	pctx, parseSpan := obs.StartSpan(ctx, "parse")
-	var inputs []*core.InputFile
+	inputs := make([]*core.InputFile, 0, len(files))
 	for _, f := range files {
-		_, fsp := obs.StartSpan(pctx, "file")
-		fsp.SetAttr("path", f.Path)
-		root, err := core.ParseSource(lang, f.Source)
-		fsp.End()
-		if err != nil {
-			resp.Errors = append(resp.Errors, fmt.Sprintf("%s: %v", f.Path, err))
-			continue
-		}
-		inputs = append(inputs, &core.InputFile{
-			Repo: "request", Path: f.Path, Source: f.Source, Root: root,
-		})
+		inputs = append(inputs, &core.InputFile{Repo: "request", Path: f.Path, Source: f.Source})
 	}
-	parseSpan.End()
-	sv.hParse.Since(stage)
-	resp.FilesScanned = len(inputs)
 
-	stage = time.Now()
+	stage := time.Now()
 	sctx, scanSpan := obs.StartSpan(ctx, "scan")
 	res := sv.sys.ScanFilesCtx(sctx, inputs)
+	scanSpan.SetAttrInt("cache_hits", res.CacheHits)
+	scanSpan.SetAttrInt("cache_misses", res.CacheMisses)
 	scanSpan.End()
 	sv.hScan.Since(stage)
+	sv.hParse.Observe(res.Timings.Parse)
 	sv.hProcess.Observe(res.Timings.Process)
 	sv.hMatch.Observe(res.Timings.Match)
+	resp.FilesScanned = res.FilesParsed
 	resp.Statements = res.Statements
+	resp.CacheHits = res.CacheHits
+	resp.CacheMisses = res.CacheMisses
 	for _, e := range res.Errors {
 		resp.Errors = append(resp.Errors, e.Error())
 	}
@@ -491,23 +700,11 @@ func (sv *Server) doAnalyze(ctx context.Context, lang ast.Language, files []Scan
 		if !classified && !all {
 			continue
 		}
-		out := ScanViolation{
-			Path:        v.Stmt.Path,
-			Line:        v.Stmt.Line,
-			SourceLine:  v.Stmt.SourceLine,
-			Original:    v.Detail.Original,
-			Suggested:   v.Detail.Suggested,
-			PatternType: v.Pattern.Type.String(),
-			Classified:  classified,
-		}
-		if from, to, ok := v.SuggestFixedName(); ok {
-			out.Fix = from + " -> " + to
-		}
 		if classified {
 			statReported.Add(1)
 			sv.mReported.Inc()
 		}
-		resp.Violations = append(resp.Violations, out)
+		resp.Violations = append(resp.Violations, renderViolation(v, classified))
 	}
 	classifySpan.SetAttrInt("violations", len(res.Violations))
 	classifySpan.SetAttrInt("reported", len(resp.Violations))
@@ -517,6 +714,84 @@ func (sv *Server) doAnalyze(ctx context.Context, lang ast.Language, files []Scan
 	resp.ScanMillis = float64(time.Since(start).Microseconds()) / 1000
 	statScanNanos.Add(time.Since(start).Nanoseconds())
 	return resp
+}
+
+// doAnalyzeDiff is the real /v1/diff pipeline: diff-scan the file pairs
+// (both sides served from the per-file cache when possible), classify
+// the introduced violations against the after side's statistics, and
+// attach the rename report.
+func (sv *Server) doAnalyzeDiff(ctx context.Context, lang ast.Language, files []core.DiffFile, all bool) *DiffResponse {
+	start := time.Now()
+	resp := &DiffResponse{
+		Lang:          lang.String(),
+		FilesReceived: len(files),
+		Violations:    []ScanViolation{},
+	}
+
+	stage := time.Now()
+	dctx, diffSpan := obs.StartSpan(ctx, "diff")
+	res := sv.sys.DiffFilesCtx(dctx, files)
+	diffSpan.SetAttrInt("cache_hits", res.CacheHits)
+	diffSpan.SetAttrInt("cache_misses", res.CacheMisses)
+	diffSpan.SetAttrInt("changed", res.Changed)
+	diffSpan.End()
+	sv.hDiff.Since(stage)
+	sv.hParse.Observe(res.Timings.Parse)
+	resp.FilesScanned = res.FilesParsed
+	resp.Statements = res.Statements
+	resp.ChangedStatements = res.Changed
+	resp.CacheHits = res.CacheHits
+	resp.CacheMisses = res.CacheMisses
+	for _, e := range res.Errors {
+		resp.Errors = append(resp.Errors, e.Error())
+	}
+	sv.mViol.Add(int64(len(res.Introduced)))
+	sv.mDiffViol.Add(int64(len(res.Introduced)))
+
+	stage = time.Now()
+	_, classifySpan := obs.StartSpan(ctx, "classify")
+	for _, v := range res.Introduced {
+		classified := sv.sys.ClassifyIn(res.Stats, v)
+		if !classified && !all {
+			continue
+		}
+		if classified {
+			statReported.Add(1)
+			sv.mReported.Inc()
+		}
+		resp.Violations = append(resp.Violations, renderViolation(v, classified))
+	}
+	classifySpan.SetAttrInt("violations", len(res.Introduced))
+	classifySpan.SetAttrInt("reported", len(resp.Violations))
+	classifySpan.End()
+	sv.hClassify.Since(stage)
+
+	for _, rn := range res.Renames {
+		resp.Renames = append(resp.Renames, DiffRename{
+			Path: rn.Path, Before: rn.Before, After: rn.After, KnownPair: rn.KnownPair,
+		})
+	}
+
+	resp.ScanMillis = float64(time.Since(start).Microseconds()) / 1000
+	statScanNanos.Add(time.Since(start).Nanoseconds())
+	return resp
+}
+
+// renderViolation converts one core violation into its wire form.
+func renderViolation(v *core.Violation, classified bool) ScanViolation {
+	out := ScanViolation{
+		Path:        v.Stmt.Path,
+		Line:        v.Stmt.Line,
+		SourceLine:  v.Stmt.SourceLine,
+		Original:    v.Detail.Original,
+		Suggested:   v.Detail.Suggested,
+		PatternType: v.Pattern.Type.String(),
+		Classified:  classified,
+	}
+	if from, to, ok := v.SuggestFixedName(); ok {
+		out.Fix = from + " -> " + to
+	}
+	return out
 }
 
 // fail writes an error response, accounting it as a client error (4xx)

@@ -9,6 +9,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"runtime"
+	"sort"
 	"sync"
 	"testing"
 	"time"
@@ -65,6 +66,15 @@ type serveBenchFile struct {
 	ClassP50Ms  float64 `json:"stage_classify_p50_ms"`
 	Shed        int64   `json:"shed"`
 	Panics      int64   `json:"panics"`
+	// Cache re-scan economics, measured on a cache-enabled server (the
+	// request_* quantiles above run cache-disabled so they stay
+	// comparable across commits): analysis latency of a full N-file
+	// scan where every file misses vs the same scan with one changed
+	// file, and their ratio.
+	RescanFiles     int     `json:"rescan_files"`
+	ColdScanP50Ms   float64 `json:"cold_scan_p50_ms"`
+	WarmRescanP50Ms float64 `json:"warm_rescan_p50_ms"`
+	WarmSpeedup     float64 `json:"warm_speedup"`
 }
 
 func millis(d time.Duration) float64 {
@@ -81,7 +91,12 @@ func TestWriteServeBenchJSON(t *testing.T) {
 	if out == "" {
 		t.Skip("set BENCH_SERVE_JSON=<file> to record serve benchmarks (make bench)")
 	}
-	sv, sources := newTestServer(t)
+	// The request-latency block runs with the cache disabled: driveScans
+	// round-robins the same sources, so a cache would turn most requests
+	// into warm hits and the quantiles would stop measuring the scan
+	// pipeline this file has always tracked.
+	sys, sources := newTestSystem(t)
+	sv := New(sys, Config{KnowledgeInfo: "bench knowledge", CacheEntries: -1})
 	ts := httptest.NewServer(sv.Handler())
 	defer ts.Close()
 
@@ -108,6 +123,16 @@ func TestWriteServeBenchJSON(t *testing.T) {
 	if file.Shed != 0 || file.Panics != 0 {
 		t.Errorf("healthy bench run shed %d / panicked %d", file.Shed, file.Panics)
 	}
+
+	file.RescanFiles, file.ColdScanP50Ms, file.WarmRescanP50Ms = measureRescan(t)
+	if file.WarmRescanP50Ms > 0 {
+		file.WarmSpeedup = file.ColdScanP50Ms / file.WarmRescanP50Ms
+	}
+	if file.WarmSpeedup < 5 {
+		t.Errorf("warm 1-file-change re-scan is %.1fx faster than cold (cold %.3fms, warm %.3fms), want >= 5x",
+			file.WarmSpeedup, file.ColdScanP50Ms, file.WarmRescanP50Ms)
+	}
+
 	data, err := json.MarshalIndent(file, "", "  ")
 	if err != nil {
 		t.Fatal(err)
@@ -115,7 +140,87 @@ func TestWriteServeBenchJSON(t *testing.T) {
 	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	t.Logf("wrote %s: p50=%.2fms p95=%.2fms p99=%.2fms", out, file.P50Millis, file.P95Millis, file.P99Millis)
+	t.Logf("wrote %s: p50=%.2fms p95=%.2fms p99=%.2fms cold=%.3fms warm=%.3fms (%.1fx)",
+		out, file.P50Millis, file.P95Millis, file.P99Millis,
+		file.ColdScanP50Ms, file.WarmRescanP50Ms, file.WarmSpeedup)
+}
+
+// measureRescan measures the cache's re-scan economics on a fresh
+// cache-enabled server: the analysis latency (ScanMillis, HTTP excluded)
+// of an N-file scan where every file is new vs the same scan with
+// exactly one changed file, as medians over repeated rounds.
+func measureRescan(t *testing.T) (files int, coldP50, warmP50 float64) {
+	t.Helper()
+	sys, sources := newTestSystem(t)
+	sv := New(sys, Config{KnowledgeInfo: "bench knowledge"})
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	const nFiles, rounds = 12, 30
+	if len(sources) < nFiles {
+		t.Fatalf("corpus has %d sources, need %d", len(sources), nFiles)
+	}
+	scan := func(req ScanRequest) ScanResponse {
+		body, _ := json.Marshal(req)
+		resp, err := http.Post(ts.URL+"/v1/scan", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("bench scan: status %d, err %v (%s)", resp.StatusCode, err, data)
+		}
+		var out ScanResponse
+		if err := json.Unmarshal(data, &out); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	request := func(round int, changed int) ScanRequest {
+		// A trailing comment changes the content hash without changing
+		// the statements, the cheapest possible "this file was touched".
+		req := ScanRequest{All: true}
+		for i := 0; i < nFiles; i++ {
+			src := sources[i]
+			if changed < 0 || i == changed {
+				src += fmt.Sprintf("\n# bench round %d.%d\n", round, i)
+			}
+			req.Files = append(req.Files, ScanFile{Path: fmt.Sprintf("bench%d.py", i), Source: src})
+		}
+		return req
+	}
+
+	// Cold: every round rewrites all files, so every file misses.
+	var cold []float64
+	for r := 0; r < rounds; r++ {
+		out := scan(request(r, -1))
+		if out.CacheHits != 0 || out.CacheMisses != nFiles {
+			t.Fatalf("cold round %d: hits/misses = %d/%d, want 0/%d", r, out.CacheHits, out.CacheMisses, nFiles)
+		}
+		cold = append(cold, out.ScanMillis)
+	}
+
+	// Warm: prime the fixed file set once, then change one file per
+	// round (request(-1, -1) is deterministic, so repeats of it hit).
+	scan(request(-1, -1))
+	var warm []float64
+	for r := 0; r < rounds; r++ {
+		req := request(-1, -1)
+		req.Files[r%nFiles].Source = sources[r%nFiles] + fmt.Sprintf("\n# warm round %d\n", r)
+		out := scan(req)
+		if out.CacheHits != nFiles-1 || out.CacheMisses != 1 {
+			t.Fatalf("warm round %d: hits/misses = %d/%d, want %d/1", r, out.CacheHits, out.CacheMisses, nFiles-1)
+		}
+		warm = append(warm, out.ScanMillis)
+	}
+	return nFiles, median(cold), median(warm)
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return s[len(s)/2]
 }
 
 // BenchmarkServeScan measures one end-to-end scan request (HTTP round

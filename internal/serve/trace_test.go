@@ -27,8 +27,9 @@ func TestTracesGatedOff(t *testing.T) {
 
 // TestScanRequestTraced runs a scan against a traces-enabled server and
 // checks the recorded span tree: the trace id matches the request's
-// X-Request-Id, and the tree covers the whole pipeline (parse with
-// per-file children, scan with process/match stages, classify).
+// X-Request-Id, and the tree covers the whole pipeline (scan with
+// process/match stages, per-file children carrying cache attributes and
+// their own parse spans, classify).
 func TestScanRequestTraced(t *testing.T) {
 	sys, sources := newTestSystem(t)
 	sv := New(sys, Config{KnowledgeInfo: "test knowledge", EnableTraces: true, TraceRingSize: 4})
@@ -70,16 +71,32 @@ func TestScanRequestTraced(t *testing.T) {
 			t.Errorf("trace missing span %q (have %v)", want, count)
 		}
 	}
-	// Two request files -> two per-file parse children; the scan stage
-	// re-parses them through core, so "file" spans appear under both.
-	fileUnderParse := 0
+	// Two request files -> two "file" children under the process stage,
+	// each parsed in core (a "parse" child per file: the cache is cold,
+	// so both are misses and carry cache_hit="false").
+	fileUnderProcess, parseUnderFile := 0, 0
 	for _, s := range spans {
-		if s.Name == "file" && parents[s.Parent] == "parse" {
-			fileUnderParse++
+		switch {
+		case s.Name == "file" && parents[s.Parent] == "process":
+			fileUnderProcess++
+			hit := ""
+			for _, a := range s.Attrs {
+				if a.Key == "cache_hit" {
+					hit = a.Value
+				}
+			}
+			if hit != "false" {
+				t.Errorf("cold file span has cache_hit=%q, want \"false\"", hit)
+			}
+		case s.Name == "parse" && parents[s.Parent] == "file":
+			parseUnderFile++
 		}
 	}
-	if fileUnderParse != 2 {
-		t.Errorf("got %d file spans under parse, want 2", fileUnderParse)
+	if fileUnderProcess != 2 {
+		t.Errorf("got %d file spans under process, want 2", fileUnderProcess)
+	}
+	if parseUnderFile != 2 {
+		t.Errorf("got %d parse spans under file, want 2", parseUnderFile)
 	}
 	// The derived StageTimings view and the span tree must agree: the
 	// process/match stages exist in both, so neither can be zero.

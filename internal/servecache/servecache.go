@@ -1,0 +1,184 @@
+// Package servecache implements the bounded LRU behind the serving
+// layer's content-hash parse cache: it stores fully analyzed per-file
+// scan units (core.CachedFile — parsed AST, extracted name paths,
+// statistics fragment, match output) keyed by content hash, bounded both
+// by entry count and by estimated bytes, and safe for concurrent use.
+//
+// The cache is deliberately simple: one mutex around a doubly-linked
+// recency list and a map. Scan requests touch the cache once per file
+// and then do orders of magnitude more work per miss, so lock contention
+// is not the bottleneck; what matters is that hits are O(1) and that the
+// bounds are hard invariants (never exceeded, not even transiently
+// observable through Stats).
+package servecache
+
+import (
+	"container/list"
+	"sync"
+
+	"namer/internal/core"
+)
+
+// Metrics are optional instrumentation hooks, satisfied by obs.Counter
+// (Inc) and obs.Gauge (Set); nil fields are skipped. Hooks are invoked
+// under the cache lock and must not call back into the cache.
+type Metrics struct {
+	Hits      interface{ Inc() }
+	Misses    interface{ Inc() }
+	Evictions interface{ Inc() }
+	Bytes     interface{ Set(int64) }
+	Entries   interface{ Set(int64) }
+}
+
+// Stats is a consistent snapshot of the cache counters.
+type Stats struct {
+	Hits      int64
+	Misses    int64
+	Evictions int64
+	Entries   int
+	Bytes     int64
+}
+
+// Cache is the bounded LRU. Use New; the zero value is not usable.
+type Cache struct {
+	mu         sync.Mutex
+	maxEntries int
+	maxBytes   int64
+	ll         *list.List // front = most recently used
+	items      map[string]*list.Element
+	bytes      int64
+	hits       int64
+	misses     int64
+	evictions  int64
+	met        Metrics
+}
+
+type item struct {
+	key  string
+	f    *core.CachedFile
+	cost int64
+}
+
+// New returns a cache bounded to at most maxEntries units and maxBytes
+// estimated bytes; bounds below 1 are clamped to 1.
+func New(maxEntries int, maxBytes int64) *Cache {
+	if maxEntries < 1 {
+		maxEntries = 1
+	}
+	if maxBytes < 1 {
+		maxBytes = 1
+	}
+	return &Cache{
+		maxEntries: maxEntries,
+		maxBytes:   maxBytes,
+		ll:         list.New(),
+		items:      make(map[string]*list.Element),
+	}
+}
+
+// SetMetrics installs instrumentation hooks. Call before the cache is
+// shared; installation is not synchronized with concurrent use.
+func (c *Cache) SetMetrics(m Metrics) { c.met = m }
+
+// Get returns the unit cached under key and marks it most recently used.
+func (c *Cache) Get(key string) (*core.CachedFile, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		if c.met.Misses != nil {
+			c.met.Misses.Inc()
+		}
+		return nil, false
+	}
+	c.hits++
+	if c.met.Hits != nil {
+		c.met.Hits.Inc()
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*item).f, true
+}
+
+// Add publishes f under key, evicting least-recently-used units until
+// both bounds hold again. A unit whose own cost exceeds the byte bound
+// is not stored at all (storing it would flush the whole cache for one
+// oversized file). Re-adding an existing key refreshes the unit and its
+// recency. Costs below 1 are clamped to 1 so every unit is accounted.
+func (c *Cache) Add(key string, f *core.CachedFile) {
+	cost := f.Cost
+	if cost < 1 {
+		cost = 1
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cost > c.maxBytes {
+		return
+	}
+	if el, ok := c.items[key]; ok {
+		it := el.Value.(*item)
+		c.bytes += cost - it.cost
+		it.f, it.cost = f, cost
+		c.ll.MoveToFront(el)
+	} else {
+		c.items[key] = c.ll.PushFront(&item{key: key, f: f, cost: cost})
+		c.bytes += cost
+	}
+	for c.ll.Len() > c.maxEntries || c.bytes > c.maxBytes {
+		c.evictOldest()
+	}
+	c.updateGauges()
+}
+
+// evictOldest drops the least recently used unit; callers hold the lock.
+func (c *Cache) evictOldest() {
+	el := c.ll.Back()
+	if el == nil {
+		return
+	}
+	it := el.Value.(*item)
+	c.ll.Remove(el)
+	delete(c.items, it.key)
+	c.bytes -= it.cost
+	c.evictions++
+	if c.met.Evictions != nil {
+		c.met.Evictions.Inc()
+	}
+}
+
+// updateGauges pushes the size gauges; callers hold the lock.
+func (c *Cache) updateGauges() {
+	if c.met.Bytes != nil {
+		c.met.Bytes.Set(c.bytes)
+	}
+	if c.met.Entries != nil {
+		c.met.Entries.Set(int64(c.ll.Len()))
+	}
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Bytes returns the current estimated byte footprint.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// Stats returns a consistent snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Entries:   c.ll.Len(),
+		Bytes:     c.bytes,
+	}
+}

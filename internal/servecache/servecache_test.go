@@ -1,0 +1,193 @@
+package servecache
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"namer/internal/core"
+)
+
+func unit(cost int64) *core.CachedFile { return &core.CachedFile{Cost: cost} }
+
+func TestGetAddBasics(t *testing.T) {
+	c := New(4, 1<<20)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	u := unit(100)
+	c.Add("a", u)
+	got, ok := c.Get("a")
+	if !ok || got != u {
+		t.Fatalf("Get(a) = %v, %v; want the stored unit", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Entries != 1 || st.Bytes != 100 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReplaceRefreshesCost(t *testing.T) {
+	c := New(4, 1<<20)
+	c.Add("a", unit(100))
+	c.Add("a", unit(250))
+	if c.Len() != 1 || c.Bytes() != 250 {
+		t.Fatalf("after replace: len=%d bytes=%d, want 1/250", c.Len(), c.Bytes())
+	}
+}
+
+func TestLRUEvictionOrder(t *testing.T) {
+	c := New(2, 1<<20)
+	c.Add("a", unit(1))
+	c.Add("b", unit(1))
+	c.Get("a") // bump a; b is now oldest
+	c.Add("c", unit(1))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b survived, but it was least recently used")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a evicted despite recent use")
+	}
+	if c.Stats().Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", c.Stats().Evictions)
+	}
+}
+
+func TestByteBoundEvicts(t *testing.T) {
+	c := New(100, 1000)
+	c.Add("a", unit(400))
+	c.Add("b", unit(400))
+	c.Add("c", unit(400)) // 1200 > 1000: a must go
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("byte bound not enforced")
+	}
+	if c.Bytes() != 800 || c.Len() != 2 {
+		t.Fatalf("bytes=%d len=%d, want 800/2", c.Bytes(), c.Len())
+	}
+}
+
+func TestOversizedUnitRejected(t *testing.T) {
+	c := New(100, 1000)
+	c.Add("a", unit(400))
+	c.Add("big", unit(2000))
+	if _, ok := c.Get("big"); ok {
+		t.Fatal("oversized unit stored")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("oversized add flushed existing entries")
+	}
+}
+
+// TestEvictionBoundsProperty drives a deterministic random workload and
+// checks the hard invariants after every operation: entries and bytes
+// never exceed their bounds, and byte accounting matches the live set.
+func TestEvictionBoundsProperty(t *testing.T) {
+	const maxEntries, maxBytes = 16, 4000
+	c := New(maxEntries, maxBytes)
+	rng := rand.New(rand.NewSource(42))
+	live := map[string]int64{}
+	evicted := int64(0)
+	for i := 0; i < 5000; i++ {
+		key := fmt.Sprintf("k%d", rng.Intn(64))
+		switch rng.Intn(3) {
+		case 0, 1:
+			cost := int64(rng.Intn(900) + 1)
+			c.Add(key, unit(cost))
+			if cost <= maxBytes {
+				live[key] = cost
+			}
+		case 2:
+			c.Get(key)
+		}
+		st := c.Stats()
+		if st.Entries > maxEntries {
+			t.Fatalf("op %d: %d entries > bound %d", i, st.Entries, maxEntries)
+		}
+		if st.Bytes > maxBytes {
+			t.Fatalf("op %d: %d bytes > bound %d", i, st.Bytes, maxBytes)
+		}
+		if st.Bytes < 0 {
+			t.Fatalf("op %d: negative byte accounting %d", i, st.Bytes)
+		}
+		if st.Evictions < evicted {
+			t.Fatalf("op %d: eviction counter went backwards", i)
+		}
+		evicted = st.Evictions
+	}
+	// Cross-check the byte accounting against what is actually
+	// retrievable: the sum of the retained units' costs must equal the
+	// reported byte footprint.
+	var sum int64
+	n := 0
+	for key := range live {
+		if f, ok := c.Get(key); ok {
+			sum += f.Cost
+			n++
+		}
+	}
+	if st := c.Stats(); n != st.Entries || sum != st.Bytes {
+		t.Fatalf("live set inconsistent: %d retrievable / %d bytes vs stats %+v", n, sum, st)
+	}
+}
+
+type fakeCounter struct{ n atomic.Int64 }
+
+func (f *fakeCounter) Inc() { f.n.Add(1) }
+
+type fakeGauge struct{ v atomic.Int64 }
+
+func (f *fakeGauge) Set(v int64) { f.v.Store(v) }
+
+func TestMetricsHooks(t *testing.T) {
+	hits, misses, evictions := &fakeCounter{}, &fakeCounter{}, &fakeCounter{}
+	bytes, entries := &fakeGauge{}, &fakeGauge{}
+	c := New(2, 1<<20)
+	c.SetMetrics(Metrics{Hits: hits, Misses: misses, Evictions: evictions, Bytes: bytes, Entries: entries})
+
+	c.Get("a") // miss
+	c.Add("a", unit(10))
+	c.Get("a") // hit
+	c.Add("b", unit(20))
+	c.Add("c", unit(30)) // evicts a
+
+	if hits.n.Load() != 1 || misses.n.Load() != 1 || evictions.n.Load() != 1 {
+		t.Fatalf("hooks: hits=%d misses=%d evictions=%d, want 1/1/1",
+			hits.n.Load(), misses.n.Load(), evictions.n.Load())
+	}
+	if bytes.v.Load() != 50 || entries.v.Load() != 2 {
+		t.Fatalf("gauges: bytes=%d entries=%d, want 50/2", bytes.v.Load(), entries.v.Load())
+	}
+}
+
+// TestConcurrentUse hammers the cache from many goroutines; run under
+// -race this is the data-race check, and the bounds must hold at the end.
+func TestConcurrentUse(t *testing.T) {
+	const maxEntries, maxBytes = 32, 10000
+	c := New(maxEntries, maxBytes)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < 2000; i++ {
+				key := fmt.Sprintf("k%d", rng.Intn(100))
+				if rng.Intn(2) == 0 {
+					c.Add(key, unit(int64(rng.Intn(500)+1)))
+				} else {
+					c.Get(key)
+				}
+			}
+		}(int64(g))
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Entries > maxEntries || st.Bytes > maxBytes {
+		t.Fatalf("bounds violated after concurrent use: %+v", st)
+	}
+	if st.Hits+st.Misses == 0 {
+		t.Fatal("no lookups recorded")
+	}
+}

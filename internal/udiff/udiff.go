@@ -1,0 +1,145 @@
+// Package udiff applies unified diffs to source text, so the diff
+// endpoint can accept the patch a PR bot already has (git diff output)
+// instead of requiring both file versions on the wire.
+//
+// The subset understood is what `diff -u` / `git diff` emit for one
+// file: any number of `@@ -start,count +start,count @@` hunks whose body
+// lines start with ' ' (context), '-' (deletion), '+' (addition), or
+// '\' (the "No newline at end of file" marker). Header lines (---/+++,
+// `diff --git`, index …) and anything else outside hunks are ignored.
+// Context and deletion lines are verified against the source; a
+// mismatch is an error, not a fuzzy apply.
+package udiff
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Apply applies a unified diff to src and returns the patched text. The
+// source's trailing-newline shape is preserved: sources ending in a
+// newline stay that way unless the patch's last added line carries a
+// "No newline" marker.
+func Apply(src, patch string) (string, error) {
+	srcLines := strings.Split(src, "\n")
+	// A trailing newline yields one empty trailing element; drop it so
+	// lines are content-only, and restore the newline at the end.
+	trailingNL := false
+	if n := len(srcLines); n > 0 && srcLines[n-1] == "" {
+		srcLines = srcLines[:n-1]
+		trailingNL = true
+	}
+
+	var out []string
+	srcPos := 0 // next unconsumed source line (0-based)
+	patchLines := strings.Split(patch, "\n")
+	inHunk := false
+	sawHunk := false
+	noTrailingNL := false
+	for i := 0; i < len(patchLines); i++ {
+		line := patchLines[i]
+		if strings.HasPrefix(line, "@@") {
+			start, count, err := parseHunkHeader(line)
+			if err != nil {
+				return "", err
+			}
+			// start is 1-based; a zero-length before-range ("-0,0")
+			// addresses the position after line 0.
+			hunkStart := start - 1
+			if count == 0 {
+				hunkStart = start
+			}
+			if hunkStart < srcPos || hunkStart > len(srcLines) {
+				return "", fmt.Errorf("udiff: hunk %q out of order or beyond source (%d lines)", line, len(srcLines))
+			}
+			out = append(out, srcLines[srcPos:hunkStart]...)
+			srcPos = hunkStart
+			inHunk = true
+			sawHunk = true
+			continue
+		}
+		if !inHunk {
+			continue // file headers, junk between hunks
+		}
+		switch {
+		case line == "" && i == len(patchLines)-1:
+			// Trailing newline of the patch text itself.
+		case strings.HasPrefix(line, " "):
+			if err := consume(srcLines, srcPos, line[1:], "context"); err != nil {
+				return "", err
+			}
+			out = append(out, line[1:])
+			srcPos++
+		case strings.HasPrefix(line, "-"):
+			if err := consume(srcLines, srcPos, line[1:], "deleted"); err != nil {
+				return "", err
+			}
+			srcPos++
+		case strings.HasPrefix(line, "+"):
+			out = append(out, line[1:])
+			noTrailingNL = false
+		case strings.HasPrefix(line, `\`):
+			// "\ No newline at end of file": applies to the line just
+			// emitted (or kept); only the final one affects the output.
+			noTrailingNL = true
+		case line == "":
+			// Some tools emit bare empty lines for empty context.
+			if err := consume(srcLines, srcPos, "", "context"); err != nil {
+				return "", err
+			}
+			out = append(out, "")
+			srcPos++
+		default:
+			inHunk = false // next header block (e.g. "diff --git" of another file)
+		}
+	}
+	if !sawHunk {
+		return "", fmt.Errorf("udiff: no @@ hunks in patch")
+	}
+	out = append(out, srcLines[srcPos:]...)
+	result := strings.Join(out, "\n")
+	if trailingNL && !noTrailingNL {
+		result += "\n"
+	}
+	return result, nil
+}
+
+// consume verifies that the source line at pos equals want.
+func consume(srcLines []string, pos int, want, kind string) error {
+	if pos >= len(srcLines) {
+		return fmt.Errorf("udiff: %s line %q beyond end of source", kind, want)
+	}
+	if srcLines[pos] != want {
+		return fmt.Errorf("udiff: %s mismatch at source line %d: have %q, patch says %q",
+			kind, pos+1, srcLines[pos], want)
+	}
+	return nil
+}
+
+// parseHunkHeader extracts the before-range of "@@ -a,b +c,d @@".
+func parseHunkHeader(line string) (start, count int, err error) {
+	rest := strings.TrimPrefix(line, "@@")
+	end := strings.Index(rest, "@@")
+	if end < 0 {
+		return 0, 0, fmt.Errorf("udiff: malformed hunk header %q", line)
+	}
+	fields := strings.Fields(rest[:end])
+	if len(fields) != 2 || !strings.HasPrefix(fields[0], "-") || !strings.HasPrefix(fields[1], "+") {
+		return 0, 0, fmt.Errorf("udiff: malformed hunk header %q", line)
+	}
+	before := strings.TrimPrefix(fields[0], "-")
+	count = 1
+	if i := strings.IndexByte(before, ','); i >= 0 {
+		count, err = strconv.Atoi(before[i+1:])
+		if err != nil {
+			return 0, 0, fmt.Errorf("udiff: malformed hunk header %q", line)
+		}
+		before = before[:i]
+	}
+	start, err = strconv.Atoi(before)
+	if err != nil || start < 0 {
+		return 0, 0, fmt.Errorf("udiff: malformed hunk header %q", line)
+	}
+	return start, count, nil
+}

@@ -1,0 +1,100 @@
+package udiff
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestApplySimpleEdit(t *testing.T) {
+	src := "a = 1\nb = 2\nc = 3\n"
+	patch := "--- a/f.py\n+++ b/f.py\n@@ -1,3 +1,3 @@\n a = 1\n-b = 2\n+b = 20\n c = 3\n"
+	got, err := Apply(src, patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "a = 1\nb = 20\nc = 3\n"; got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestApplyAppend(t *testing.T) {
+	src := "a = 1\n"
+	patch := "@@ -1,1 +1,2 @@\n a = 1\n+b = 2\n"
+	got, err := Apply(src, patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "a = 1\nb = 2\n"; got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestApplyToEmpty(t *testing.T) {
+	got, err := Apply("", "@@ -0,0 +1,2 @@\n+a = 1\n+b = 2\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "a = 1\nb = 2\n"; got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestApplyMultiHunk(t *testing.T) {
+	src := "l1\nl2\nl3\nl4\nl5\nl6\nl7\nl8\n"
+	patch := strings.Join([]string{
+		"@@ -1,2 +1,2 @@",
+		" l1",
+		"-l2",
+		"+L2",
+		"@@ -7,2 +7,2 @@",
+		" l7",
+		"-l8",
+		"+L8",
+		"",
+	}, "\n")
+	got, err := Apply(src, patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "l1\nL2\nl3\nl4\nl5\nl6\nl7\nL8\n"; got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestApplyDelete(t *testing.T) {
+	src := "a\nb\nc\n"
+	got, err := Apply(src, "@@ -1,3 +1,2 @@\n a\n-b\n c\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "a\nc\n"; got != want {
+		t.Fatalf("got %q want %q", got, want)
+	}
+}
+
+func TestApplyNoNewlineMarker(t *testing.T) {
+	src := "a\n"
+	got, err := Apply(src, "@@ -1,1 +1,1 @@\n-a\n+b\n\\ No newline at end of file\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != "b" {
+		t.Fatalf("got %q want %q", got, "b")
+	}
+}
+
+func TestApplyRejectsMismatch(t *testing.T) {
+	cases := []struct{ name, src, patch string }{
+		{"context mismatch", "a\nb\n", "@@ -1,2 +1,2 @@\n x\n-b\n+c\n"},
+		{"deletion mismatch", "a\nb\n", "@@ -1,2 +1,2 @@\n a\n-x\n+c\n"},
+		{"beyond end", "a\n", "@@ -5,1 +5,1 @@\n-z\n+y\n"},
+		{"no hunks", "a\n", "just some text\n"},
+		{"bad header", "a\n", "@@ nonsense @@\n a\n"},
+		{"out of order", "a\nb\nc\n", "@@ -3,1 +3,1 @@\n-c\n+C\n@@ -1,1 +1,1 @@\n-a\n+A\n"},
+	}
+	for _, tc := range cases {
+		if got, err := Apply(tc.src, tc.patch); err == nil {
+			t.Errorf("%s: accepted, produced %q", tc.name, got)
+		}
+	}
+}
