@@ -53,8 +53,12 @@ bench:
 # parse/scan/classify/diff stage histogram, the cache counters and
 # gauges, the Go runtime gauges, and the build-info series.
 # /debug/traces must list the scan's trace and its Chrome export must
-# cover the parse/match/classify pipeline. A TERM at the end checks
-# clean shutdown.
+# cover the parse/match/classify pipeline. Then the hot-swap path:
+# SIGHUP with a scan in flight (the scan must still return 200), the
+# namer_knowledge_reloads_total counter and namer_knowledge_info gauge
+# on /metrics, POST /debug/reload returning "status": "ok", and the
+# scan cache rotating with the bundle (cold then warm again after the
+# swap). A TERM at the end checks clean shutdown.
 serve-smoke:
 	@set -e; \
 	tmp=$$(mktemp -d); \
@@ -135,6 +139,48 @@ serve-smoke:
 		grep -qF "\"$$span\"" "$$tmp/trace-slowest.json" || \
 			{ echo "serve-smoke: slowest trace missing $$span span"; cat "$$tmp/trace-slowest.json"; exit 1; }; \
 	done; \
+	grep -qF '"knowledge_format"' "$$tmp/health.json" || \
+		{ echo "serve-smoke: /healthz missing knowledge_format"; cat "$$tmp/health.json"; exit 1; }; \
+	grep -qF '"knowledge_hash"' "$$tmp/health.json" || \
+		{ echo "serve-smoke: /healthz missing knowledge_hash"; cat "$$tmp/health.json"; exit 1; }; \
+	curl -s -o "$$tmp/inflight.json" -w '%{http_code}' -X POST \
+		-d '{"lang":"python","source":"upload_cnt = upload_count + 1\n","all":true}' \
+		"http://$$addr/v1/scan" >"$$tmp/inflight.code" & cpid=$$!; \
+	kill -HUP $$pid; \
+	wait $$cpid; \
+	[ "$$(cat "$$tmp/inflight.code")" = 200 ] || \
+		{ echo "serve-smoke: scan in flight across SIGHUP returned $$(cat "$$tmp/inflight.code")"; \
+		  cat "$$tmp/inflight.json"; exit 1; }; \
+	for i in $$(seq 1 50); do \
+		curl -s "http://$$addr/metrics" | grep -qE '^namer_knowledge_reloads_total [1-9]' && break; sleep 0.1; \
+	done; \
+	curl -s -o "$$tmp/metrics2.txt" "http://$$addr/metrics"; \
+	grep -qE '^namer_knowledge_reloads_total [1-9]' "$$tmp/metrics2.txt" || \
+		{ echo "serve-smoke: SIGHUP did not bump namer_knowledge_reloads_total"; \
+		  grep namer_knowledge "$$tmp/metrics2.txt"; cat "$$tmp/serve.log"; exit 1; }; \
+	grep -qF 'namer_knowledge_info{' "$$tmp/metrics2.txt" || \
+		{ echo "serve-smoke: /metrics missing namer_knowledge_info"; exit 1; }; \
+	grep -qE '^namer_knowledge_reload_last_success 1' "$$tmp/metrics2.txt" || \
+		{ echo "serve-smoke: namer_knowledge_reload_last_success not 1 after SIGHUP"; \
+		  grep namer_knowledge "$$tmp/metrics2.txt"; exit 1; }; \
+	code=$$(curl -s -o "$$tmp/reload.json" -w '%{http_code}' -X POST "http://$$addr/debug/reload"); \
+	[ "$$code" = 200 ] || { echo "serve-smoke: /debug/reload returned $$code"; cat "$$tmp/reload.json"; exit 1; }; \
+	grep -qF '"status": "ok"' "$$tmp/reload.json" || \
+		{ echo "serve-smoke: /debug/reload body not ok"; cat "$$tmp/reload.json"; exit 1; }; \
+	grep -qF '"content_hash"' "$$tmp/reload.json" || \
+		{ echo "serve-smoke: /debug/reload body missing knowledge identity"; cat "$$tmp/reload.json"; exit 1; }; \
+	code=$$(curl -s -o "$$tmp/scan3.json" -w '%{http_code}' -X POST \
+		-d '{"lang":"python","source":"upload_cnt = upload_count + 1\n","all":true}' \
+		"http://$$addr/v1/scan"); \
+	[ "$$code" = 200 ] || { echo "serve-smoke: post-reload scan returned $$code"; cat "$$tmp/scan3.json"; exit 1; }; \
+	grep -qF '"cache_hits": 0' "$$tmp/scan3.json" || \
+		{ echo "serve-smoke: reload did not rotate the scan cache"; cat "$$tmp/scan3.json"; exit 1; }; \
+	code=$$(curl -s -o "$$tmp/scan4.json" -w '%{http_code}' -X POST \
+		-d '{"lang":"python","source":"upload_cnt = upload_count + 1\n","all":true}' \
+		"http://$$addr/v1/scan"); \
+	[ "$$code" = 200 ] || { echo "serve-smoke: warm post-reload scan returned $$code"; exit 1; }; \
+	grep -qE '"cache_hits": [1-9]' "$$tmp/scan4.json" || \
+		{ echo "serve-smoke: post-reload cache never warms"; cat "$$tmp/scan4.json"; exit 1; }; \
 	kill -TERM $$pid; wait $$pid || { echo "serve-smoke: unclean shutdown"; exit 1; }; \
 	pid=; \
 	echo "serve-smoke: ok ($$addr)"

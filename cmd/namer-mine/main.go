@@ -2,7 +2,10 @@
 // over a corpus directory: it mines confusing word pairs from the commit
 // history (§3.2) and name patterns from the code (§3.3, Algorithms 1–2),
 // writing the result as a knowledge file for cmd/namer and
-// cmd/namer-train.
+// cmd/namer-train. The default output is the flat v2 binary format
+// (O(1) open in namer-serve); -format v1 writes the legacy compact
+// binary for pre-v2 readers, and a .json -out path writes the debug
+// format.
 //
 // Long corpus runs are observable two ways: periodic progress lines on
 // stderr (files analyzed, statements, moving rate, ETA; FP-tree shapes
@@ -25,6 +28,7 @@ import (
 	"namer/internal/buildinfo"
 	"namer/internal/core"
 	"namer/internal/corpus"
+	"namer/internal/knowledge"
 	"namer/internal/obs"
 	"namer/internal/prof"
 )
@@ -33,7 +37,9 @@ func main() {
 	lang := flag.String("lang", "python", "language: python, java, or go")
 	dir := flag.String("dir", "corpus", "corpus directory (repositories as subdirectories)")
 	out := flag.String("out", "knowledge.bin",
-		"output knowledge file (compact binary; use a .json extension for the debug format)")
+		"output knowledge file (flat binary; use a .json extension for the debug format)")
+	format := flag.String("format", "auto",
+		"knowledge encoding: auto (v2 binary, or JSON for .json paths) or v1 (legacy compact binary, for pre-v2 readers)")
 	minPatternCount := flag.Int("min-pattern-count", 0,
 		"FP-tree support threshold (0 = scale with corpus size)")
 	minPairCount := flag.Int("min-pair-count", 3, "confusing-pair support threshold")
@@ -129,7 +135,17 @@ func main() {
 	}
 
 	_, sp = obs.StartSpan(ctx, "save_knowledge")
-	err = sys.SaveKnowledge(*out)
+	switch *format {
+	case "auto", "":
+		err = sys.SaveKnowledge(*out)
+	case "v1":
+		var k *knowledge.Artifact
+		if k, err = sys.ExportKnowledge(); err == nil {
+			err = knowledge.SaveV1(*out, k)
+		}
+	default:
+		err = fmt.Errorf("unknown -format %q (want auto or v1)", *format)
+	}
 	sp.End()
 	if err != nil {
 		fatal(err)

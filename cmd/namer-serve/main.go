@@ -25,6 +25,12 @@
 // concurrent scans is shed with 429 + Retry-After.
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener closes, and
 // in-flight scans are given a grace period to finish responding.
+// SIGHUP (or POST /debug/reload) re-reads the knowledge file and
+// hot-swaps it atomically: in-flight requests finish against the old
+// knowledge, new requests see the new artifact, the scan cache rotates
+// with it, and no request is dropped. The loaded artifact's format
+// version, content hash, and load time are reported on /healthz and as
+// the namer_knowledge_info gauge on /metrics.
 package main
 
 import (
@@ -71,16 +77,11 @@ func main() {
 		return
 	}
 
-	// The knowledge file determines the language; the default config
-	// supplies the analysis settings (points-to on, per §4.1).
-	sys := core.NewSystem(core.DefaultConfig(ast.Python))
-	if err := sys.LoadKnowledge(*kpath); err != nil {
+	sys, kinfo, err := loadKnowledgeSystem(*kpath)
+	if err != nil {
 		fatal(fmt.Errorf("loading knowledge: %w (run namer-mine first)", err))
 	}
-	info := fmt.Sprintf("%s (%s format, %s, %d patterns, %d pairs, classifier=%v)",
-		*kpath, loadedFormat(*kpath), sys.Config().Lang, len(sys.Patterns),
-		sys.Pairs.Len(), sys.HasClassifier())
-	fmt.Println("namer-serve: loaded", info)
+	fmt.Println("namer-serve: loaded", kinfo.Summary)
 
 	logw, err := obs.OpenLogWriter(*accessLog)
 	if err != nil {
@@ -91,17 +92,28 @@ func main() {
 		entries = -1 // flag semantics: 0 disables; Config semantics: negative disables
 	}
 	sv := serve.New(sys, serve.Config{
-		MaxBodyBytes:  *maxBody,
-		ScanTimeout:   *scanTimeout,
-		MaxInFlight:   *maxInFlight,
-		CacheEntries:  entries,
-		CacheBytes:    *cacheBytes,
-		KnowledgeInfo: info,
+		MaxBodyBytes: *maxBody,
+		ScanTimeout:  *scanTimeout,
+		MaxInFlight:  *maxInFlight,
+		CacheEntries: entries,
+		CacheBytes:   *cacheBytes,
+		Knowledge:    kinfo,
+		Loader: func() (*core.System, serve.KnowledgeInfo, error) {
+			return loadKnowledgeSystem(*kpath)
+		},
 		AccessLog:     logw,
 		EnablePprof:   *pprofFlag,
 		EnableTraces:  *tracesFlag,
 		TraceRingSize: *traceRing,
 	})
+	// SIGHUP re-reads the knowledge file and hot-swaps the serving
+	// bundle; POST /debug/reload does the same over HTTP. In-flight
+	// requests finish against the old knowledge either way.
+	stopReload := serve.ReloadOnSignal(func() error {
+		_, err := sv.Reload()
+		return err
+	}, syscall.SIGHUP)
+	defer stopReload()
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		fatal(err)
@@ -123,14 +135,39 @@ func main() {
 	fmt.Println("namer-serve: shut down cleanly")
 }
 
-// loadedFormat reports which on-disk format the knowledge file uses, by
-// content sniffing (the same detection LoadKnowledge applies).
-func loadedFormat(path string) knowledge.Format {
-	data, err := os.ReadFile(path)
+// loadKnowledgeSystem builds a fresh system from the knowledge file:
+// the artifact determines the language, the default config supplies the
+// analysis settings (points-to on, per §4.1). Used for the initial load
+// and for every SIGHUP / POST /debug/reload hot-swap; on error the
+// caller keeps whatever it was serving.
+func loadKnowledgeSystem(path string) (*core.System, serve.KnowledgeInfo, error) {
+	k, info, err := knowledge.LoadWithInfo(path)
 	if err != nil {
-		return knowledge.FormatJSON
+		return nil, serve.KnowledgeInfo{}, err
 	}
-	return knowledge.DetectFormat(data)
+	sys := core.NewSystem(core.DefaultConfig(ast.Python))
+	if err := sys.ImportKnowledge(k); err != nil {
+		return nil, serve.KnowledgeInfo{}, err
+	}
+	ki := serve.KnowledgeInfo{
+		Path:          path,
+		Format:        info.Format.String(),
+		FormatVersion: info.FormatVersion,
+		ContentHash:   info.ContentHash,
+		LoadedAt:      info.LoadedAt,
+	}
+	format := info.Format.String()
+	if info.Format == knowledge.FormatBinary {
+		format = fmt.Sprintf("%s v%d", format, info.FormatVersion)
+	}
+	hash := info.ContentHash
+	if len(hash) > 12 {
+		hash = hash[:12]
+	}
+	ki.Summary = fmt.Sprintf("%s (%s format, sha256 %s, %s, %d patterns, %d pairs, classifier=%v)",
+		path, format, hash, sys.Config().Lang, len(sys.Patterns),
+		sys.Pairs.Len(), sys.HasClassifier())
+	return sys, ki, nil
 }
 
 func fatal(err error) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"namer/internal/ast"
+	"namer/internal/confusion"
 	"namer/internal/knowledge"
 	"namer/internal/mining"
 	"namer/internal/ml"
@@ -36,26 +37,48 @@ func (s *System) ExportKnowledge() (*Knowledge, error) {
 // ImportKnowledge installs previously exported state into a fresh system.
 // Any supported language is accepted (Python, Java, and Go knowledge all
 // load; the language names are resolved by ast.ParseLanguage).
+//
+// The import is all-or-nothing: everything is validated and built into
+// locals first and committed in one step at the end, so an import error
+// leaves the system exactly as it was. A hot-reload path that feeds a
+// bad artifact through here therefore cannot corrupt the bundle that is
+// still serving.
 func (s *System) ImportKnowledge(k *Knowledge) error {
 	lang, err := ast.ParseLanguage(k.Lang)
 	if err != nil {
-		return fmt.Errorf("core: %w", err)
+		return fmt.Errorf("core: %w (system left unchanged)", err)
 	}
-	s.cfg.Lang = lang
-	s.Pairs = k.Pairs
-	s.Patterns = k.Patterns
-	// Warm every pattern's identity key from this goroutine so concurrent
-	// read-only scans never race on the lazy cache (NewIndex warms the
-	// patterns it buckets, but not invalid stragglers).
-	for _, p := range s.Patterns {
+	pairs := k.Pairs
+	if pairs == nil {
+		pairs = confusion.NewPairSet()
+	}
+	for i, p := range k.Patterns {
+		if p == nil {
+			return fmt.Errorf("core: pattern %d is nil (system left unchanged)", i)
+		}
+		if !p.Valid() {
+			return fmt.Errorf("core: pattern %d is invalid for type %v (system left unchanged)", i, p.Type)
+		}
+		// Warm every pattern's identity key from this goroutine so
+		// concurrent read-only scans never race on the lazy cache (NewIndex
+		// warms the patterns it buckets, but not invalid stragglers).
 		p.Key()
 	}
-	s.index = mining.NewIndex(s.Patterns)
+	index := mining.NewIndex(k.Patterns)
+	var classifier *ml.Pipeline
 	if k.Classifier != nil {
-		s.classifier = ml.Restore(k.Classifier)
-	} else {
-		s.classifier = nil
+		classifier = ml.Restore(k.Classifier)
 	}
+
+	// Commit point: nothing below can fail.
+	s.cfg.Lang = lang
+	s.Pairs = pairs
+	s.Patterns = k.Patterns
+	s.index = index
+	s.classifier = classifier
+	// Any attached scan cache keyed against the previous knowledge is now
+	// stale; drop it rather than serve results mined by the old patterns.
+	s.cache = nil
 	return nil
 }
 

@@ -9,13 +9,16 @@ import (
 	"namer/internal/ast"
 	"namer/internal/confusion"
 	"namer/internal/knowledge"
+	"namer/internal/pattern"
 )
 
 // TestKnowledgeRoundTripBinary checks the acceptance criterion that the
-// binary format round-trips byte-identical semantics with JSON: the same
-// mined system saved both ways loads into systems that agree on every
-// pattern, pair, violation, and classifier decision, while the binary
-// file is at least 3x smaller.
+// binary formats round-trip byte-identical semantics with JSON: the same
+// mined system saved as JSON, v1 binary, and v2 binary loads into
+// systems that agree on every pattern, pair, violation, and classifier
+// decision. Size expectations differ per format: v1 (the compact varint
+// archive) stays at least 3x smaller than JSON, while v2 trades some of
+// that for O(1) open and must only beat JSON.
 func TestKnowledgeRoundTripBinary(t *testing.T) {
 	sys, c, violations := buildSystem(t, ast.Python, smallSystemConfig(ast.Python), smallCorpusConfig(ast.Python))
 	if len(violations) < 20 {
@@ -40,20 +43,34 @@ func TestKnowledgeRoundTripBinary(t *testing.T) {
 	dir := t.TempDir()
 	jsonPath := filepath.Join(dir, "knowledge.json")
 	binPath := filepath.Join(dir, "knowledge.bin")
+	v1Path := filepath.Join(dir, "knowledge-v1.bin")
 	if err := sys.SaveKnowledge(jsonPath); err != nil {
 		t.Fatal(err)
 	}
 	if err := sys.SaveKnowledge(binPath); err != nil {
 		t.Fatal(err)
 	}
+	k, err := sys.ExportKnowledge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := knowledge.SaveV1(v1Path, k); err != nil {
+		t.Fatal(err)
+	}
 
 	jinfo, _ := os.Stat(jsonPath)
 	binfo, _ := os.Stat(binPath)
-	t.Logf("knowledge sizes: json=%d bytes, binary=%d bytes (%.1fx)",
-		jinfo.Size(), binfo.Size(), float64(jinfo.Size())/float64(binfo.Size()))
-	if binfo.Size()*3 > jinfo.Size() {
-		t.Errorf("binary knowledge (%d bytes) is not >=3x smaller than JSON (%d bytes)",
+	v1info, _ := os.Stat(v1Path)
+	t.Logf("knowledge sizes: json=%d bytes, v2=%d bytes (%.1fx), v1=%d bytes (%.1fx)",
+		jinfo.Size(), binfo.Size(), float64(jinfo.Size())/float64(binfo.Size()),
+		v1info.Size(), float64(jinfo.Size())/float64(v1info.Size()))
+	if binfo.Size() >= jinfo.Size() {
+		t.Errorf("v2 binary knowledge (%d bytes) is not smaller than JSON (%d bytes)",
 			binfo.Size(), jinfo.Size())
+	}
+	if v1info.Size()*3 > jinfo.Size() {
+		t.Errorf("v1 binary knowledge (%d bytes) is not >=3x smaller than JSON (%d bytes)",
+			v1info.Size(), jinfo.Size())
 	}
 
 	var files []*InputFile
@@ -74,27 +91,108 @@ func TestKnowledgeRoundTripBinary(t *testing.T) {
 	}
 	sysJ, vJ := load(jsonPath)
 	sysB, vB := load(binPath)
+	sys1, v1 := load(v1Path)
 
-	if len(sysJ.Patterns) != len(sysB.Patterns) {
-		t.Fatalf("patterns: json %d vs binary %d", len(sysJ.Patterns), len(sysB.Patterns))
+	if len(sysJ.Patterns) != len(sysB.Patterns) || len(sysJ.Patterns) != len(sys1.Patterns) {
+		t.Fatalf("patterns: json %d vs v2 %d vs v1 %d",
+			len(sysJ.Patterns), len(sysB.Patterns), len(sys1.Patterns))
 	}
 	for i := range sysJ.Patterns {
-		if sysJ.Patterns[i].Key() != sysB.Patterns[i].Key() {
+		if sysJ.Patterns[i].Key() != sysB.Patterns[i].Key() ||
+			sysJ.Patterns[i].Key() != sys1.Patterns[i].Key() {
 			t.Fatalf("pattern %d keys diverged", i)
 		}
 	}
-	if sysJ.Pairs.Len() != sysB.Pairs.Len() {
-		t.Fatalf("pairs: json %d vs binary %d", sysJ.Pairs.Len(), sysB.Pairs.Len())
+	if sysJ.Pairs.Len() != sysB.Pairs.Len() || sysJ.Pairs.Len() != sys1.Pairs.Len() {
+		t.Fatalf("pairs: json %d vs v2 %d vs v1 %d",
+			sysJ.Pairs.Len(), sysB.Pairs.Len(), sys1.Pairs.Len())
 	}
-	if len(vJ) != len(vB) || len(vJ) != len(violations) {
-		t.Fatalf("violations: original %d, json %d, binary %d", len(violations), len(vJ), len(vB))
+	if len(vJ) != len(vB) || len(vJ) != len(v1) || len(vJ) != len(violations) {
+		t.Fatalf("violations: original %d, json %d, v2 %d, v1 %d",
+			len(violations), len(vJ), len(vB), len(v1))
 	}
 	for i := range vJ {
-		if sysJ.Classify(vJ[i]) != sysB.Classify(vB[i]) {
+		a, b, c1 := vJ[i], vB[i], v1[i]
+		if a.Stmt.Path != b.Stmt.Path || a.Stmt.Line != b.Stmt.Line ||
+			a.Detail.Original != b.Detail.Original || a.Detail.Suggested != b.Detail.Suggested {
+			t.Fatalf("violation %d diverged between json and v2: %v vs %v", i, a.Detail, b.Detail)
+		}
+		if a.Stmt.Path != c1.Stmt.Path || a.Stmt.Line != c1.Stmt.Line ||
+			a.Detail.Original != c1.Detail.Original || a.Detail.Suggested != c1.Detail.Suggested {
+			t.Fatalf("violation %d diverged between json and v1: %v vs %v", i, a.Detail, c1.Detail)
+		}
+		if sysJ.Classify(vJ[i]) != sysB.Classify(vB[i]) || sysJ.Classify(vJ[i]) != sys1.Classify(v1[i]) {
 			t.Fatalf("classification diverged at violation %d", i)
 		}
 	}
 }
+
+// TestImportKnowledgeAllOrNothing: a failed import must leave the system
+// exactly as it was — same patterns, same index, same scan output — so a
+// hot-reload path can fall back to the old bundle safely.
+func TestImportKnowledgeAllOrNothing(t *testing.T) {
+	sys, c, _ := buildSystem(t, ast.Python, smallSystemConfig(ast.Python), smallCorpusConfig(ast.Python))
+	k, err := sys.ExportKnowledge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := NewSystem(DefaultConfig(ast.Python))
+	if err := fresh.ImportKnowledge(k); err != nil {
+		t.Fatal(err)
+	}
+	var files []*InputFile
+	for _, r := range c.Repos {
+		for _, f := range r.Files {
+			files = append(files, &InputFile{Repo: r.Name, Path: f.Path, Source: f.Source, Root: f.Root})
+		}
+	}
+	before := fresh.ScanFiles(files)
+
+	bad := []*Knowledge{
+		{Lang: "cobol", Pairs: confusion.NewPairSet()},
+		{Lang: "Python", Pairs: confusion.NewPairSet(), Patterns: append([]*pattern.Pattern{nil}, k.Patterns...)},
+		{Lang: "Python", Pairs: confusion.NewPairSet(), Patterns: []*pattern.Pattern{{Type: pattern.Consistency}}},
+	}
+	for i, b := range bad {
+		err := fresh.ImportKnowledge(b)
+		if err == nil {
+			t.Fatalf("bad knowledge %d accepted", i)
+		}
+		if !strings.Contains(err.Error(), "unchanged") {
+			t.Fatalf("bad knowledge %d: error %q does not state the system is unchanged", i, err)
+		}
+	}
+
+	after := fresh.ScanFiles(files)
+	if len(after.Violations) != len(before.Violations) {
+		t.Fatalf("failed imports changed scan output: %d -> %d violations",
+			len(before.Violations), len(after.Violations))
+	}
+	for i := range before.Violations {
+		a, b := before.Violations[i], after.Violations[i]
+		if a.Stmt.Path != b.Stmt.Path || a.Stmt.Line != b.Stmt.Line ||
+			a.Detail.Original != b.Detail.Original || a.Detail.Suggested != b.Detail.Suggested {
+			t.Fatalf("violation %d diverged after failed imports", i)
+		}
+	}
+
+	// A successful import drops any stale scan cache along with the old
+	// knowledge; the cache's lifetime is exactly one (config, knowledge)
+	// pair.
+	fresh.SetFileCache(nopCache{})
+	if err := fresh.ImportKnowledge(k); err != nil {
+		t.Fatal(err)
+	}
+	if fresh.cache != nil {
+		t.Fatal("stale file cache survived a knowledge import")
+	}
+}
+
+// nopCache is the minimal FileCache for cache-rotation assertions.
+type nopCache struct{}
+
+func (nopCache) Get(string) (*CachedFile, bool) { return nil, false }
+func (nopCache) Add(string, *CachedFile)        {}
 
 // TestImportKnowledgeAcceptsGo covers the bugfix: knowledge with
 // lang "Go" (as ExportKnowledge writes for a Go system) imports instead

@@ -12,10 +12,10 @@ import (
 	"namer/internal/pattern"
 )
 
-// Binary format (all integers are unsigned varints unless noted):
+// Binary format v1 (all integers are unsigned varints unless noted):
 //
 //	magic      4 bytes  0x9E 'N' 'K' 'B'
-//	version    varint   currently 1
+//	version    varint   1
 //	strings    count, then per string: length + raw bytes
 //	lang       string id
 //	pairs      count, then per pair: mistaken id, correct id, count
@@ -30,14 +30,24 @@ import (
 // Every name component is an index into the interned string table, so a
 // subtoken that appears in thousands of paths is stored once. The empty
 // string is a valid table entry (it encodes the symbolic path end ϵ).
+//
+// Format v2 (the default writer output) is the flat offset-based layout
+// documented in flat.go. Both share the magic; the byte at offset 4
+// distinguishes them (a varint 1 for v1, the byte 2 for v2), so either
+// decoder rejects the other's output with a clear version error.
 
 // magic identifies a binary knowledge file. The first byte is outside
 // ASCII so binary artifacts can never be confused with JSON.
 var magic = [4]byte{0x9E, 'N', 'K', 'B'}
 
-// Version is the current binary format version. Decoders reject higher
-// versions with a descriptive error instead of misparsing.
-const Version = 1
+// Version is the current binary format version (the flat v2 layout;
+// see flat.go). Decoders reject unknown versions with a descriptive
+// error instead of misparsing.
+const Version = 2
+
+// VersionV1 is the legacy varint-stream format, still fully readable
+// and writable via EncodeBinaryV1/SaveV1.
+const VersionV1 = 1
 
 // Decode sanity bounds: counts above these limits indicate a corrupt or
 // hostile file and fail fast instead of attempting a giant allocation.
@@ -51,8 +61,15 @@ const (
 	maxFloats    = 1 << 24
 )
 
-// EncodeBinary renders the artifact in the compact binary format.
+// EncodeBinary renders the artifact in the current binary format (the
+// flat v2 layout, openable in place via OpenBytes).
 func EncodeBinary(a *Artifact) ([]byte, error) {
+	return encodeFlat(a)
+}
+
+// EncodeBinaryV1 renders the artifact in the legacy v1 varint-stream
+// format, kept for fleets that still run pre-v2 readers.
+func EncodeBinaryV1(a *Artifact) ([]byte, error) {
 	e := &encoder{byString: make(map[string]uint64)}
 
 	// Pass 1: intern every string in deterministic order.
@@ -73,7 +90,7 @@ func EncodeBinary(a *Artifact) ([]byte, error) {
 
 	// Pass 2: emit.
 	e.buf = append(e.buf, magic[:]...)
-	e.uvarint(Version)
+	e.uvarint(VersionV1)
 	e.uvarint(uint64(len(e.strings)))
 	for _, s := range e.strings {
 		e.str(s)
@@ -183,10 +200,35 @@ func (e *encoder) floats(fs []float64) {
 	}
 }
 
-// DecodeBinary parses a binary artifact, validating the magic, version,
-// and every internal reference. Corrupt, truncated, or future-versioned
-// inputs return descriptive errors — never panics.
-func DecodeBinary(data []byte) (a *Artifact, err error) {
+// DecodeBinary parses a binary artifact of any supported version,
+// validating the magic, version, and every internal reference. Corrupt,
+// truncated, or future-versioned inputs return descriptive errors —
+// never panics.
+func DecodeBinary(data []byte) (*Artifact, error) {
+	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic[:]) {
+		return nil, fmt.Errorf("knowledge: not a binary knowledge file (bad magic)")
+	}
+	version, n := binary.Uvarint(data[len(magic):])
+	if n <= 0 {
+		return nil, fmt.Errorf("knowledge: truncated version at byte %d: %v", len(magic), io.ErrUnexpectedEOF)
+	}
+	switch version {
+	case VersionV1:
+		return decodeBinaryV1(data)
+	case v2Version:
+		v, err := OpenBytes(data)
+		if err != nil {
+			return nil, err
+		}
+		return v.Artifact(), nil
+	default:
+		return nil, fmt.Errorf("knowledge: unsupported binary version %d (this build reads versions %d and %d)",
+			version, VersionV1, Version)
+	}
+}
+
+// decodeBinaryV1 parses the legacy v1 varint stream.
+func decodeBinaryV1(data []byte) (a *Artifact, err error) {
 	defer func() {
 		// The decoder bounds-checks everything it reads, but a decode
 		// panic must surface as a corrupt-file error, not kill a serving
@@ -196,15 +238,8 @@ func DecodeBinary(data []byte) (a *Artifact, err error) {
 		}
 	}()
 	d := &decoder{buf: data}
-	if len(data) < len(magic) || string(data[:len(magic)]) != string(magic[:]) {
-		return nil, fmt.Errorf("knowledge: not a binary knowledge file (bad magic)")
-	}
 	d.pos = len(magic)
-	version := d.uvarint("version")
-	if version != Version {
-		return nil, fmt.Errorf("knowledge: unsupported binary version %d (this build reads version %d)",
-			version, Version)
-	}
+	d.uvarint("version") // checked by DecodeBinary
 
 	nstr := d.count("string table size", maxStrings)
 	strings := make([]string, nstr)

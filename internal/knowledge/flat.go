@@ -1,0 +1,647 @@
+package knowledge
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"namer/internal/confusion"
+	"namer/internal/ml"
+	"namer/internal/namepath"
+	"namer/internal/pattern"
+)
+
+// Binary format version 2: a flat, offset-based layout designed to be
+// used directly from a read-only byte slice (a plain file read or an
+// mmap). Nothing is materialized at open time — validation is a header
+// check, a CRC-32C checksum, and one bounds pass over the index
+// sections, after which every accessor reads the artifact in place.
+// All integers are fixed-width little-endian, so any record is O(1)
+// addressable:
+//
+//	off   0  magic      4 bytes, 0x9E 'N' 'K' 'B' (shared with v1)
+//	off   4  version    1 byte, 2 (a valid uvarint, so v1 readers see
+//	                    "unsupported version 2", never a misparse)
+//	off   5  pad        3 zero bytes
+//	off   8  checksum   u32, CRC-32C over bytes [0,8) ++ [12,len)
+//	off  12  length     u32, total file length (rejects truncation and
+//	                    trailing garbage before the checksum runs)
+//	off  16  fields     21 × u32 (see the hdr* constants): the lang
+//	                    string id, and per section its element count and
+//	                    absolute byte offset
+//
+// Sections (any order; offsets are absolute):
+//
+//	string offsets  u32 × (nStrings+1), cumulative starts into the blob
+//	string blob     raw bytes; string i = blob[offs[i]:offs[i+1]]
+//	pairs           12 B each: mistaken id, correct id, count
+//	elems           8 B each: value string id, child index
+//	paths           12 B each: elem start, elem count, end string id
+//	patterns        32 B each: type, count, match count, satisfy count,
+//	                condition path start/count, deduction path start/count
+//	floats          8 B each, IEEE-754 LE: mean ++ std ++ pcaMean ++
+//	                pca (rows×cols, row-major) ++ weights ++ bias
+//
+// Paths reference a shared elem array and patterns reference a shared
+// path array, so the entire pattern set is three flat tables plus one
+// interned string table — the on-disk mirror of the arena layout the
+// FP-tree already uses in memory.
+
+// v2Version is the flat-format version byte.
+const v2Version = 2
+
+// Header field indices (u32 slots starting at byte 16).
+const (
+	hdrLang = iota
+	hdrNumStrings
+	hdrStrOffsOff
+	hdrStrBlobOff
+	hdrStrBlobLen
+	hdrNumPairs
+	hdrPairsOff
+	hdrNumElems
+	hdrElemsOff
+	hdrNumPaths
+	hdrPathsOff
+	hdrNumPatterns
+	hdrPatternsOff
+	hdrClsFlags
+	hdrFloatsOff
+	hdrNumMean
+	hdrNumStd
+	hdrNumPCAMean
+	hdrPCARows
+	hdrPCACols
+	hdrNumWeights
+
+	hdrFields
+)
+
+// Fixed byte offsets and record sizes of the v2 layout.
+const (
+	v2ChecksumOff = 8
+	v2LengthOff   = 12
+	v2FieldsOff   = 16
+	v2HeaderLen   = v2FieldsOff + hdrFields*4
+
+	v2PairSize    = 12
+	v2ElemSize    = 8
+	v2PathSize    = 12
+	v2PatternSize = 32
+)
+
+// Classifier flag bits (hdrClsFlags).
+const (
+	clsPresent = 1 << 0
+	clsUsePCA  = 1 << 1
+)
+
+// crcTable is the CRC-32C (Castagnoli) polynomial, hardware-accelerated
+// on amd64/arm64.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// v2Checksum computes the artifact checksum: everything except the
+// 4-byte checksum field itself.
+func v2Checksum(data []byte) uint32 {
+	c := crc32.Update(0, crcTable, data[:v2ChecksumOff])
+	return crc32.Update(c, crcTable, data[v2ChecksumOff+4:])
+}
+
+// encodeFlat renders the artifact in the v2 flat layout.
+func encodeFlat(a *Artifact) ([]byte, error) {
+	e := &encoder{byString: make(map[string]uint64)}
+	// Intern every string in the same deterministic order as v1, so the
+	// string table is stable across format versions.
+	e.intern(a.Lang)
+	pairs := orderedPairs(a.Pairs)
+	for _, p := range pairs {
+		e.intern(p[0])
+		e.intern(p[1])
+	}
+	for _, p := range a.Patterns {
+		for _, np := range p.Condition {
+			e.internPath(np)
+		}
+		for _, np := range p.Deduction {
+			e.internPath(np)
+		}
+	}
+
+	// Flatten patterns into the shared elem and path tables.
+	type flatPath struct{ elemStart, elemCount, end uint32 }
+	type flatPattern struct{ f [8]uint32 }
+	var elems []uint32 // (value id, child index) pairs, flattened
+	var paths []flatPath
+	var pats []flatPattern
+	addPath := func(np namepath.Path) error {
+		fp := flatPath{elemStart: uint32(len(elems) / 2), elemCount: uint32(len(np.Prefix))}
+		for _, el := range np.Prefix {
+			if el.Index < 0 || el.Index > math.MaxInt32 {
+				return fmt.Errorf("knowledge: path element index %d out of int32 range", el.Index)
+			}
+			elems = append(elems, uint32(e.byString[el.Value]), uint32(el.Index))
+		}
+		fp.end = uint32(e.byString[np.End])
+		paths = append(paths, fp)
+		return nil
+	}
+	u32stat := func(what string, v int) (uint32, error) {
+		if v < 0 || v > math.MaxInt32 {
+			return 0, fmt.Errorf("knowledge: pattern %s %d out of int32 range", what, v)
+		}
+		return uint32(v), nil
+	}
+	for _, p := range a.Patterns {
+		var fp flatPattern
+		var err error
+		fp.f[0] = uint32(p.Type)
+		if fp.f[1], err = u32stat("count", p.Count); err != nil {
+			return nil, err
+		}
+		if fp.f[2], err = u32stat("match count", p.MatchCount); err != nil {
+			return nil, err
+		}
+		if fp.f[3], err = u32stat("satisfy count", p.SatisfyCount); err != nil {
+			return nil, err
+		}
+		fp.f[4], fp.f[5] = uint32(len(paths)), uint32(len(p.Condition))
+		for _, np := range p.Condition {
+			if err := addPath(np); err != nil {
+				return nil, err
+			}
+		}
+		fp.f[6], fp.f[7] = uint32(len(paths)), uint32(len(p.Deduction))
+		for _, np := range p.Deduction {
+			if err := addPath(np); err != nil {
+				return nil, err
+			}
+		}
+		pats = append(pats, fp)
+	}
+
+	// Classifier floats: one contiguous blob, bias last.
+	var floats []float64
+	var flags uint32
+	var nMean, nStd, nPCAMean, pcaRows, pcaCols, nWeights uint32
+	if c := a.Classifier; c != nil {
+		flags = clsPresent
+		if c.UsePCA {
+			flags |= clsUsePCA
+		}
+		nMean, nStd, nPCAMean = uint32(len(c.Mean)), uint32(len(c.Std)), uint32(len(c.PCAMean))
+		nWeights = uint32(len(c.Weights))
+		pcaRows = uint32(len(c.PCACols))
+		if pcaRows > 0 {
+			pcaCols = uint32(len(c.PCACols[0]))
+		}
+		floats = append(floats, c.Mean...)
+		floats = append(floats, c.Std...)
+		floats = append(floats, c.PCAMean...)
+		for _, row := range c.PCACols {
+			if uint32(len(row)) != pcaCols {
+				return nil, fmt.Errorf("knowledge: ragged PCA matrix (%d vs %d cols)", len(row), pcaCols)
+			}
+			floats = append(floats, row...)
+		}
+		floats = append(floats, c.Weights...)
+		floats = append(floats, c.Bias)
+	}
+
+	// Lay out the sections and emit.
+	var h [hdrFields]uint32
+	strBlobLen := 0
+	for _, s := range e.strings {
+		strBlobLen += len(s)
+	}
+	pos := uint32(v2HeaderLen)
+	place := func(n int, size int) uint32 {
+		off := pos
+		pos += uint32(n * size)
+		return off
+	}
+	h[hdrLang] = uint32(e.byString[a.Lang])
+	h[hdrNumStrings] = uint32(len(e.strings))
+	h[hdrStrOffsOff] = place(len(e.strings)+1, 4)
+	h[hdrStrBlobOff] = place(strBlobLen, 1)
+	h[hdrStrBlobLen] = uint32(strBlobLen)
+	h[hdrNumPairs] = uint32(len(pairs))
+	h[hdrPairsOff] = place(len(pairs), v2PairSize)
+	h[hdrNumElems] = uint32(len(elems) / 2)
+	h[hdrElemsOff] = place(len(elems)/2, v2ElemSize)
+	h[hdrNumPaths] = uint32(len(paths))
+	h[hdrPathsOff] = place(len(paths), v2PathSize)
+	h[hdrNumPatterns] = uint32(len(pats))
+	h[hdrPatternsOff] = place(len(pats), v2PatternSize)
+	h[hdrClsFlags] = flags
+	h[hdrFloatsOff] = place(len(floats), 8)
+	h[hdrNumMean], h[hdrNumStd], h[hdrNumPCAMean] = nMean, nStd, nPCAMean
+	h[hdrPCARows], h[hdrPCACols], h[hdrNumWeights] = pcaRows, pcaCols, nWeights
+
+	buf := make([]byte, pos)
+	copy(buf, magic[:])
+	buf[4] = v2Version
+	binary.LittleEndian.PutUint32(buf[v2LengthOff:], pos)
+	for i, f := range h {
+		binary.LittleEndian.PutUint32(buf[v2FieldsOff+4*i:], f)
+	}
+	off := h[hdrStrOffsOff]
+	cum := uint32(0)
+	for _, s := range e.strings {
+		binary.LittleEndian.PutUint32(buf[off:], cum)
+		off += 4
+		cum += uint32(len(s))
+	}
+	binary.LittleEndian.PutUint32(buf[off:], cum)
+	off = h[hdrStrBlobOff]
+	for _, s := range e.strings {
+		copy(buf[off:], s)
+		off += uint32(len(s))
+	}
+	off = h[hdrPairsOff]
+	for _, p := range pairs {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(e.byString[p[0]]))
+		binary.LittleEndian.PutUint32(buf[off+4:], uint32(e.byString[p[1]]))
+		n := a.Pairs.Count(p[0], p[1])
+		if n < 0 || n > math.MaxInt32 {
+			return nil, fmt.Errorf("knowledge: pair count %d out of int32 range", n)
+		}
+		binary.LittleEndian.PutUint32(buf[off+8:], uint32(n))
+		off += v2PairSize
+	}
+	off = h[hdrElemsOff]
+	for _, v := range elems {
+		binary.LittleEndian.PutUint32(buf[off:], v)
+		off += 4
+	}
+	off = h[hdrPathsOff]
+	for _, p := range paths {
+		binary.LittleEndian.PutUint32(buf[off:], p.elemStart)
+		binary.LittleEndian.PutUint32(buf[off+4:], p.elemCount)
+		binary.LittleEndian.PutUint32(buf[off+8:], p.end)
+		off += v2PathSize
+	}
+	off = h[hdrPatternsOff]
+	for _, p := range pats {
+		for _, f := range p.f {
+			binary.LittleEndian.PutUint32(buf[off:], f)
+			off += 4
+		}
+	}
+	off = h[hdrFloatsOff]
+	for _, f := range floats {
+		binary.LittleEndian.PutUint64(buf[off:], math.Float64bits(f))
+		off += 8
+	}
+	binary.LittleEndian.PutUint32(buf[v2ChecksumOff:], v2Checksum(buf))
+	return buf, nil
+}
+
+// View is a validated read-only view over a v2 artifact. It holds only
+// the raw bytes — no patterns, paths, or strings are materialized — so
+// opening one is O(1) in allocations regardless of artifact size, and N
+// processes can share one mapped file. Accessors read the flat layout
+// in place; Artifact materializes the traditional pointer form when a
+// scan index is needed. The underlying slice must not be mutated while
+// the View is in use.
+type View struct {
+	data []byte
+	h    [hdrFields]uint32
+}
+
+// Open reads path and returns a validated View. The file contents are
+// read once; everything afterwards is in-place access.
+func Open(path string) (*View, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	v, err := OpenBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return v, nil
+}
+
+// OpenBytes validates data as a v2 artifact and returns a View over it.
+// Validation is the fixed-size header, the checksum, and one bounds
+// pass over the index sections — no tree construction, no per-pattern
+// allocation. After a nil error, no accessor can read out of bounds.
+func OpenBytes(data []byte) (*View, error) {
+	if len(data) < v2HeaderLen {
+		return nil, fmt.Errorf("knowledge: v2 artifact truncated (%d bytes, header needs %d)", len(data), v2HeaderLen)
+	}
+	if string(data[:len(magic)]) != string(magic[:]) {
+		return nil, fmt.Errorf("knowledge: not a binary knowledge file (bad magic)")
+	}
+	if data[4] != v2Version {
+		return nil, fmt.Errorf("knowledge: not a v2 artifact (version %d)", data[4])
+	}
+	if n := binary.LittleEndian.Uint32(data[v2LengthOff:]); uint64(n) != uint64(len(data)) {
+		return nil, fmt.Errorf("knowledge: v2 length field %d does not match file size %d (truncated or trailing bytes)", n, len(data))
+	}
+	if got, want := v2Checksum(data), binary.LittleEndian.Uint32(data[v2ChecksumOff:]); got != want {
+		return nil, fmt.Errorf("knowledge: v2 checksum mismatch (file %08x, computed %08x)", want, got)
+	}
+	v := &View{data: data}
+	for i := range v.h {
+		v.h[i] = binary.LittleEndian.Uint32(data[v2FieldsOff+4*i:])
+	}
+	if err := v.validate(); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// section checks that count records of size bytes starting at off fit
+// inside the payload (and past the header), in overflow-safe arithmetic.
+func (v *View) section(what string, off, count uint32, size, limit int) error {
+	if uint64(count) > uint64(limit) {
+		return fmt.Errorf("knowledge: v2: implausible %s count %d", what, count)
+	}
+	end := uint64(off) + uint64(count)*uint64(size)
+	if off < v2HeaderLen || end > uint64(len(v.data)) {
+		return fmt.Errorf("knowledge: v2: %s section [%d, %d) out of bounds (file is %d bytes)",
+			what, off, end, len(v.data))
+	}
+	return nil
+}
+
+// validate runs the one-shot bounds pass: every section inside the
+// file, string offsets monotone, and every cross-table index in range.
+// It allocates nothing.
+func (v *View) validate() error {
+	h := &v.h
+	nStr := h[hdrNumStrings]
+	if err := v.section("string offset table", h[hdrStrOffsOff], nStr+1, 4, maxStrings+1); err != nil {
+		return err
+	}
+	if err := v.section("string blob", h[hdrStrBlobOff], h[hdrStrBlobLen], 1, math.MaxInt32); err != nil {
+		return err
+	}
+	if err := v.section("pair", h[hdrPairsOff], h[hdrNumPairs], v2PairSize, maxPairs); err != nil {
+		return err
+	}
+	if err := v.section("elem", h[hdrElemsOff], h[hdrNumElems], v2ElemSize, maxStrings); err != nil {
+		return err
+	}
+	if err := v.section("path", h[hdrPathsOff], h[hdrNumPaths], v2PathSize, maxStrings); err != nil {
+		return err
+	}
+	if err := v.section("pattern", h[hdrPatternsOff], h[hdrNumPatterns], v2PatternSize, maxPatterns); err != nil {
+		return err
+	}
+	prev := uint32(0)
+	for i := uint32(0); i <= nStr; i++ {
+		off := v.u32(h[hdrStrOffsOff] + 4*i)
+		if off < prev || off > h[hdrStrBlobLen] {
+			return fmt.Errorf("knowledge: v2: string offset table corrupt at entry %d (%d after %d, blob is %d bytes)",
+				i, off, prev, h[hdrStrBlobLen])
+		}
+		prev = off
+	}
+	if h[hdrLang] >= nStr {
+		return fmt.Errorf("knowledge: v2: lang string id %d out of range (table has %d)", h[hdrLang], nStr)
+	}
+	for i := uint32(0); i < h[hdrNumPairs]; i++ {
+		off := h[hdrPairsOff] + i*v2PairSize
+		if v.u32(off) >= nStr || v.u32(off+4) >= nStr {
+			return fmt.Errorf("knowledge: v2: pair %d references string out of range", i)
+		}
+	}
+	for i := uint32(0); i < h[hdrNumElems]; i++ {
+		if v.u32(h[hdrElemsOff]+i*v2ElemSize) >= nStr {
+			return fmt.Errorf("knowledge: v2: path element %d references string out of range", i)
+		}
+	}
+	for i := uint32(0); i < h[hdrNumPaths]; i++ {
+		off := h[hdrPathsOff] + i*v2PathSize
+		if uint64(v.u32(off))+uint64(v.u32(off+4)) > uint64(h[hdrNumElems]) {
+			return fmt.Errorf("knowledge: v2: path %d elem range out of bounds", i)
+		}
+		if v.u32(off+8) >= nStr {
+			return fmt.Errorf("knowledge: v2: path %d end string out of range", i)
+		}
+	}
+	for i := uint32(0); i < h[hdrNumPatterns]; i++ {
+		off := h[hdrPatternsOff] + i*v2PatternSize
+		typ := v.u32(off)
+		condStart, condCount := v.u32(off+16), v.u32(off+20)
+		dedStart, dedCount := v.u32(off+24), v.u32(off+28)
+		if uint64(condStart)+uint64(condCount) > uint64(h[hdrNumPaths]) ||
+			uint64(dedStart)+uint64(dedCount) > uint64(h[hdrNumPaths]) {
+			return fmt.Errorf("knowledge: v2: pattern %d path range out of bounds", i)
+		}
+		// Shape check, mirroring pattern.Valid: consistency patterns have
+		// two symbolic deduction paths, confusing-word patterns one
+		// concrete deduction path. Symbolic means the end string is empty.
+		switch pattern.Type(typ) {
+		case pattern.Consistency:
+			if dedCount != 2 || !v.pathSymbolic(dedStart) || !v.pathSymbolic(dedStart+1) {
+				return fmt.Errorf("knowledge: v2: pattern %d is invalid for type consistency", i)
+			}
+		case pattern.ConfusingWord:
+			if dedCount != 1 || v.pathSymbolic(dedStart) {
+				return fmt.Errorf("knowledge: v2: pattern %d is invalid for type confusing-word", i)
+			}
+		default:
+			return fmt.Errorf("knowledge: v2: pattern %d has unknown type %d", i, typ)
+		}
+	}
+	flags := h[hdrClsFlags]
+	if flags&^uint32(clsPresent|clsUsePCA) != 0 {
+		return fmt.Errorf("knowledge: v2: unknown classifier flags %#x", flags)
+	}
+	for _, c := range []struct {
+		what string
+		n    uint32
+	}{
+		{"mean", h[hdrNumMean]}, {"std", h[hdrNumStd]}, {"pca mean", h[hdrNumPCAMean]},
+		{"pca rows", h[hdrPCARows]}, {"pca cols", h[hdrPCACols]}, {"weights", h[hdrNumWeights]},
+	} {
+		if c.n > maxFloats {
+			return fmt.Errorf("knowledge: v2: implausible classifier %s count %d", c.what, c.n)
+		}
+		if flags&clsPresent == 0 && c.n != 0 {
+			return fmt.Errorf("knowledge: v2: classifier %s count %d without a classifier", c.what, c.n)
+		}
+	}
+	if err := v.section("float", h[hdrFloatsOff], uint32(v.numFloats()), 8, maxFloats); err != nil {
+		return err
+	}
+	return nil
+}
+
+// numFloats is the float-blob length implied by the classifier counts
+// (bias included when a classifier is present). Bounded by validate's
+// per-count limits, so the multiplication cannot overflow.
+func (v *View) numFloats() uint64 {
+	if v.h[hdrClsFlags]&clsPresent == 0 {
+		return 0
+	}
+	return uint64(v.h[hdrNumMean]) + uint64(v.h[hdrNumStd]) + uint64(v.h[hdrNumPCAMean]) +
+		uint64(v.h[hdrPCARows])*uint64(v.h[hdrPCACols]) + uint64(v.h[hdrNumWeights]) + 1
+}
+
+func (v *View) u32(off uint32) uint32 { return binary.LittleEndian.Uint32(v.data[off:]) }
+
+// str materializes string table entry i (validated to be in range).
+func (v *View) str(i uint32) string {
+	lo := v.u32(v.h[hdrStrOffsOff] + 4*i)
+	hi := v.u32(v.h[hdrStrOffsOff] + 4*i + 4)
+	return string(v.data[v.h[hdrStrBlobOff]+lo : v.h[hdrStrBlobOff]+hi])
+}
+
+// strLen is str without the allocation, for validation predicates.
+func (v *View) strLen(i uint32) uint32 {
+	return v.u32(v.h[hdrStrOffsOff]+4*i+4) - v.u32(v.h[hdrStrOffsOff]+4*i)
+}
+
+// pathSymbolic reports whether path i ends in ϵ (the empty string).
+func (v *View) pathSymbolic(i uint32) bool {
+	return v.strLen(v.u32(v.h[hdrPathsOff]+i*v2PathSize+8)) == 0
+}
+
+// FormatVersion returns 2.
+func (v *View) FormatVersion() int { return v2Version }
+
+// Checksum returns the artifact's CRC-32C, usable as a cheap identity.
+func (v *View) Checksum() uint32 {
+	return binary.LittleEndian.Uint32(v.data[v2ChecksumOff:])
+}
+
+// Size returns the artifact size in bytes.
+func (v *View) Size() int { return len(v.data) }
+
+// Lang returns the knowledge language name.
+func (v *View) Lang() string { return v.str(v.h[hdrLang]) }
+
+// NumPatterns returns the pattern count without decoding any pattern.
+func (v *View) NumPatterns() int { return int(v.h[hdrNumPatterns]) }
+
+// NumPairs returns the confusing-pair count.
+func (v *View) NumPairs() int { return int(v.h[hdrNumPairs]) }
+
+// HasClassifier reports whether trained classifier state is present.
+func (v *View) HasClassifier() bool { return v.h[hdrClsFlags]&clsPresent != 0 }
+
+// Pair returns confusing pair i in place.
+func (v *View) Pair(i int) (mistaken, correct string, count int) {
+	off := v.h[hdrPairsOff] + uint32(i)*v2PairSize
+	return v.str(v.u32(off)), v.str(v.u32(off + 4)), int(v.u32(off + 8))
+}
+
+// path materializes path i, sharing the elem arena when one is given.
+func (v *View) path(i uint32, arena []namepath.Elem) namepath.Path {
+	off := v.h[hdrPathsOff] + i*v2PathSize
+	start, count := v.u32(off), v.u32(off+4)
+	var prefix []namepath.Elem
+	if arena != nil {
+		prefix = arena[start : start+count : start+count]
+	} else {
+		prefix = make([]namepath.Elem, count)
+		for j := uint32(0); j < count; j++ {
+			eoff := v.h[hdrElemsOff] + (start+j)*v2ElemSize
+			prefix[j] = namepath.Elem{Value: v.str(v.u32(eoff)), Index: int(v.u32(eoff + 4))}
+		}
+	}
+	return namepath.Path{Prefix: prefix, End: v.str(v.u32(off + 8))}.Memoized()
+}
+
+// pattern builds pattern i into p, using the shared path arena when
+// given (Artifact passes one; Pattern passes nil and decodes in place).
+func (v *View) pattern(i uint32, p *pattern.Pattern, paths []namepath.Path) {
+	off := v.h[hdrPatternsOff] + i*v2PatternSize
+	p.Type = pattern.Type(v.u32(off))
+	p.Count = int(v.u32(off + 4))
+	p.MatchCount = int(v.u32(off + 8))
+	p.SatisfyCount = int(v.u32(off + 12))
+	slice := func(start, count uint32) []namepath.Path {
+		if paths != nil {
+			return paths[start : start+count : start+count]
+		}
+		out := make([]namepath.Path, count)
+		for j := uint32(0); j < count; j++ {
+			out[j] = v.path(start+j, nil)
+		}
+		return out
+	}
+	p.Condition = slice(v.u32(off+16), v.u32(off+20))
+	p.Deduction = slice(v.u32(off+24), v.u32(off+28))
+}
+
+// Pattern materializes pattern i on demand — the rest of the artifact
+// stays untouched, which is what lets selective consumers (an explain
+// endpoint, a pattern browser) work off one shared artifact.
+func (v *View) Pattern(i int) *pattern.Pattern {
+	p := &pattern.Pattern{}
+	v.pattern(uint32(i), p, nil)
+	p.Key()
+	return p
+}
+
+// Artifact materializes the whole artifact into the traditional pointer
+// form (what the scan index consumes). Unlike the v1 decoder this is a
+// flat pass over pre-validated tables: the string table is decoded
+// once, path elements land in a single shared arena, and patterns are
+// one slab — so even the slow path allocates far less than v1.
+func (v *View) Artifact() *Artifact {
+	strs := make([]string, v.h[hdrNumStrings])
+	for i := range strs {
+		strs[i] = v.str(uint32(i))
+	}
+	a := &Artifact{Lang: strs[v.h[hdrLang]], Pairs: confusion.NewPairSet()}
+	for i := uint32(0); i < v.h[hdrNumPairs]; i++ {
+		off := v.h[hdrPairsOff] + i*v2PairSize
+		a.Pairs.AddN(strs[v.u32(off)], strs[v.u32(off+4)], int(v.u32(off+8)))
+	}
+	elems := make([]namepath.Elem, v.h[hdrNumElems])
+	for i := range elems {
+		off := v.h[hdrElemsOff] + uint32(i)*v2ElemSize
+		elems[i] = namepath.Elem{Value: strs[v.u32(off)], Index: int(v.u32(off + 4))}
+	}
+	paths := make([]namepath.Path, v.h[hdrNumPaths])
+	for i := range paths {
+		off := v.h[hdrPathsOff] + uint32(i)*v2PathSize
+		start, count := v.u32(off), v.u32(off+4)
+		paths[i] = namepath.Path{
+			Prefix: elems[start : start+count : start+count],
+			End:    strs[v.u32(off+8)],
+		}.Memoized()
+	}
+	if n := v.h[hdrNumPatterns]; n > 0 {
+		slab := make([]pattern.Pattern, n)
+		a.Patterns = make([]*pattern.Pattern, n)
+		for i := uint32(0); i < n; i++ {
+			v.pattern(i, &slab[i], paths)
+			a.Patterns[i] = &slab[i]
+		}
+	}
+	warmPatterns(a.Patterns)
+	if v.HasClassifier() {
+		c := &ml.PipelineState{UsePCA: v.h[hdrClsFlags]&clsUsePCA != 0}
+		off := v.h[hdrFloatsOff]
+		take := func(n uint32) []float64 {
+			if n == 0 {
+				return nil
+			}
+			out := make([]float64, n)
+			for i := range out {
+				out[i] = math.Float64frombits(binary.LittleEndian.Uint64(v.data[off:]))
+				off += 8
+			}
+			return out
+		}
+		c.Mean = take(v.h[hdrNumMean])
+		c.Std = take(v.h[hdrNumStd])
+		c.PCAMean = take(v.h[hdrNumPCAMean])
+		for i := uint32(0); i < v.h[hdrPCARows]; i++ {
+			c.PCACols = append(c.PCACols, take(v.h[hdrPCACols]))
+		}
+		c.Weights = take(v.h[hdrNumWeights])
+		c.Bias = math.Float64frombits(binary.LittleEndian.Uint64(v.data[off:]))
+		a.Classifier = c
+	}
+	return a
+}

@@ -1,0 +1,325 @@
+package knowledge
+
+import (
+	"encoding/binary"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"namer/internal/confusion"
+	"namer/internal/namepath"
+	"namer/internal/pattern"
+)
+
+// reseal recomputes the checksum after test surgery so corruption in a
+// specific field is exercised, not just the CRC.
+func reseal(data []byte) {
+	binary.LittleEndian.PutUint32(data[v2ChecksumOff:], v2Checksum(data))
+}
+
+// largeArtifact builds an artifact with n synthetic consistency patterns
+// so alloc-constancy can be checked against a much bigger input.
+func largeArtifact(n int) *Artifact {
+	pairs := confusion.NewPairSet()
+	a := &Artifact{Lang: "Python", Pairs: pairs}
+	for i := 0; i < n; i++ {
+		pairs.AddN(fmt.Sprintf("wrng%d", i), fmt.Sprintf("wrong%d", i), i+1)
+		a.Patterns = append(a.Patterns, &pattern.Pattern{
+			Type: pattern.Consistency,
+			Condition: []namepath.Path{{
+				Prefix: []namepath.Elem{{Value: fmt.Sprintf("Call%d", i), Index: i}},
+				End:    fmt.Sprintf("load%d", i),
+			}},
+			Deduction: []namepath.Path{
+				{Prefix: []namepath.Elem{{Value: "Assign", Index: 0}}, End: namepath.Epsilon},
+				{Prefix: []namepath.Elem{{Value: "Assign", Index: 1}}, End: namepath.Epsilon},
+			},
+			Count: i + 3, MatchCount: i + 2, SatisfyCount: i + 1,
+		})
+	}
+	return a
+}
+
+func TestV1V2DecodeEquivalence(t *testing.T) {
+	for _, classifier := range []bool{false, true} {
+		a := sampleArtifact(t, "Python", classifier)
+		v1, err := EncodeBinaryV1(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v2, err := EncodeBinary(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v1[4] != 0x01 || v2[4] != 0x02 {
+			t.Fatalf("version bytes: v1=%#x v2=%#x", v1[4], v2[4])
+		}
+		fromV1, err := DecodeBinary(v1)
+		if err != nil {
+			t.Fatalf("decode v1: %v", err)
+		}
+		fromV2, err := DecodeBinary(v2)
+		if err != nil {
+			t.Fatalf("decode v2: %v", err)
+		}
+		assertEqualArtifacts(t, a, fromV1)
+		assertEqualArtifacts(t, a, fromV2)
+		assertEqualArtifacts(t, fromV1, fromV2)
+	}
+}
+
+func TestSaveV1LoadsViaDispatch(t *testing.T) {
+	a := sampleArtifact(t, "Java", true)
+	path := filepath.Join(t.TempDir(), "k.bin")
+	if err := SaveV1(path, a); err != nil {
+		t.Fatal(err)
+	}
+	back, info, err := LoadWithInfo(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualArtifacts(t, a, back)
+	if info.Format != FormatBinary || info.FormatVersion != VersionV1 {
+		t.Fatalf("v1 artifact reported as %v v%d", info.Format, info.FormatVersion)
+	}
+}
+
+func TestLoadWithInfoIdentity(t *testing.T) {
+	a := sampleArtifact(t, "Python", true)
+	dir := t.TempDir()
+	binPath := filepath.Join(dir, "k.bin")
+	jsonPath := filepath.Join(dir, "k.json")
+	if err := Save(binPath, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := Save(jsonPath, a); err != nil {
+		t.Fatal(err)
+	}
+	_, binInfo, err := LoadWithInfo(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if binInfo.Format != FormatBinary || binInfo.FormatVersion != Version {
+		t.Fatalf("bin info: %v v%d", binInfo.Format, binInfo.FormatVersion)
+	}
+	if len(binInfo.ContentHash) != 64 || binInfo.Bytes == 0 || binInfo.LoadedAt.IsZero() {
+		t.Fatalf("bin info incomplete: %+v", binInfo)
+	}
+	_, jsonInfo, err := LoadWithInfo(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jsonInfo.Format != FormatJSON || jsonInfo.FormatVersion != 0 {
+		t.Fatalf("json info: %v v%d", jsonInfo.Format, jsonInfo.FormatVersion)
+	}
+	if jsonInfo.ContentHash == binInfo.ContentHash {
+		t.Fatal("different bytes produced the same content hash")
+	}
+	// Identical bytes hash identically across loads.
+	_, again, err := LoadWithInfo(binPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.ContentHash != binInfo.ContentHash {
+		t.Fatal("content hash not stable across loads of identical bytes")
+	}
+}
+
+func TestViewAccessors(t *testing.T) {
+	a := sampleArtifact(t, "Python", true)
+	data, err := EncodeBinary(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := OpenBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.FormatVersion() != 2 || v.Size() != len(data) {
+		t.Fatalf("FormatVersion=%d Size=%d", v.FormatVersion(), v.Size())
+	}
+	if v.Checksum() != v2Checksum(data) {
+		t.Fatal("Checksum does not match recomputed CRC")
+	}
+	if v.Lang() != "Python" || v.NumPatterns() != len(a.Patterns) || v.NumPairs() != a.Pairs.Len() {
+		t.Fatalf("Lang=%q NumPatterns=%d NumPairs=%d", v.Lang(), v.NumPatterns(), v.NumPairs())
+	}
+	if !v.HasClassifier() {
+		t.Fatal("classifier not visible through the view")
+	}
+	wantPairs := a.Pairs.Pairs()
+	for i := range wantPairs {
+		m, c, n := v.Pair(i)
+		if m != wantPairs[i][0] || c != wantPairs[i][1] || n != a.Pairs.Count(m, c) {
+			t.Fatalf("Pair(%d) = %q %q %d", i, m, c, n)
+		}
+	}
+	for i := range a.Patterns {
+		if got, want := v.Pattern(i).Key(), a.Patterns[i].Key(); got != want {
+			t.Fatalf("Pattern(%d) key %q, want %q", i, got, want)
+		}
+	}
+	assertEqualArtifacts(t, a, v.Artifact())
+}
+
+// TestOpenBytesConstantAllocs pins the headline v2 property: opening an
+// artifact allocates a constant amount regardless of how much knowledge
+// it holds.
+func TestOpenBytesConstantAllocs(t *testing.T) {
+	small, err := EncodeBinary(largeArtifact(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := EncodeBinary(largeArtifact(2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	measure := func(data []byte) float64 {
+		return testing.AllocsPerRun(100, func() {
+			if _, err := OpenBytes(data); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	smallAllocs, bigAllocs := measure(small), measure(big)
+	if smallAllocs != bigAllocs {
+		t.Fatalf("open allocs scale with artifact size: %v (1 pattern) vs %v (2000 patterns)",
+			smallAllocs, bigAllocs)
+	}
+	if bigAllocs > 4 {
+		t.Fatalf("open allocates %v times, want O(1) (≤4)", bigAllocs)
+	}
+}
+
+func TestV2LargeRoundTrip(t *testing.T) {
+	a := largeArtifact(500)
+	data, err := EncodeBinary(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeBinary(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertEqualArtifacts(t, a, back)
+}
+
+// TestV2HeaderFieldCorruption sets every header field to an absurd value
+// with a recomputed checksum, so the bounds pass — not the CRC — must
+// catch it. Every field must produce an error, never a panic or an
+// out-of-range read.
+func TestV2HeaderFieldCorruption(t *testing.T) {
+	a := sampleArtifact(t, "Python", true)
+	data, err := EncodeBinary(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for field := 0; field < hdrFields; field++ {
+		bad := append([]byte{}, data...)
+		binary.LittleEndian.PutUint32(bad[v2FieldsOff+4*field:], 0xFFFFFFFF)
+		reseal(bad)
+		if _, err := OpenBytes(bad); err == nil {
+			t.Errorf("header field %d set to 0xFFFFFFFF accepted", field)
+		}
+		if _, err := DecodeBinary(bad); err == nil {
+			t.Errorf("header field %d corruption accepted via DecodeBinary", field)
+		}
+	}
+}
+
+// TestV2TargetedCorruption drives resealed (valid-CRC) corruption into
+// the index structures themselves: string offsets, cross-table indices,
+// and pattern shape fields.
+func TestV2TargetedCorruption(t *testing.T) {
+	a := sampleArtifact(t, "Python", true)
+	data, err := EncodeBinary(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := OpenBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := v.h
+
+	corrupt := func(name string, off uint32, val uint32, wantErr string) {
+		t.Helper()
+		bad := append([]byte{}, data...)
+		binary.LittleEndian.PutUint32(bad[off:], val)
+		reseal(bad)
+		_, err := OpenBytes(bad)
+		if err == nil {
+			t.Errorf("%s: accepted", name)
+			return
+		}
+		if wantErr != "" && !strings.Contains(err.Error(), wantErr) {
+			t.Errorf("%s: error %q does not mention %q", name, err, wantErr)
+		}
+	}
+
+	// Non-monotone string offset table entry.
+	corrupt("string offset beyond blob", h[hdrStrOffsOff]+4, h[hdrStrBlobLen]+100, "string offset table")
+	// Pair referencing a string id past the table.
+	corrupt("pair string id", h[hdrPairsOff], h[hdrNumStrings]+5, "pair 0")
+	// Path element string id out of range.
+	corrupt("elem string id", h[hdrElemsOff], h[hdrNumStrings], "element 0")
+	// Path pointing past the elem table.
+	corrupt("path elem start", h[hdrPathsOff], h[hdrNumElems]+1, "path 0")
+	// Path end string out of range.
+	corrupt("path end id", h[hdrPathsOff]+8, h[hdrNumStrings], "path 0 end")
+	// Pattern with a path range past the path table.
+	corrupt("pattern path start", h[hdrPatternsOff]+16, h[hdrNumPaths]+1, "pattern 0")
+	// Pattern type out of the enum.
+	corrupt("pattern type", h[hdrPatternsOff], 99, "unknown type")
+	// Consistency pattern with the wrong deduction arity.
+	corrupt("pattern deduction arity", h[hdrPatternsOff]+28, 1, "pattern 0")
+
+	// Version byte corruption still mentions "version".
+	bad := append([]byte{}, data...)
+	bad[4] = 0x63
+	reseal(bad)
+	if _, err := DecodeBinary(bad); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Errorf("future version: got %v", err)
+	}
+
+	// Length field mismatch is caught before the checksum runs.
+	bad = append([]byte{}, data...)
+	binary.LittleEndian.PutUint32(bad[v2LengthOff:], uint32(len(bad))+8)
+	if _, err := OpenBytes(bad); err == nil || !strings.Contains(err.Error(), "length") {
+		t.Errorf("length mismatch: got %v", err)
+	}
+}
+
+// TestV2EveryByteFlipRejected: unlike v1 (where some flips land in
+// don't-care bits), v2 is fully checksummed, so flipping any byte must
+// produce an error.
+func TestV2EveryByteFlipRejected(t *testing.T) {
+	a := sampleArtifact(t, "Python", true)
+	data, err := EncodeBinary(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		bad := append([]byte{}, data...)
+		bad[i] ^= 0x55
+		if _, err := OpenBytes(bad); err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		}
+	}
+}
+
+func TestOpenFileErrors(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "missing.bin")); err == nil {
+		t.Fatal("missing file opened")
+	}
+	a := sampleArtifact(t, "Go", false)
+	path := filepath.Join(t.TempDir(), "k1.bin")
+	if err := SaveV1(path, a); err != nil {
+		t.Fatal(err)
+	}
+	// Open is v2-only; v1 artifacts go through Load/DecodeBinary.
+	if _, err := Open(path); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("v1 artifact through Open: %v", err)
+	}
+}

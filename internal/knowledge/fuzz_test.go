@@ -1,0 +1,110 @@
+package knowledge
+
+import (
+	"bytes"
+	"testing"
+
+	"namer/internal/confusion"
+	"namer/internal/ml"
+	"namer/internal/namepath"
+	"namer/internal/pattern"
+)
+
+// seedArtifact builds a fully populated artifact without needing a
+// *testing.T (sampleArtifact does; fuzz seeding only has a *testing.F).
+func seedArtifact() *Artifact {
+	a := largeArtifact(3)
+	a.Patterns = append(a.Patterns, &pattern.Pattern{
+		Type: pattern.ConfusingWord,
+		Deduction: []namepath.Path{{
+			Prefix: []namepath.Elem{{Value: "AttributeLoad", Index: 1}},
+			End:    "receive",
+		}},
+		Count: 12, MatchCount: 12, SatisfyCount: 9,
+	})
+	a.Classifier = &ml.PipelineState{
+		Mean:    []float64{0.5, 1.25, -3},
+		Std:     []float64{1, 2, 0.25},
+		UsePCA:  true,
+		PCAMean: []float64{0.1, 0.2, 0.3},
+		PCACols: [][]float64{{1, 0}, {0, 1}, {0.5, 0.5}},
+		Weights: []float64{0.75, -0.25},
+		Bias:    -0.125,
+	}
+	return a
+}
+
+// fuzzSeedArtifacts returns the raw encodings seeded into the fuzz
+// corpus: both binary versions, JSON, and an empty artifact.
+func fuzzSeedArtifacts(t testing.TB) [][]byte {
+	t.Helper()
+	full := seedArtifact()
+	empty := &Artifact{Lang: "Go", Pairs: confusion.NewPairSet()}
+	var seeds [][]byte
+	for _, a := range []*Artifact{full, empty} {
+		v2, err := EncodeBinary(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v1, err := EncodeBinaryV1(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := EncodeJSON(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seeds = append(seeds, v2, v1, j)
+	}
+	return seeds
+}
+
+// FuzzDecodeKnowledge throws arbitrary bytes at every decode entry
+// point. The invariants: no panic, no decode of garbage into something
+// that fails to re-encode, and a successful decode must survive a
+// v2 re-encode → re-decode round trip losslessly.
+func FuzzDecodeKnowledge(f *testing.F) {
+	for _, seed := range fuzzSeedArtifacts(f) {
+		f.Add(seed)
+		if len(seed) > 8 {
+			f.Add(seed[:len(seed)/2]) // truncations
+			flipped := append([]byte{}, seed...)
+			flipped[len(flipped)/3] ^= 0x55
+			f.Add(flipped)
+		}
+	}
+	f.Add([]byte{})
+	f.Add([]byte("{\"lang\":\"Python\"}"))
+	f.Add([]byte{0x9E, 'N', 'K', 'B'})
+	f.Add([]byte{0x9E, 'N', 'K', 'B', 0x02})
+	f.Add(bytes.Repeat([]byte{0xFF}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// OpenBytes must never panic or over-read, whatever the input.
+		if v, err := OpenBytes(data); err == nil {
+			v.Artifact() // pre-validated: must not panic either
+		}
+		a, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Anything the decoder accepts must re-encode and round-trip.
+		re, err := EncodeBinary(a)
+		if err != nil {
+			t.Fatalf("accepted artifact failed to re-encode: %v", err)
+		}
+		back, err := DecodeBinary(re)
+		if err != nil {
+			t.Fatalf("re-encoded artifact failed to decode: %v", err)
+		}
+		if a.Lang != back.Lang || len(a.Patterns) != len(back.Patterns) {
+			t.Fatalf("round trip diverged: %q/%d vs %q/%d",
+				a.Lang, len(a.Patterns), back.Lang, len(back.Patterns))
+		}
+		for i := range a.Patterns {
+			if a.Patterns[i].Key() != back.Patterns[i].Key() {
+				t.Fatalf("pattern %d key diverged", i)
+			}
+		}
+	})
+}

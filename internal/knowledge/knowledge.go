@@ -5,9 +5,11 @@
 //
 // Two on-disk formats are supported and auto-detected:
 //
-//   - a compact versioned binary format (magic + version header, interned
-//     string table, varint-encoded patterns/pairs/classifier), the default
-//     for production artifacts; and
+//   - a versioned binary format, the default for production artifacts.
+//     The current version (v2, flat.go) is a flat offset-based layout
+//     openable in place from a read-only byte slice via Open/OpenBytes
+//     with O(1) allocations; the legacy varint stream (v1, below) stays
+//     fully readable and writable via EncodeBinaryV1/SaveV1; and
 //   - pretty-printed JSON, kept as the human-inspectable debug format.
 //
 // Save picks the format from the file extension (".json" means JSON,
@@ -19,11 +21,15 @@ package knowledge
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"namer/internal/confusion"
 	"namer/internal/ml"
@@ -90,6 +96,17 @@ func DecodeJSON(data []byte) (*Artifact, error) {
 	if a.Pairs == nil {
 		a.Pairs = confusion.NewPairSet()
 	}
+	// A JSON null bypasses Pattern.UnmarshalJSON entirely, and negative
+	// stats pass its shape check; both would corrupt anything downstream
+	// (nil deref in key warming, unencodable counts), so reject them here.
+	for i, p := range a.Patterns {
+		if p == nil {
+			return nil, fmt.Errorf("knowledge: pattern %d is null", i)
+		}
+		if p.Count < 0 || p.MatchCount < 0 || p.SatisfyCount < 0 {
+			return nil, fmt.Errorf("knowledge: pattern %d has negative stats", i)
+		}
+	}
 	warmPatterns(a.Patterns)
 	return a, nil
 }
@@ -122,18 +139,59 @@ func Save(path string, a *Artifact) error {
 	return writeFileAtomic(path, data)
 }
 
+// SaveV1 writes the artifact to path atomically in the legacy v1 binary
+// format, for artifacts consumed by pre-v2 readers.
+func SaveV1(path string, a *Artifact) error {
+	data, err := EncodeBinaryV1(a)
+	if err != nil {
+		return err
+	}
+	return writeFileAtomic(path, data)
+}
+
 // Load reads an artifact from path, sniffing the format from the file
 // contents so binary and JSON knowledge load interchangeably.
 func Load(path string) (*Artifact, error) {
+	a, _, err := LoadWithInfo(path)
+	return a, err
+}
+
+// Info describes a loaded knowledge artifact: enough identity to tell
+// two artifacts apart across a hot reload and to report provenance on
+// health and metrics endpoints.
+type Info struct {
+	Format        Format    // binary or json
+	FormatVersion int       // binary codec version; 0 for JSON
+	Bytes         int       // on-disk artifact size
+	ContentHash   string    // hex sha256 of the raw artifact bytes
+	LoadedAt      time.Time // when this load happened
+}
+
+// LoadWithInfo is Load plus artifact identity: the format, codec
+// version, size, and content hash of the exact bytes that were read.
+func LoadWithInfo(path string) (*Artifact, Info, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, Info{}, err
 	}
 	a, err := Decode(data)
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, Info{}, fmt.Errorf("%s: %w", path, err)
 	}
-	return a, nil
+	sum := sha256.Sum256(data)
+	info := Info{
+		Format:      DetectFormat(data),
+		Bytes:       len(data),
+		ContentHash: hex.EncodeToString(sum[:]),
+		LoadedAt:    time.Now(),
+	}
+	if info.Format == FormatBinary && len(data) > len(magic) {
+		// The version is the uvarint at offset 4 for every binary version;
+		// Decode already validated it.
+		v, _ := binary.Uvarint(data[len(magic):])
+		info.FormatVersion = int(v)
+	}
+	return a, info, nil
 }
 
 // writeFileAtomic writes data to path via a temp file + rename in the

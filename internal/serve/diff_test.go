@@ -198,7 +198,7 @@ func TestDiffSharesAdmissionControl(t *testing.T) {
 	sv, _ := newStubServer(t, Config{MaxInFlight: 1})
 	release := make(chan struct{})
 	entered := make(chan struct{}, 1)
-	sv.analyzeDiff = func(ctx context.Context, lang ast.Language, files []core.DiffFile, all bool) *DiffResponse {
+	sv.analyzeDiff = func(ctx context.Context, b *bundle, lang ast.Language, files []core.DiffFile, all bool) *DiffResponse {
 		entered <- struct{}{}
 		<-release
 		return &DiffResponse{Lang: lang.String()}
@@ -235,7 +235,7 @@ func TestDiffSharesAdmissionControl(t *testing.T) {
 // 500, and the daemon keeps serving.
 func TestDiffPanicContained(t *testing.T) {
 	sv, logs := newStubServer(t, Config{})
-	sv.analyzeDiff = func(ctx context.Context, lang ast.Language, files []core.DiffFile, all bool) *DiffResponse {
+	sv.analyzeDiff = func(ctx context.Context, b *bundle, lang ast.Language, files []core.DiffFile, all bool) *DiffResponse {
 		panic("diff analyzer exploded: secret diff state")
 	}
 	ts := httptest.NewServer(sv.Handler())

@@ -76,11 +76,11 @@ func counterValue(t *testing.T, reg *obs.Registry, series string) int64 {
 func TestScanPanicContained(t *testing.T) {
 	sv, logs := newStubServer(t, Config{})
 	real := sv.analyze
-	sv.analyze = func(ctx context.Context, lang ast.Language, files []ScanFile, all bool) *ScanResponse {
+	sv.analyze = func(ctx context.Context, b *bundle, lang ast.Language, files []ScanFile, all bool) *ScanResponse {
 		if strings.HasPrefix(files[0].Path, "panic") {
 			panic("analyzer exploded: secret internal state")
 		}
-		return real(ctx, lang, files, all)
+		return real(ctx, b, lang, files, all)
 	}
 	ts := httptest.NewServer(sv.Handler())
 	defer ts.Close()
@@ -129,7 +129,7 @@ func TestScanPanicContained(t *testing.T) {
 func TestScanClientCancelDropped(t *testing.T) {
 	sv, logs := newStubServer(t, Config{})
 	entered := make(chan struct{}, 1)
-	sv.analyze = func(ctx context.Context, lang ast.Language, files []ScanFile, all bool) *ScanResponse {
+	sv.analyze = func(ctx context.Context, b *bundle, lang ast.Language, files []ScanFile, all bool) *ScanResponse {
 		entered <- struct{}{}
 		<-ctx.Done() // hang until the client gives up
 		return &ScanResponse{Lang: lang.String()}
@@ -183,7 +183,7 @@ func TestScanClientCancelDropped(t *testing.T) {
 // server-side capacity problem and answers 503, not 500.
 func TestScanDeadlineExceeded503(t *testing.T) {
 	sv, _ := newStubServer(t, Config{ScanTimeout: 30 * time.Millisecond})
-	sv.analyze = func(ctx context.Context, lang ast.Language, files []ScanFile, all bool) *ScanResponse {
+	sv.analyze = func(ctx context.Context, b *bundle, lang ast.Language, files []ScanFile, all bool) *ScanResponse {
 		<-ctx.Done()
 		return &ScanResponse{Lang: lang.String()}
 	}
@@ -209,7 +209,7 @@ func TestMaxInFlightSheds429(t *testing.T) {
 	sv, _ := newStubServer(t, Config{MaxInFlight: limit})
 	entered := make(chan struct{}, limit)
 	release := make(chan struct{})
-	sv.analyze = func(ctx context.Context, lang ast.Language, files []ScanFile, all bool) *ScanResponse {
+	sv.analyze = func(ctx context.Context, b *bundle, lang ast.Language, files []ScanFile, all bool) *ScanResponse {
 		entered <- struct{}{}
 		<-release
 		return &ScanResponse{Lang: lang.String()}
@@ -276,7 +276,7 @@ func TestMaxInFlightSheds429(t *testing.T) {
 func TestServeSoak(t *testing.T) {
 	sv, _ := newStubServer(t, Config{MaxInFlight: 32})
 	real := sv.analyze
-	sv.analyze = func(ctx context.Context, lang ast.Language, files []ScanFile, all bool) *ScanResponse {
+	sv.analyze = func(ctx context.Context, b *bundle, lang ast.Language, files []ScanFile, all bool) *ScanResponse {
 		switch {
 		case strings.HasPrefix(files[0].Path, "panic"):
 			panic("soak boom")
@@ -287,7 +287,7 @@ func TestServeSoak(t *testing.T) {
 			}
 			return &ScanResponse{Lang: lang.String(), FilesReceived: len(files), FilesScanned: len(files)}
 		}
-		return real(ctx, lang, files, all)
+		return real(ctx, b, lang, files, all)
 	}
 	ts := httptest.NewServer(sv.Handler())
 	defer ts.Close()

@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync"
 	"time"
 
 	"namer/internal/obs"
@@ -44,6 +45,33 @@ func TrackConnections(srv *http.Server, reg *obs.Registry) {
 		if prev != nil {
 			prev(c, state)
 		}
+	}
+}
+
+// ReloadOnSignal invokes fn every time one of the signals arrives
+// (typically SIGHUP for a knowledge reload). Errors are fn's to report;
+// the watcher keeps running either way. The returned stop function
+// unregisters the handler and ends the goroutine.
+func ReloadOnSignal(fn func() error, signals ...os.Signal) (stop func()) {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, signals...)
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-ch:
+				fn() // errors are logged/counted by the reload path itself
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			signal.Stop(ch)
+			close(done)
+		})
 	}
 }
 

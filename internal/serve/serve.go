@@ -12,10 +12,17 @@
 //	GET  /debug/vars   expvar counters (requests, violations, latency)
 //	GET  /debug/pprof  profiling handlers (only with Config.EnablePprof)
 //	GET  /debug/traces slowest-request span trees (only with Config.EnableTraces)
+//	POST /debug/reload hot-swap to freshly loaded knowledge (needs Config.Loader)
 //
 // The handler is safe for arbitrary concurrency: all shared state (the
-// pattern index, pair set, classifier) is read-only after load, and every
-// request keeps its own statement and statistics storage. Repeat files
+// pattern index, pair set, classifier) is immutable once bundled, and
+// every request keeps its own statement and statistics storage. The
+// knowledge bundle — system, artifact identity, and the per-file scan
+// cache keyed against it — sits behind one atomic pointer: a request
+// captures it at admission and uses it end to end, while Reload (SIGHUP
+// or POST /debug/reload) atomically publishes a replacement, so
+// knowledge hot-swaps drop no requests and never mix two artifacts
+// inside one request. Repeat files
 // are served from a bounded content-hash cache of analyzed per-file
 // units (internal/servecache), so an editor or CI bot re-scanning a
 // mostly-unchanged file set pays only for the files that changed.
@@ -41,6 +48,8 @@ import (
 	"os"
 	"runtime/debug"
 	"strconv"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"namer/internal/ast"
@@ -69,9 +78,14 @@ type Config struct {
 	// bytes; 0 or negative means DefaultCacheBytes. Ignored when the
 	// cache is disabled.
 	CacheBytes int64
-	// KnowledgeInfo describes the loaded artifact (path, format, version)
-	// for /healthz and the expvar page.
-	KnowledgeInfo string
+	// Knowledge describes the artifact the initial system was loaded
+	// from, reported on /healthz, /metrics, and the expvar page.
+	Knowledge KnowledgeInfo
+	// Loader, when non-nil, enables hot reloading: it is invoked by
+	// Reload (SIGHUP, POST /debug/reload) and must return a freshly
+	// built system with the new knowledge imported. A Loader error
+	// leaves the currently served bundle untouched.
+	Loader func() (*core.System, KnowledgeInfo, error)
 	// AccessLog, when non-nil, receives one structured JSON line per
 	// request (method, path, status, bytes, duration, request id).
 	// Request ids are assigned either way.
@@ -102,13 +116,53 @@ const (
 	DefaultCacheBytes   = 256 << 20
 )
 
+// KnowledgeInfo identifies a loaded knowledge artifact for operators:
+// the health endpoint, the `namer_knowledge_info` gauge, and reload
+// responses all report it, so a fleet can tell which artifact each
+// instance is serving.
+type KnowledgeInfo struct {
+	// Summary is the human-readable one-liner (path + format + hash
+	// prefix) shown on /healthz and the expvar page.
+	Summary string `json:"summary"`
+	// Path is the artifact file, when loaded from one.
+	Path string `json:"path,omitempty"`
+	// Format names the encoding ("binary" or "json").
+	Format string `json:"format,omitempty"`
+	// FormatVersion is the binary codec version (0 for JSON).
+	FormatVersion int `json:"format_version,omitempty"`
+	// ContentHash is the hex sha256 of the artifact bytes.
+	ContentHash string `json:"content_hash,omitempty"`
+	// LoadedAt is when this artifact was loaded.
+	LoadedAt time.Time `json:"loaded_at"`
+}
+
+// bundle is one immutable serving unit: a system with imported
+// knowledge, the per-file scan cache keyed against exactly that
+// knowledge, and the artifact identity. A request captures the current
+// bundle once at admission and uses it end to end, so a concurrent
+// reload never mixes knowledge mid-request; the old bundle stays alive
+// until its last in-flight request returns, then the GC collects it
+// (and its cache) wholesale.
+type bundle struct {
+	sys   *core.System
+	cache *servecache.Cache
+	info  KnowledgeInfo
+}
+
 // Server answers scan requests against one loaded knowledge artifact.
 type Server struct {
-	sys     *core.System
 	cfg     Config
 	mux     *http.ServeMux
 	handler http.Handler
 	errlog  *log.Logger
+
+	// cur is the atomically swapped serving bundle. Handlers Load it
+	// once per request; Reload Stores a replacement.
+	cur atomic.Pointer[bundle]
+
+	// reloadMu serializes Reload calls (SIGHUP racing the admin
+	// endpoint) so two loaders never interleave their swaps.
+	reloadMu sync.Mutex
 
 	// inflight is the admission-control semaphore: a slot is taken for
 	// the lifetime of one scan, and requests that cannot take one are
@@ -116,16 +170,18 @@ type Server struct {
 	inflight chan struct{}
 
 	// analyze runs the parse -> scan -> classify pipeline for one
-	// request. It is a field so robustness tests can substitute a
-	// panicking or slow front-end stub.
-	analyze func(ctx context.Context, lang ast.Language, files []ScanFile, all bool) *ScanResponse
+	// request against the bundle captured at admission. It is a field so
+	// robustness tests can substitute a panicking or slow front-end
+	// stub.
+	analyze func(ctx context.Context, b *bundle, lang ast.Language, files []ScanFile, all bool) *ScanResponse
 
 	// analyzeDiff is the /v1/diff pipeline, a field for the same reason.
-	analyzeDiff func(ctx context.Context, lang ast.Language, files []core.DiffFile, all bool) *DiffResponse
+	analyzeDiff func(ctx context.Context, b *bundle, lang ast.Language, files []core.DiffFile, all bool) *DiffResponse
 
-	// cache is the bounded per-file scan cache installed on the system;
-	// nil when Config.CacheEntries is negative.
-	cache *servecache.Cache
+	// cacheMetrics holds the shared cache metric hooks; every bundle's
+	// cache feeds the same counters so hit/miss totals stay cumulative
+	// across reloads while the size gauges track the live cache.
+	cacheMetrics servecache.Metrics
 
 	// recorder is the slow-request flight recorder behind /debug/traces;
 	// nil unless Config.EnableTraces.
@@ -145,6 +201,10 @@ type Server struct {
 	mReported *obs.Counter
 	mDiffReqs *obs.Counter
 	mDiffViol *obs.Counter
+	mReloads  *obs.Counter
+	mReloadNo *obs.Counter
+	gReloadOK *obs.Gauge
+	gLoadedAt *obs.Gauge
 	gInflight *obs.Gauge
 	hRequest  *obs.Histogram
 	hParse    *obs.Histogram
@@ -191,7 +251,6 @@ func New(sys *core.System, cfg Config) *Server {
 		cfg.ErrorLog = log.New(os.Stderr, "", log.LstdFlags)
 	}
 	sv := &Server{
-		sys:      sys,
 		cfg:      cfg,
 		mux:      http.NewServeMux(),
 		errlog:   cfg.ErrorLog,
@@ -211,6 +270,10 @@ func New(sys *core.System, cfg Config) *Server {
 	sv.mReported = sv.metrics.Counter("namer_reported_total")
 	sv.mDiffReqs = sv.metrics.Counter("namer_diff_requests_total")
 	sv.mDiffViol = sv.metrics.Counter("namer_diff_violations_total")
+	sv.mReloads = sv.metrics.Counter("namer_knowledge_reloads_total")
+	sv.mReloadNo = sv.metrics.Counter("namer_knowledge_reload_failures_total")
+	sv.gReloadOK = sv.metrics.Gauge("namer_knowledge_reload_last_success")
+	sv.gLoadedAt = sv.metrics.Gauge("namer_knowledge_loaded_timestamp_seconds")
 	sv.gInflight = sv.metrics.Gauge("namer_scan_inflight")
 	sv.metrics.Gauge("namer_scan_inflight_limit").Set(int64(cfg.MaxInFlight))
 	sv.hRequest = sv.metrics.Histogram("namer_request_seconds", nil)
@@ -221,38 +284,23 @@ func New(sys *core.System, cfg Config) *Server {
 	sv.hMatch = sv.metrics.Histogram(`namer_stage_seconds{stage="scan_match"}`, nil)
 	sv.hDiff = sv.metrics.Histogram(`namer_stage_seconds{stage="diff"}`, nil)
 
-	if cfg.CacheEntries >= 0 {
-		entries := cfg.CacheEntries
-		if entries == 0 {
-			entries = DefaultCacheEntries
-		}
-		bytes := cfg.CacheBytes
-		if bytes <= 0 {
-			bytes = DefaultCacheBytes
-		}
-		sv.cache = servecache.New(entries, bytes)
-		sv.cache.SetMetrics(servecache.Metrics{
-			Hits:      sv.metrics.Counter("namer_cache_hits_total"),
-			Misses:    sv.metrics.Counter("namer_cache_misses_total"),
-			Evictions: sv.metrics.Counter("namer_cache_evictions_total"),
-			Bytes:     sv.metrics.Gauge("namer_cache_bytes"),
-			Entries:   sv.metrics.Gauge("namer_cache_entries"),
-		})
+	sv.cacheMetrics = servecache.Metrics{
+		Hits:      sv.metrics.Counter("namer_cache_hits_total"),
+		Misses:    sv.metrics.Counter("namer_cache_misses_total"),
+		Evictions: sv.metrics.Counter("namer_cache_evictions_total"),
+		Bytes:     sv.metrics.Gauge("namer_cache_bytes"),
+		Entries:   sv.metrics.Gauge("namer_cache_entries"),
 	}
-	if sv.cache != nil {
-		sys.SetFileCache(sv.cache)
-	} else {
-		// Install a true nil, not a nil *Cache boxed in the interface.
-		sys.SetFileCache(nil)
-	}
+	sv.install(sv.newBundle(sys, cfg.Knowledge), nil)
+	sv.gReloadOK.Set(1)
 
 	obs.RegisterGoMetrics(sv.metrics)
 	buildinfo.Register(sv.metrics)
 
-	statKnowledge.Set(cfg.KnowledgeInfo)
 	sv.mux.HandleFunc("/healthz", sv.handleHealth)
 	sv.mux.HandleFunc("/v1/scan", sv.handleScan)
 	sv.mux.HandleFunc("/v1/diff", sv.handleDiff)
+	sv.mux.HandleFunc("/debug/reload", sv.handleReload)
 	sv.mux.Handle("/metrics", sv.metrics.Handler())
 	sv.mux.Handle("/debug/vars", expvar.Handler())
 	if cfg.EnableTraces {
@@ -282,9 +330,124 @@ func (sv *Server) Handler() http.Handler { return sv.handler }
 // for benchmarks and embedding processes.
 func (sv *Server) Metrics() *obs.Registry { return sv.metrics }
 
-// Cache exposes the per-file scan cache, nil when disabled; tests and
-// benchmarks read its Stats.
-func (sv *Server) Cache() *servecache.Cache { return sv.cache }
+// Cache exposes the current bundle's per-file scan cache, nil when
+// disabled; tests and benchmarks read its Stats. After a reload this is
+// the new bundle's (fresh) cache.
+func (sv *Server) Cache() *servecache.Cache { return sv.cur.Load().cache }
+
+// Knowledge returns the identity of the artifact currently being served.
+func (sv *Server) Knowledge() KnowledgeInfo { return sv.cur.Load().info }
+
+// newBundle wraps a knowledge-imported system into a serving bundle
+// with its own scan cache. The cached units embed match output against
+// the bundle's pattern index, so the cache's lifetime is exactly one
+// (system, knowledge) pair: every bundle gets a fresh cache, wired to
+// the shared metric hooks.
+func (sv *Server) newBundle(sys *core.System, info KnowledgeInfo) *bundle {
+	b := &bundle{sys: sys, info: info}
+	if sv.cfg.CacheEntries >= 0 {
+		entries := sv.cfg.CacheEntries
+		if entries == 0 {
+			entries = DefaultCacheEntries
+		}
+		bytes := sv.cfg.CacheBytes
+		if bytes <= 0 {
+			bytes = DefaultCacheBytes
+		}
+		b.cache = servecache.New(entries, bytes)
+		b.cache.SetMetrics(sv.cacheMetrics)
+	}
+	if b.cache != nil {
+		sys.SetFileCache(b.cache)
+	} else {
+		// Install a true nil, not a nil *Cache boxed in the interface.
+		sys.SetFileCache(nil)
+	}
+	return b
+}
+
+// install publishes b as the serving bundle and updates the identity
+// metrics: the labeled namer_knowledge_info gauge flips to the new
+// artifact (the old bundle's series drops to 0, mirroring how Prometheus
+// info-style metrics express "which one is live"), and the load
+// timestamp gauge follows.
+func (sv *Server) install(b, old *bundle) {
+	sv.cur.Store(b)
+	statKnowledge.Set(b.info.Summary)
+	if old != nil {
+		sv.metrics.Gauge(knowledgeInfoSeries(old.info)).Set(0)
+	}
+	sv.metrics.Gauge(knowledgeInfoSeries(b.info)).Set(1)
+	if !b.info.LoadedAt.IsZero() {
+		sv.gLoadedAt.Set(b.info.LoadedAt.Unix())
+	}
+}
+
+// knowledgeInfoSeries renders the labeled series name identifying an
+// artifact on /metrics. The hash label is truncated: 12 hex chars keep
+// the cardinality-relevant identity without bloating every scrape.
+func knowledgeInfoSeries(info KnowledgeInfo) string {
+	hash := info.ContentHash
+	if len(hash) > 12 {
+		hash = hash[:12]
+	}
+	return fmt.Sprintf("namer_knowledge_info{format=%q,version=%q,hash=%q}",
+		info.Format, strconv.Itoa(info.FormatVersion), hash)
+}
+
+// Reload swaps in a freshly loaded knowledge bundle via Config.Loader.
+// In-flight requests keep the bundle they captured at admission and
+// finish against the old knowledge; new requests see the new bundle the
+// moment Store completes. The scan cache rotates with the bundle — a
+// cache keyed against the old pattern index is never consulted for the
+// new one. On a Loader error the old bundle keeps serving untouched and
+// the failure is visible on /metrics (failure counter + last-success
+// gauge at 0).
+func (sv *Server) Reload() (KnowledgeInfo, error) {
+	sv.reloadMu.Lock()
+	defer sv.reloadMu.Unlock()
+	if sv.cfg.Loader == nil {
+		return KnowledgeInfo{}, errors.New("serve: reload not configured (no knowledge loader)")
+	}
+	sys, info, err := sv.cfg.Loader()
+	if err != nil {
+		sv.mReloadNo.Inc()
+		sv.gReloadOK.Set(0)
+		sv.errlog.Printf("serve: knowledge reload failed (still serving %s): %v",
+			sv.cur.Load().info.Summary, err)
+		return KnowledgeInfo{}, err
+	}
+	old := sv.cur.Load()
+	sv.install(sv.newBundle(sys, info), old)
+	sv.mReloads.Inc()
+	sv.gReloadOK.Set(1)
+	sv.errlog.Printf("serve: knowledge reloaded: %s -> %s", old.info.Summary, info.Summary)
+	return info, nil
+}
+
+// handleReload is the admin endpoint POST /debug/reload: trigger a
+// reload and report the outcome. 501 when no loader is configured, 500
+// with the loader error on failure (the old bundle keeps serving).
+func (sv *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		w.Header().Set("Allow", http.MethodPost)
+		sv.fail(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	if sv.cfg.Loader == nil {
+		sv.fail(w, http.StatusNotImplemented, "reload not configured (no knowledge loader)")
+		return
+	}
+	info, err := sv.Reload()
+	if err != nil {
+		sv.fail(w, http.StatusInternalServerError, "reload failed: "+err.Error())
+		return
+	}
+	sv.writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"knowledge": info,
+	})
+}
 
 // ScanFile is one source file in a scan request.
 type ScanFile struct {
@@ -387,14 +550,26 @@ type errorResponse struct {
 }
 
 func (sv *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	sv.writeJSON(w, http.StatusOK, map[string]any{
+	b := sv.cur.Load()
+	resp := map[string]any{
 		"status":     "ok",
-		"lang":       sv.sys.Config().Lang.String(),
-		"patterns":   len(sv.sys.Patterns),
-		"pairs":      sv.sys.Pairs.Len(),
-		"classifier": sv.sys.HasClassifier(),
-		"knowledge":  sv.cfg.KnowledgeInfo,
-	})
+		"lang":       b.sys.Config().Lang.String(),
+		"patterns":   len(b.sys.Patterns),
+		"pairs":      b.sys.Pairs.Len(),
+		"classifier": b.sys.HasClassifier(),
+		"knowledge":  b.info.Summary,
+	}
+	if b.info.Format != "" {
+		resp["knowledge_format"] = b.info.Format
+		resp["knowledge_format_version"] = b.info.FormatVersion
+	}
+	if b.info.ContentHash != "" {
+		resp["knowledge_hash"] = b.info.ContentHash
+	}
+	if !b.info.LoadedAt.IsZero() {
+		resp["knowledge_loaded_at"] = b.info.LoadedAt.UTC().Format(time.RFC3339Nano)
+	}
+	sv.writeJSON(w, http.StatusOK, resp)
 }
 
 // gate runs the shared request admission path: method check, then the
@@ -442,10 +617,10 @@ func (sv *Server) readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 	return true
 }
 
-// resolveLang validates an optional request language against the loaded
-// knowledge, answering 400 on mismatch.
-func (sv *Server) resolveLang(w http.ResponseWriter, reqLang string) (ast.Language, bool) {
-	lang := sv.sys.Config().Lang
+// resolveLang validates an optional request language against the
+// bundle's loaded knowledge, answering 400 on mismatch.
+func (sv *Server) resolveLang(b *bundle, w http.ResponseWriter, reqLang string) (ast.Language, bool) {
+	lang := b.sys.Config().Lang
 	if reqLang == "" {
 		return lang, true
 	}
@@ -519,11 +694,16 @@ func (sv *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	// Capture the serving bundle once: the whole request — language
+	// check, scan, classify, cache — runs against this knowledge even if
+	// a reload swaps the current bundle mid-flight.
+	b := sv.cur.Load()
+
 	var req ScanRequest
 	if !sv.readJSON(w, r, &req) {
 		return
 	}
-	lang, ok := sv.resolveLang(w, req.Lang)
+	lang, ok := sv.resolveLang(b, w, req.Lang)
 	if !ok {
 		return
 	}
@@ -542,7 +722,7 @@ func (sv *Server) handleScan(w http.ResponseWriter, r *http.Request) {
 
 	ctx, tr := sv.traced(r.Context(), "scan_request", len(files))
 	resp, err := run(sv, ctx, func(ctx context.Context) *ScanResponse {
-		return sv.analyze(ctx, lang, files, req.All)
+		return sv.analyze(ctx, b, lang, files, req.All)
 	})
 	if !sv.finish(w, r, tr, err) {
 		return
@@ -562,11 +742,14 @@ func (sv *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 
+	// Same bundle-capture discipline as handleScan.
+	b := sv.cur.Load()
+
 	var req DiffRequest
 	if !sv.readJSON(w, r, &req) {
 		return
 	}
-	lang, ok := sv.resolveLang(w, req.Lang)
+	lang, ok := sv.resolveLang(b, w, req.Lang)
 	if !ok {
 		return
 	}
@@ -601,7 +784,7 @@ func (sv *Server) handleDiff(w http.ResponseWriter, r *http.Request) {
 
 	ctx, tr := sv.traced(r.Context(), "diff_request", len(pairs))
 	resp, err := run(sv, ctx, func(ctx context.Context) *DiffResponse {
-		return sv.analyzeDiff(ctx, lang, pairs, req.All)
+		return sv.analyzeDiff(ctx, b, lang, pairs, req.All)
 	})
 	if !sv.finish(w, r, tr, err) {
 		return
@@ -658,7 +841,7 @@ func run[T any](sv *Server, ctx context.Context, fn func(context.Context) T) (T,
 // first), then classify the violations. Each stage is a span under the
 // request's trace (when the flight recorder is on) and feeds its latency
 // histogram either way.
-func (sv *Server) doAnalyze(ctx context.Context, lang ast.Language, files []ScanFile, all bool) *ScanResponse {
+func (sv *Server) doAnalyze(ctx context.Context, b *bundle, lang ast.Language, files []ScanFile, all bool) *ScanResponse {
 	start := time.Now()
 	resp := &ScanResponse{
 		Lang:          lang.String(),
@@ -673,7 +856,7 @@ func (sv *Server) doAnalyze(ctx context.Context, lang ast.Language, files []Scan
 
 	stage := time.Now()
 	sctx, scanSpan := obs.StartSpan(ctx, "scan")
-	res := sv.sys.ScanFilesCtx(sctx, inputs)
+	res := b.sys.ScanFilesCtx(sctx, inputs)
 	scanSpan.SetAttrInt("cache_hits", res.CacheHits)
 	scanSpan.SetAttrInt("cache_misses", res.CacheMisses)
 	scanSpan.End()
@@ -696,7 +879,7 @@ func (sv *Server) doAnalyze(ctx context.Context, lang ast.Language, files []Scan
 	stage = time.Now()
 	_, classifySpan := obs.StartSpan(ctx, "classify")
 	for _, v := range res.Violations {
-		classified := sv.sys.ClassifyIn(res.Stats, v)
+		classified := b.sys.ClassifyIn(res.Stats, v)
 		if !classified && !all {
 			continue
 		}
@@ -720,7 +903,7 @@ func (sv *Server) doAnalyze(ctx context.Context, lang ast.Language, files []Scan
 // (both sides served from the per-file cache when possible), classify
 // the introduced violations against the after side's statistics, and
 // attach the rename report.
-func (sv *Server) doAnalyzeDiff(ctx context.Context, lang ast.Language, files []core.DiffFile, all bool) *DiffResponse {
+func (sv *Server) doAnalyzeDiff(ctx context.Context, b *bundle, lang ast.Language, files []core.DiffFile, all bool) *DiffResponse {
 	start := time.Now()
 	resp := &DiffResponse{
 		Lang:          lang.String(),
@@ -730,7 +913,7 @@ func (sv *Server) doAnalyzeDiff(ctx context.Context, lang ast.Language, files []
 
 	stage := time.Now()
 	dctx, diffSpan := obs.StartSpan(ctx, "diff")
-	res := sv.sys.DiffFilesCtx(dctx, files)
+	res := b.sys.DiffFilesCtx(dctx, files)
 	diffSpan.SetAttrInt("cache_hits", res.CacheHits)
 	diffSpan.SetAttrInt("cache_misses", res.CacheMisses)
 	diffSpan.SetAttrInt("changed", res.Changed)
@@ -751,7 +934,7 @@ func (sv *Server) doAnalyzeDiff(ctx context.Context, lang ast.Language, files []
 	stage = time.Now()
 	_, classifySpan := obs.StartSpan(ctx, "classify")
 	for _, v := range res.Introduced {
-		classified := sv.sys.ClassifyIn(res.Stats, v)
+		classified := b.sys.ClassifyIn(res.Stats, v)
 		if !classified && !all {
 			continue
 		}

@@ -96,7 +96,7 @@ func TestWriteServeBenchJSON(t *testing.T) {
 	// into warm hits and the quantiles would stop measuring the scan
 	// pipeline this file has always tracked.
 	sys, sources := newTestSystem(t)
-	sv := New(sys, Config{KnowledgeInfo: "bench knowledge", CacheEntries: -1})
+	sv := New(sys, Config{Knowledge: KnowledgeInfo{Summary: "bench knowledge"}, CacheEntries: -1})
 	ts := httptest.NewServer(sv.Handler())
 	defer ts.Close()
 
@@ -152,7 +152,7 @@ func TestWriteServeBenchJSON(t *testing.T) {
 func measureRescan(t *testing.T) (files int, coldP50, warmP50 float64) {
 	t.Helper()
 	sys, sources := newTestSystem(t)
-	sv := New(sys, Config{KnowledgeInfo: "bench knowledge"})
+	sv := New(sys, Config{Knowledge: KnowledgeInfo{Summary: "bench knowledge"}})
 	ts := httptest.NewServer(sv.Handler())
 	defer ts.Close()
 

@@ -24,7 +24,7 @@ import (
 func newTestServer(t testing.TB) (*Server, []string) {
 	t.Helper()
 	sys, sources := newTestSystem(t)
-	return New(sys, Config{KnowledgeInfo: "test knowledge"}), sources
+	return New(sys, Config{Knowledge: KnowledgeInfo{Summary: "test knowledge"}}), sources
 }
 
 // newTestSystem mines the small corpus backing newTestServer, for tests

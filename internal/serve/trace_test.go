@@ -32,7 +32,7 @@ func TestTracesGatedOff(t *testing.T) {
 // their own parse spans, classify).
 func TestScanRequestTraced(t *testing.T) {
 	sys, sources := newTestSystem(t)
-	sv := New(sys, Config{KnowledgeInfo: "test knowledge", EnableTraces: true, TraceRingSize: 4})
+	sv := New(sys, Config{Knowledge: KnowledgeInfo{Summary: "test knowledge"}, EnableTraces: true, TraceRingSize: 4})
 	ts := httptest.NewServer(sv.Handler())
 	defer ts.Close()
 
