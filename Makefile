@@ -58,7 +58,11 @@ bench:
 # namer_knowledge_reloads_total counter and namer_knowledge_info gauge
 # on /metrics, POST /debug/reload returning "status": "ok", and the
 # scan cache rotating with the bundle (cold then warm again after the
-# swap). A TERM at the end checks clean shutdown.
+# swap). Then one full editor session: open, a full-content change, an
+# incremental range edit (the response must say "scan": "incremental"),
+# another edit across a second SIGHUP reload (still 200, never
+# "failed"), the namer_sessions gauge at 1, close, and a 404 for an
+# edit after close. A TERM at the end checks clean shutdown.
 serve-smoke:
 	@set -e; \
 	tmp=$$(mktemp -d); \
@@ -181,6 +185,40 @@ serve-smoke:
 	[ "$$code" = 200 ] || { echo "serve-smoke: warm post-reload scan returned $$code"; exit 1; }; \
 	grep -qE '"cache_hits": [1-9]' "$$tmp/scan4.json" || \
 		{ echo "serve-smoke: post-reload cache never warms"; cat "$$tmp/scan4.json"; exit 1; }; \
+	sid=$$(curl -s -X POST -d '{"op":"open"}' "http://$$addr/v1/session" | \
+		sed -n 's/.*"session_id": "\([^"]*\)".*/\1/p'); \
+	[ -n "$$sid" ] || { echo "serve-smoke: session open failed"; exit 1; }; \
+	code=$$(curl -s -o "$$tmp/sess1.json" -w '%{http_code}' -X POST \
+		-d '{"path":"s.py","version":1,"all":true,"edits":[{"text":"value = 1\ndownload_cnt = download_count + 1\n"}]}' \
+		"http://$$addr/v1/session/$$sid/change"); \
+	[ "$$code" = 200 ] || { echo "serve-smoke: session change returned $$code"; cat "$$tmp/sess1.json"; exit 1; }; \
+	grep -qF '"scan": "full"' "$$tmp/sess1.json" || \
+		{ echo "serve-smoke: first session change is not a full scan"; cat "$$tmp/sess1.json"; exit 1; }; \
+	code=$$(curl -s -o "$$tmp/sess2.json" -w '%{http_code}' -X POST \
+		-d '{"path":"s.py","version":2,"all":true,"edits":[{"range":{"start":{"line":2,"character":0},"end":{"line":2,"character":0}},"text":"upload_cnt = upload_count + 1\n"}]}' \
+		"http://$$addr/v1/session/$$sid/change"); \
+	[ "$$code" = 200 ] || { echo "serve-smoke: session range edit returned $$code"; cat "$$tmp/sess2.json"; exit 1; }; \
+	grep -qF '"scan": "incremental"' "$$tmp/sess2.json" || \
+		{ echo "serve-smoke: session range edit did not scan incrementally"; cat "$$tmp/sess2.json"; exit 1; }; \
+	kill -HUP $$pid; \
+	for i in $$(seq 1 50); do \
+		curl -s "http://$$addr/metrics" | grep -qE '^namer_knowledge_reloads_total 3' && break; sleep 0.1; \
+	done; \
+	code=$$(curl -s -o "$$tmp/sess3.json" -w '%{http_code}' -X POST \
+		-d '{"path":"s.py","version":3,"all":true,"edits":[{"range":{"start":{"line":3,"character":0},"end":{"line":3,"character":0}},"text":"task_cnt = task_count + 1\n"}]}' \
+		"http://$$addr/v1/session/$$sid/change"); \
+	[ "$$code" = 200 ] || { echo "serve-smoke: session edit across SIGHUP returned $$code"; cat "$$tmp/sess3.json"; exit 1; }; \
+	grep -qF '"scan": "failed"' "$$tmp/sess3.json" && \
+		{ echo "serve-smoke: session scan failed across SIGHUP"; cat "$$tmp/sess3.json"; exit 1; }; \
+	curl -s "http://$$addr/metrics" | grep -qE '^namer_sessions 1' || \
+		{ echo "serve-smoke: namer_sessions gauge is not 1 with one session open"; exit 1; }; \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+		-d '{"op":"close","session_id":"'"$$sid"'"}' "http://$$addr/v1/session"); \
+	[ "$$code" = 200 ] || { echo "serve-smoke: session close returned $$code"; exit 1; }; \
+	code=$$(curl -s -o /dev/null -w '%{http_code}' -X POST \
+		-d '{"path":"s.py","version":4,"edits":[{"text":"x = 1\n"}]}' \
+		"http://$$addr/v1/session/$$sid/change"); \
+	[ "$$code" = 404 ] || { echo "serve-smoke: change after close returned $$code, want 404"; exit 1; }; \
 	kill -TERM $$pid; wait $$pid || { echo "serve-smoke: unclean shutdown"; exit 1; }; \
 	pid=; \
 	echo "serve-smoke: ok ($$addr)"

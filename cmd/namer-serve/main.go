@@ -15,6 +15,14 @@
 // scan cache (-cache-entries / -cache-bytes; hit/miss/eviction
 // counters and size gauges on /metrics).
 //
+// POST /v1/session opens a long-lived editor session (close it the same
+// way), and POST /v1/session/{id}/change applies didChange-style edits
+// to a per-session file overlay, re-scanning just the touched file —
+// incrementally when possible — and answering with push-style
+// diagnostics, proposed-fix text edits, and the introduced/resolved
+// delta against the session's previous scan. Sessions idle past
+// -session-idle are evicted; -max-sessions caps how many are open.
+//
 // Liveness is at /healthz, Prometheus counters and latency histograms
 // at /metrics, legacy expvar counters at /debug/vars, and profiling at
 // /debug/pprof (only with -pprof). With -traces, a flight recorder
@@ -67,6 +75,10 @@ func main() {
 		"record span trees of the slowest requests and serve them at /debug/traces")
 	traceRing := flag.Int("trace-ring", serve.DefaultTraceRing,
 		"how many slowest-request traces the flight recorder keeps")
+	maxSessions := flag.Int("max-sessions", 0,
+		"concurrently open editor sessions; 0 uses the default, negative is unlimited")
+	sessionIdle := flag.Duration("session-idle", 0,
+		"evict editor sessions idle longer than this; 0 uses the default, negative disables")
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests")
 	readyFile := flag.String("ready-file", "",
 		"write the bound address to this file once listening (for scripts using port 0)")
@@ -101,10 +113,12 @@ func main() {
 		Loader: func() (*core.System, serve.KnowledgeInfo, error) {
 			return loadKnowledgeSystem(*kpath)
 		},
-		AccessLog:     logw,
-		EnablePprof:   *pprofFlag,
-		EnableTraces:  *tracesFlag,
-		TraceRingSize: *traceRing,
+		AccessLog:      logw,
+		EnablePprof:    *pprofFlag,
+		EnableTraces:   *tracesFlag,
+		TraceRingSize:  *traceRing,
+		MaxSessions:    *maxSessions,
+		SessionIdleTTL: *sessionIdle,
 	})
 	// SIGHUP re-reads the knowledge file and hot-swaps the serving
 	// bundle; POST /debug/reload does the same over HTTP. In-flight
@@ -119,7 +133,7 @@ func main() {
 		fatal(err)
 	}
 	bound := ln.Addr().String()
-	fmt.Printf("namer-serve: listening on http://%s (POST /v1/scan, POST /v1/diff, GET /healthz, GET /metrics, GET /debug/vars)\n", bound)
+	fmt.Printf("namer-serve: listening on http://%s (POST /v1/scan, POST /v1/diff, POST /v1/session, GET /healthz, GET /metrics, GET /debug/vars)\n", bound)
 	if *readyFile != "" {
 		if err := os.WriteFile(*readyFile, []byte(bound+"\n"), 0o644); err != nil {
 			ln.Close()
@@ -129,6 +143,14 @@ func main() {
 
 	srv := serve.NewHTTPServer(sv.Handler(), *scanTimeout)
 	serve.TrackConnections(srv, sv.Metrics())
+	// A SIGHUP arriving while the graceful shutdown drains must not swap
+	// the bundle under the in-flight requests or leak the signal
+	// watcher: the moment Shutdown starts, stop the watcher and mark the
+	// server draining (further reloads are refused).
+	srv.RegisterOnShutdown(func() {
+		stopReload()
+		sv.Close()
+	})
 	if err := serve.RunUntilSignal(srv, ln, *grace, os.Interrupt, syscall.SIGTERM); err != nil {
 		fatal(err)
 	}

@@ -132,32 +132,11 @@ func (s *System) DiffFilesCtx(ctx context.Context, files []DiffFile) *DiffResult
 		res.Stats.Merge(pe.after.ent.Stats)
 		res.Statements += len(pe.after.ent.Stmts)
 
-		// Changed statements on each side: the occurrences not covered by
-		// the other side's fingerprint multiset (so k unchanged copies
-		// cancel k copies, and the k+1st counts as changed).
-		changedAfter := uncovered(pe.after.ent.Stmts, pe.before.ent.Stmts)
-		changedBefore := uncovered(pe.before.ent.Stmts, pe.after.ent.Stmts)
-		res.Changed += len(changedAfter)
-
-		// Rewrites already flagged on changed before-side statements are
-		// carried over, not introduced.
-		carried := map[[2]string]int{}
-		for _, v := range Dedup(pe.before.ent.Violations) {
-			if changedBefore[v.Stmt] {
-				carried[[2]string{v.Detail.Original, v.Detail.Suggested}]++
-			}
-		}
-		for _, v := range Dedup(pe.after.ent.Violations) {
-			if !changedAfter[v.Stmt] {
-				continue
-			}
-			k := [2]string{v.Detail.Original, v.Detail.Suggested}
-			if carried[k] > 0 {
-				carried[k]--
-				continue
-			}
-			introduced = append(introduced, v)
-		}
+		intro, changed := IntroducedViolations(
+			pe.before.ent.Stmts, pe.after.ent.Stmts,
+			pe.before.ent.Violations, pe.after.ent.Violations)
+		res.Changed += changed
+		introduced = append(introduced, intro...)
 	}
 	res.Introduced = Dedup(introduced)
 	res.Timings.Match = stopMatch()
@@ -182,6 +161,42 @@ func (s *System) DiffFilesCtx(ctx context.Context, files []DiffFile) *DiffResult
 	alignSp.SetAttrInt("renames", len(res.Renames))
 	alignSp.End()
 	return res
+}
+
+// IntroducedViolations reports the violations introduced by going from
+// the before statements/violations to the after side of one file — the
+// per-pair core of DiffFilesCtx, shared with the session overlay path.
+// Changed statements on each side are the occurrences not covered by
+// the other side's fingerprint multiset (so k unchanged copies cancel k
+// copies, and the k+1st counts as changed); rewrites already flagged on
+// changed before-side statements are carried over, not introduced. The
+// violation slices are pre-dedup (per-file, statement order); the
+// after-side violations must reference the after statements by pointer.
+// It also returns the number of changed after-side statements. Swapping
+// the two sides yields the violations *resolved* by the change.
+func IntroducedViolations(beforeStmts, afterStmts []*ProcStmt, beforeViols, afterViols []*Violation) ([]*Violation, int) {
+	changedAfter := uncovered(afterStmts, beforeStmts)
+	changedBefore := uncovered(beforeStmts, afterStmts)
+
+	carried := map[[2]string]int{}
+	for _, v := range Dedup(beforeViols) {
+		if changedBefore[v.Stmt] {
+			carried[[2]string{v.Detail.Original, v.Detail.Suggested}]++
+		}
+	}
+	var introduced []*Violation
+	for _, v := range Dedup(afterViols) {
+		if !changedAfter[v.Stmt] {
+			continue
+		}
+		k := [2]string{v.Detail.Original, v.Detail.Suggested}
+		if carried[k] > 0 {
+			carried[k]--
+			continue
+		}
+		introduced = append(introduced, v)
+	}
+	return introduced, len(changedAfter)
 }
 
 // uncovered returns the statements of xs whose fingerprint occurrence is

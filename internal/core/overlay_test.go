@@ -1,0 +1,405 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"namer/internal/ast"
+)
+
+// overlayFixture is a Python file with several top-level regions, so
+// single-def edits have a prefix and a suffix to reuse.
+const overlayFixture = `import os
+
+def upload(upload_count, upload_pos):
+    upload_cnt = upload_count + 1
+    return upload_cnt
+
+@cache
+def download(download_count):
+    download_cnt = download_count + 1
+    return download_cnt
+
+class Worker:
+    def run(self, task_count):
+        task_cnt = task_count + 1
+        return task_cnt
+
+def main():
+    return upload(1, 2) + download(3)
+`
+
+// sameOverlay fails the test unless the two results agree on every
+// statement (line + fingerprint) and every deduplicated violation.
+func sameOverlay(t *testing.T, label string, inc, full *OverlayResult) {
+	t.Helper()
+	is, fs := inc.Analysis.Statements(), full.Analysis.Statements()
+	if len(is) != len(fs) {
+		t.Fatalf("%s: %d statements incremental vs %d full", label, len(is), len(fs))
+	}
+	for i := range is {
+		if is[i].Line != fs[i].Line || is[i].Fingerprint != fs[i].Fingerprint {
+			t.Fatalf("%s: statement %d diverged: %d/%s vs %d/%s",
+				label, i, is[i].Line, is[i].Fingerprint, fs[i].Line, fs[i].Fingerprint)
+		}
+		if is[i].SourceLine != fs[i].SourceLine {
+			t.Fatalf("%s: statement %d source line diverged: %q vs %q",
+				label, i, is[i].SourceLine, fs[i].SourceLine)
+		}
+	}
+	iv, fv := inc.Violations, full.Violations
+	if len(iv) != len(fv) {
+		t.Fatalf("%s: %d violations incremental vs %d full", label, len(iv), len(fv))
+	}
+	for i := range iv {
+		a, b := iv[i], fv[i]
+		if a.Stmt.Line != b.Stmt.Line || a.Detail.Original != b.Detail.Original ||
+			a.Detail.Suggested != b.Detail.Suggested {
+			t.Fatalf("%s: violation %d diverged: line %d %s->%s vs line %d %s->%s", label, i,
+				a.Stmt.Line, a.Detail.Original, a.Detail.Suggested,
+				b.Stmt.Line, b.Detail.Original, b.Detail.Suggested)
+		}
+	}
+}
+
+// TestOverlayIncrementalReuse: a body edit inside one def re-analyzes
+// only that region and reuses every other statement, and the spliced
+// result is identical to a from-scratch analysis.
+func TestOverlayIncrementalReuse(t *testing.T) {
+	sys := NewSystem(DefaultConfig(ast.Python))
+	f := &InputFile{Repo: "r", Path: "f.py", Source: overlayFixture}
+	first, err := sys.AnalyzeOverlay(f, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Incremental || first.Statements == 0 {
+		t.Fatalf("first analysis: incremental=%v statements=%d", first.Incremental, first.Statements)
+	}
+
+	edited := strings.Replace(overlayFixture, "download_cnt = download_count + 1",
+		"download_cnt = download_count + 2", 1)
+	line := 1 + strings.Count(overlayFixture[:strings.Index(overlayFixture, "download_cnt =")], "\n")
+	hint := &EditHint{StartLine: line, EndLine: line, LineDelta: 0}
+	inc, err := sys.AnalyzeOverlay(&InputFile{Repo: "r", Path: "f.py", Source: edited}, first.Analysis, hint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.Incremental {
+		t.Fatal("region splice not taken for a single-line body edit")
+	}
+	if inc.ReusedStatements == 0 || inc.ReusedStatements >= inc.Statements {
+		t.Fatalf("reused %d of %d statements; want partial reuse", inc.ReusedStatements, inc.Statements)
+	}
+	full, err := sys.AnalyzeOverlay(&InputFile{Repo: "r", Path: "f.py", Source: edited}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOverlay(t, "body edit", inc, full)
+}
+
+// TestOverlayAppendAtEOF: appending a new def reuses every previous
+// statement and analyzes only the appended region.
+func TestOverlayAppendAtEOF(t *testing.T) {
+	sys := NewSystem(DefaultConfig(ast.Python))
+	first, err := sys.AnalyzeOverlay(&InputFile{Repo: "r", Path: "f.py", Source: overlayFixture}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	appended := overlayFixture + "\ndef extra(extra_count):\n    return extra_count + 1\n"
+	lines := strings.Count(overlayFixture, "\n")
+	hint := &EditHint{StartLine: lines, EndLine: lines + 3, LineDelta: 3}
+	inc, err := sys.AnalyzeOverlay(&InputFile{Repo: "r", Path: "f.py", Source: appended}, first.Analysis, hint)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.Incremental {
+		t.Fatal("append at EOF did not take the region splice")
+	}
+	full, err := sys.AnalyzeOverlay(&InputFile{Repo: "r", Path: "f.py", Source: appended}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOverlay(t, "append", inc, full)
+	if inc.Statements <= first.Statements {
+		t.Fatalf("appended def added no statements: %d -> %d", first.Statements, inc.Statements)
+	}
+}
+
+// TestOverlayParseErrorKeepsPrev: mid-keystroke garbage fails the scan
+// and the previous analysis stays usable for the next (fixed) edit.
+func TestOverlayParseErrorKeepsPrev(t *testing.T) {
+	sys := NewSystem(DefaultConfig(ast.Python))
+	first, err := sys.AnalyzeOverlay(&InputFile{Repo: "r", Path: "f.py", Source: overlayFixture}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	broken := strings.Replace(overlayFixture, "def download(download_count):", "def download(:", 1)
+	if _, err := sys.AnalyzeOverlay(&InputFile{Repo: "r", Path: "f.py", Source: broken},
+		first.Analysis, &EditHint{StartLine: 8, EndLine: 8}); err == nil {
+		t.Fatal("broken content analyzed without error")
+	}
+	// The untouched previous analysis still splices a later good edit.
+	fixed := strings.Replace(overlayFixture, "download_cnt = download_count + 1",
+		"download_cnt = download_count + 3", 1)
+	inc, err := sys.AnalyzeOverlay(&InputFile{Repo: "r", Path: "f.py", Source: fixed},
+		first.Analysis, &EditHint{StartLine: 9, EndLine: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.Incremental {
+		t.Fatal("previous analysis unusable after a failed scan")
+	}
+}
+
+// TestOverlayWrongHintDegradesToFull: a hint that lies about the edited
+// range (the real change is outside it) must never produce a wrong
+// splice — the prefix/suffix verification fails and the full path runs.
+func TestOverlayWrongHintDegradesToFull(t *testing.T) {
+	sys := NewSystem(DefaultConfig(ast.Python))
+	first, err := sys.AnalyzeOverlay(&InputFile{Repo: "r", Path: "f.py", Source: overlayFixture}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edited := strings.Replace(overlayFixture, "task_cnt = task_count + 1",
+		"task_cnt = task_count + 9", 1)
+	// The hint claims the edit is in upload() (lines 3-5); it is in the
+	// Worker class much further down.
+	res, err := sys.AnalyzeOverlay(&InputFile{Repo: "r", Path: "f.py", Source: edited},
+		first.Analysis, &EditHint{StartLine: 4, EndLine: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Incremental {
+		t.Fatal("splice trusted a hint whose suffix does not match")
+	}
+	full, err := sys.AnalyzeOverlay(&InputFile{Repo: "r", Path: "f.py", Source: edited}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameOverlay(t, "wrong hint", res, full)
+}
+
+// TestOverlayEquivalenceProperty drives random line edits over a real
+// mined system (analysis ablated, where spliced and full analyses are
+// defined to agree exactly) and checks after every parsable edit that
+// the incremental result matches a from-scratch analysis.
+func TestOverlayEquivalenceProperty(t *testing.T) {
+	cfg := smallSystemConfig(ast.Python)
+	cfg.UseAnalysis = false
+	sys, c, _ := buildSystem(t, ast.Python, cfg, smallCorpusConfig(ast.Python))
+	rng := rand.New(rand.NewSource(11))
+
+	var files []*InputFile
+	for _, r := range c.Repos {
+		for _, f := range r.Files {
+			files = append(files, &InputFile{Repo: r.Name, Path: f.Path, Source: f.Source})
+		}
+	}
+	if len(files) > 12 {
+		files = files[:12]
+	}
+	incrementals := 0
+	for _, f := range files {
+		prev, err := sys.AnalyzeOverlay(f, nil, nil)
+		if err != nil {
+			t.Fatalf("%s: initial analysis: %v", f.Path, err)
+		}
+		content := f.Source
+		for step := 0; step < 12; step++ {
+			edited, hint := randomLineEdit(rng, content)
+			file := &InputFile{Repo: f.Repo, Path: f.Path, Source: edited}
+			full, fullErr := sys.AnalyzeOverlay(file, nil, nil)
+			inc, incErr := sys.AnalyzeOverlay(file, prev.Analysis, &hint)
+			if fullErr != nil {
+				// The edit broke the parse; the incremental path must
+				// agree (the region parse is never authoritative).
+				if incErr == nil {
+					t.Fatalf("%s step %d: full analysis failed (%v) but overlay accepted hint %+v",
+						f.Path, step, fullErr, hint)
+				}
+				continue // keep prev and content, try another edit
+			}
+			if incErr != nil {
+				t.Fatalf("%s step %d: overlay failed (%v) on parsable content", f.Path, step, incErr)
+			}
+			sameOverlay(t, fmt.Sprintf("%s step %d hint %+v", f.Path, step, hint), inc, full)
+			if inc.Incremental {
+				incrementals++
+			}
+			prev, content = inc, edited
+		}
+	}
+	if incrementals == 0 {
+		t.Fatal("no edit took the incremental path; the property test is vacuous")
+	}
+	t.Logf("%d incremental splices verified against full analyses", incrementals)
+}
+
+// randomLineEdit applies one synthetic edit to content and returns the
+// new content plus the honest hint for it (1-based lines of content).
+func randomLineEdit(rng *rand.Rand, content string) (string, EditHint) {
+	lines := strings.Split(content, "\n")
+	if n := len(lines); n > 0 && lines[n-1] == "" {
+		lines = lines[:n-1]
+	}
+	if len(lines) == 0 {
+		return "x = 1\n", EditHint{StartLine: 1, EndLine: 1, LineDelta: 1}
+	}
+	i := rng.Intn(len(lines))
+	switch rng.Intn(5) {
+	case 0: // tweak a numeric literal / append a suffix on one line
+		lines[i] = lines[i] + "  # edited"
+		return joinNL(lines), EditHint{StartLine: i + 1, EndLine: i + 1}
+	case 1: // duplicate a line
+		dup := append([]string{}, lines[:i+1]...)
+		dup = append(dup, lines[i])
+		dup = append(dup, lines[i+1:]...)
+		return joinNL(dup), EditHint{StartLine: i + 1, EndLine: i + 1, LineDelta: 1}
+	case 2: // delete a line
+		del := append([]string{}, lines[:i]...)
+		del = append(del, lines[i+1:]...)
+		return joinNL(del), EditHint{StartLine: i + 1, EndLine: i + 1, LineDelta: -1}
+	case 3: // insert a comment line
+		ins := append([]string{}, lines[:i]...)
+		ins = append(ins, "# inserted")
+		ins = append(ins, lines[i:]...)
+		return joinNL(ins), EditHint{StartLine: i + 1, EndLine: i + 1, LineDelta: 1}
+	default: // rename the first identifier-ish token on the line
+		edited := renameFirstIdent(lines[i])
+		lines[i] = edited
+		return joinNL(lines), EditHint{StartLine: i + 1, EndLine: i + 1}
+	}
+}
+
+func joinNL(lines []string) string { return strings.Join(lines, "\n") + "\n" }
+
+func renameFirstIdent(line string) string {
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		if c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c == '_' {
+			j := i
+			for j < len(line) && (line[j] == '_' ||
+				line[j] >= 'a' && line[j] <= 'z' || line[j] >= 'A' && line[j] <= 'Z' ||
+				line[j] >= '0' && line[j] <= '9') {
+				j++
+			}
+			word := line[i:j]
+			switch word {
+			case "def", "class", "return", "import", "from", "if", "else", "elif",
+				"for", "while", "try", "except", "finally", "with", "pass", "lambda",
+				"self", "in", "not", "and", "or", "None", "True", "False":
+				return line // renaming a keyword breaks the parse more often than not
+			}
+			return line[:i] + word + "x" + line[j:]
+		}
+	}
+	return line
+}
+
+// TestPyBoundaries pins the line classifier on the constructs that make
+// a column-0 line *not* a safe region boundary.
+func TestPyBoundaries(t *testing.T) {
+	src := []string{
+		"import os",          // 1: boundary
+		"",                   // 2: blank
+		"def f(a,",           // 3: boundary, opens bracket
+		"        b):",        // 4: inside bracket
+		"    return a + b",   // 5: indented
+		"x = '''doc",         // 6: boundary, opens triple
+		"def not_really():",  // 7: inside triple string
+		"'''",                // 8: closes triple
+		"y = 1 + \\",         // 9: boundary, continuation
+		"2",                  // 10: continuation target
+		"@decorator",         // 11: boundary (first decorator)
+		"@second",            // 12: stacked decorator
+		"def g():",           // 13: decorated def
+		"    pass",           // 14: indented
+		"try:",               // 15: boundary
+		"    pass",           // 16
+		"except ValueError:", // 17: clause, not a boundary
+		"    pass",           // 18
+		"finally:",           // 19: clause
+		"    pass",           // 20
+		"else_like = 1",      // 21: boundary (identifier, not keyword)
+		"# comment",          // 22: comment
+		"z = {'k': [1,",      // 23: boundary, opens brackets
+		"       2]}",         // 24: inside
+		"w = 'unterminated",  // 25: boundary, runs on
+		"still_inside'",      // 26: continuation of the string
+	}
+	want := map[int]bool{1: true, 3: true, 6: true, 9: true, 11: true,
+		15: true, 21: true, 23: true, 25: true}
+	got := pyBoundaries(src)
+	for i := range src {
+		if got[i] != want[i+1] {
+			t.Errorf("line %d %q: boundary=%v, want %v", i+1, src[i], got[i], want[i+1])
+		}
+	}
+}
+
+func TestEditHintMerge(t *testing.T) {
+	cases := []struct {
+		name    string
+		a, b, w EditHint
+	}{
+		{"disjoint below", EditHint{StartLine: 10, EndLine: 12, LineDelta: 2},
+			EditHint{StartLine: 20, EndLine: 21}, EditHint{StartLine: 10, EndLine: 19, LineDelta: 2}},
+		{"disjoint above", EditHint{StartLine: 10, EndLine: 12},
+			EditHint{StartLine: 3, EndLine: 4, LineDelta: 1}, EditHint{StartLine: 3, EndLine: 12, LineDelta: 1}},
+		{"overlapping", EditHint{StartLine: 10, EndLine: 12, LineDelta: 1},
+			EditHint{StartLine: 11, EndLine: 13}, EditHint{StartLine: 10, EndLine: 12, LineDelta: 1}},
+		{"same line twice", EditHint{StartLine: 5, EndLine: 5},
+			EditHint{StartLine: 5, EndLine: 5}, EditHint{StartLine: 5, EndLine: 5}},
+	}
+	for _, tc := range cases {
+		if got := tc.a.Merge(tc.b); got != tc.w {
+			t.Errorf("%s: %+v.Merge(%+v) = %+v, want %+v", tc.name, tc.a, tc.b, got, tc.w)
+		}
+	}
+}
+
+// TestEditHintMergeSoundness: for random edit pairs over a fixture, the
+// merged hint must still verify — an incremental scan across two edits
+// agrees with the full analysis.
+func TestEditHintMergeSoundness(t *testing.T) {
+	sys := NewSystem(DefaultConfig(ast.Python))
+	rng := rand.New(rand.NewSource(23))
+	base := overlayFixture
+	prev, err := sys.AnalyzeOverlay(&InputFile{Repo: "r", Path: "f.py", Source: base}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 60; trial++ {
+		mid, h1 := randomLineEdit(rng, base)
+		final, h2 := randomLineEdit(rng, mid)
+		merged := h1.Merge(h2)
+		file := &InputFile{Repo: "r", Path: "f.py", Source: final}
+		full, fullErr := sys.AnalyzeOverlay(file, nil, nil)
+		inc, incErr := sys.AnalyzeOverlay(file, prev.Analysis, &merged)
+		if fullErr != nil {
+			if incErr == nil {
+				t.Fatalf("trial %d: unparsable content accepted via merged hint %+v", trial, merged)
+			}
+			continue
+		}
+		if incErr != nil {
+			t.Fatalf("trial %d: overlay failed on parsable content: %v", trial, incErr)
+		}
+		sameOverlay(t, fmt.Sprintf("trial %d merged %+v", trial, merged), inc, full)
+	}
+}
+
+// TestOverlayDetachedFromScan: analyzing overlays leaks nothing into the
+// system (corpus statements, stats), mirroring ScanFiles' guarantee.
+func TestOverlayDetachedFromScan(t *testing.T) {
+	sys, _, _ := buildSystem(t, ast.Python, smallSystemConfig(ast.Python), smallCorpusConfig(ast.Python))
+	before := len(sys.Stmts)
+	if _, err := sys.AnalyzeOverlay(&InputFile{Repo: "r", Path: "f.py", Source: overlayFixture}, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(sys.Stmts) != before {
+		t.Fatalf("overlay analysis appended statements to the system: %d -> %d", before, len(sys.Stmts))
+	}
+}

@@ -51,18 +51,33 @@ func TrackConnections(srv *http.Server, reg *obs.Registry) {
 // ReloadOnSignal invokes fn every time one of the signals arrives
 // (typically SIGHUP for a knowledge reload). Errors are fn's to report;
 // the watcher keeps running either way. The returned stop function
-// unregisters the handler and ends the goroutine.
+// unregisters the handler, lets an fn call already in flight finish,
+// and only returns once the watcher goroutine has exited — after stop,
+// fn is never invoked again, even for a signal that was already
+// buffered when stop was called. Wire stop into the HTTP server's
+// shutdown (http.Server.RegisterOnShutdown) so a SIGHUP racing a
+// graceful shutdown cannot trigger a reload under the drain.
 func ReloadOnSignal(fn func() error, signals ...os.Signal) (stop func()) {
 	ch := make(chan os.Signal, 1)
 	signal.Notify(ch, signals...)
 	done := make(chan struct{})
+	exited := make(chan struct{})
 	go func() {
+		defer close(exited)
 		for {
 			select {
-			case <-ch:
-				fn() // errors are logged/counted by the reload path itself
 			case <-done:
 				return
+			case <-ch:
+				// Both channels may be ready when stop races a signal;
+				// re-check done so a buffered signal cannot fire fn
+				// after stop has been requested.
+				select {
+				case <-done:
+					return
+				default:
+				}
+				fn() // errors are logged/counted by the reload path itself
 			}
 		}
 	}()
@@ -71,6 +86,7 @@ func ReloadOnSignal(fn func() error, signals ...os.Signal) (stop func()) {
 		once.Do(func() {
 			signal.Stop(ch)
 			close(done)
+			<-exited
 		})
 	}
 }

@@ -8,6 +8,8 @@
 //	GET  /healthz      liveness + knowledge summary
 //	POST /v1/scan      scan source for naming issues
 //	POST /v1/diff      scan a change, report only introduced issues
+//	POST /v1/session   open/close a long-lived editor session
+//	POST /v1/session/{id}/change  apply edits to a session overlay, get diagnostics
 //	GET  /metrics      Prometheus text-format counters + latency histograms
 //	GET  /debug/vars   expvar counters (requests, violations, latency)
 //	GET  /debug/pprof  profiling handlers (only with Config.EnablePprof)
@@ -57,6 +59,7 @@ import (
 	"namer/internal/core"
 	"namer/internal/obs"
 	"namer/internal/servecache"
+	"namer/internal/session"
 	"namer/internal/udiff"
 )
 
@@ -104,6 +107,13 @@ type Config struct {
 	// TraceRingSize is the flight-recorder capacity; 0 means
 	// DefaultTraceRing.
 	TraceRingSize int
+	// MaxSessions caps concurrently open editor sessions; 0 means
+	// session.DefaultMaxSessions, negative means unlimited. Opens past
+	// the cap are shed with 429.
+	MaxSessions int
+	// SessionIdleTTL evicts sessions with no activity for this long; 0
+	// means session.DefaultIdleTTL, negative disables eviction.
+	SessionIdleTTL time.Duration
 }
 
 // Defaults for the zero Config.
@@ -164,6 +174,17 @@ type Server struct {
 	// endpoint) so two loaders never interleave their swaps.
 	reloadMu sync.Mutex
 
+	// closing is set by Close (wired to the HTTP server's shutdown):
+	// once draining, reloads are refused and new sessions turned away,
+	// so a SIGHUP racing the shutdown can never swap the bundle under
+	// the requests being drained.
+	closing atomic.Bool
+
+	// sessions is the long-lived editor session table behind
+	// /v1/session; overlay contents live here, scan state is attached
+	// per file as a sessionScan.
+	sessions *session.Manager
+
 	// inflight is the admission-control semaphore: a slot is taken for
 	// the lifetime of one scan, and requests that cannot take one are
 	// shed with 429.
@@ -213,6 +234,12 @@ type Server struct {
 	hProcess  *obs.Histogram
 	hMatch    *obs.Histogram
 	hDiff     *obs.Histogram
+
+	mSessionOpens   *obs.Counter
+	mSessionChanges *obs.Counter
+	mSessionEvict   *obs.Counter
+	gSessions       *obs.Gauge
+	hSessionChange  *obs.Histogram
 }
 
 // Package-level expvar counters, registered once: expvar panics on
@@ -284,6 +311,20 @@ func New(sys *core.System, cfg Config) *Server {
 	sv.hMatch = sv.metrics.Histogram(`namer_stage_seconds{stage="scan_match"}`, nil)
 	sv.hDiff = sv.metrics.Histogram(`namer_stage_seconds{stage="diff"}`, nil)
 
+	sv.mSessionOpens = sv.metrics.Counter("namer_session_opens_total")
+	sv.mSessionChanges = sv.metrics.Counter("namer_session_changes_total")
+	sv.mSessionEvict = sv.metrics.Counter("namer_session_idle_evictions_total")
+	sv.gSessions = sv.metrics.Gauge("namer_sessions")
+	sv.hSessionChange = sv.metrics.Histogram("namer_session_change_seconds", nil)
+	sv.sessions = session.NewManager(session.Config{
+		MaxSessions: cfg.MaxSessions,
+		IdleTTL:     cfg.SessionIdleTTL,
+		Metrics: session.Metrics{
+			Count:         sv.gSessions,
+			IdleEvictions: sv.mSessionEvict,
+		},
+	})
+
 	sv.cacheMetrics = servecache.Metrics{
 		Hits:      sv.metrics.Counter("namer_cache_hits_total"),
 		Misses:    sv.metrics.Counter("namer_cache_misses_total"),
@@ -300,6 +341,8 @@ func New(sys *core.System, cfg Config) *Server {
 	sv.mux.HandleFunc("/healthz", sv.handleHealth)
 	sv.mux.HandleFunc("/v1/scan", sv.handleScan)
 	sv.mux.HandleFunc("/v1/diff", sv.handleDiff)
+	sv.mux.HandleFunc("/v1/session", sv.handleSession)
+	sv.mux.HandleFunc("/v1/session/", sv.handleSessionRoute)
 	sv.mux.HandleFunc("/debug/reload", sv.handleReload)
 	sv.mux.Handle("/metrics", sv.metrics.Handler())
 	sv.mux.Handle("/debug/vars", expvar.Handler())
@@ -406,6 +449,12 @@ func knowledgeInfoSeries(info KnowledgeInfo) string {
 func (sv *Server) Reload() (KnowledgeInfo, error) {
 	sv.reloadMu.Lock()
 	defer sv.reloadMu.Unlock()
+	if sv.closing.Load() {
+		// Graceful shutdown is in flight: the drained requests must
+		// finish against the bundle they can still observe, and no
+		// loader work should delay process exit.
+		return KnowledgeInfo{}, errServerClosing
+	}
 	if sv.cfg.Loader == nil {
 		return KnowledgeInfo{}, errors.New("serve: reload not configured (no knowledge loader)")
 	}
@@ -439,6 +488,10 @@ func (sv *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	info, err := sv.Reload()
+	if errors.Is(err, errServerClosing) {
+		sv.fail(w, http.StatusServiceUnavailable, err.Error())
+		return
+	}
 	if err != nil {
 		sv.fail(w, http.StatusInternalServerError, "reload failed: "+err.Error())
 		return

@@ -13,6 +13,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"namer/internal/session"
 )
 
 // driveScans fires total scan requests at the server with the given
@@ -75,6 +77,14 @@ type serveBenchFile struct {
 	ColdScanP50Ms   float64 `json:"cold_scan_p50_ms"`
 	WarmRescanP50Ms float64 `json:"warm_rescan_p50_ms"`
 	WarmSpeedup     float64 `json:"warm_speedup"`
+	// Session re-scan economics: analysis latency of one-line edits in
+	// an open editor session (incremental overlay splice) vs a cold
+	// /v1/scan of the same file on a cache-disabled server.
+	SessionRounds      int     `json:"session_rounds"`
+	SessionColdP50Ms   float64 `json:"session_cold_scan_p50_ms"`
+	SessionWarmP50Ms   float64 `json:"session_warm_rescan_p50_ms"`
+	SessionWarmP99Ms   float64 `json:"session_warm_rescan_p99_ms"`
+	SessionWarmSpeedup float64 `json:"session_warm_speedup"`
 }
 
 func millis(d time.Duration) float64 {
@@ -131,6 +141,15 @@ func TestWriteServeBenchJSON(t *testing.T) {
 	if file.WarmSpeedup < 5 {
 		t.Errorf("warm 1-file-change re-scan is %.1fx faster than cold (cold %.3fms, warm %.3fms), want >= 5x",
 			file.WarmSpeedup, file.ColdScanP50Ms, file.WarmRescanP50Ms)
+	}
+
+	file.SessionRounds, file.SessionColdP50Ms, file.SessionWarmP50Ms, file.SessionWarmP99Ms = measureSessionRescan(t)
+	if file.SessionWarmP50Ms > 0 {
+		file.SessionWarmSpeedup = file.SessionColdP50Ms / file.SessionWarmP50Ms
+	}
+	if file.SessionWarmSpeedup < 5 {
+		t.Errorf("warm session re-scan is %.1fx faster than a cold scan of the same file (cold %.3fms, warm p50 %.3fms), want >= 5x",
+			file.SessionWarmSpeedup, file.SessionColdP50Ms, file.SessionWarmP50Ms)
 	}
 
 	data, err := json.MarshalIndent(file, "", "  ")
@@ -215,6 +234,105 @@ func measureRescan(t *testing.T) (files int, coldP50, warmP50 float64) {
 		warm = append(warm, out.ScanMillis)
 	}
 	return nFiles, median(cold), median(warm)
+}
+
+// measureSessionRescan measures the editor-session re-scan economics:
+// a session holds the whole corpus concatenated into one file, each
+// round replaces one trailing comment line via an LSP-style range edit
+// (the incremental overlay splice), and the analysis latency
+// (ScanMillis, HTTP excluded) is compared against cold /v1/scan of the
+// same file on the same cache-disabled server.
+func measureSessionRescan(t *testing.T) (rounds int, coldP50, warmP50, warmP99 float64) {
+	t.Helper()
+	sys, sources := newTestSystem(t)
+	sv := New(sys, Config{Knowledge: KnowledgeInfo{Summary: "bench knowledge"}, CacheEntries: -1})
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	// One sizeable file: a dozen corpus sources back to back, so the
+	// incremental splice has plenty of untouched statements to reuse
+	// while the per-edit latency stays editor-interactive.
+	var sb bytes.Buffer
+	for _, src := range sources[:min(12, len(sources))] {
+		sb.WriteString(src)
+	}
+	src := sb.String()
+	lines := bytes.Count([]byte(src), []byte("\n"))
+
+	const n = 60
+	var cold []float64
+	for r := 0; r < n; r++ {
+		body, _ := json.Marshal(ScanRequest{All: true, Files: []ScanFile{{
+			Path: "bench.py", Source: src + fmt.Sprintf("# cold %d\n", r)}}})
+		resp, err := http.Post(ts.URL+"/v1/scan", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var out ScanResponse
+		if resp.StatusCode != http.StatusOK || json.Unmarshal(data, &out) != nil {
+			t.Fatalf("cold session bench scan: %d %s", resp.StatusCode, data)
+		}
+		cold = append(cold, out.ScanMillis)
+	}
+
+	postJSON := func(path string, body any) (int, []byte) {
+		data, _ := json.Marshal(body)
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		out, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, out
+	}
+	code, data := postJSON("/v1/session", SessionRequest{Op: "open"})
+	var opened SessionResponse
+	if code != http.StatusOK || json.Unmarshal(data, &opened) != nil {
+		t.Fatalf("bench session open: %d %s", code, data)
+	}
+	// Load the file plus a trailing comment line the warm rounds will
+	// keep replacing, so the overlay size stays fixed.
+	code, data = postJSON("/v1/session/"+opened.SessionID+"/change", SessionChangeRequest{
+		Path: "bench.py", Version: 1, All: true,
+		Edits: []session.Edit{{Text: src + "# warm\n"}},
+	})
+	if code != http.StatusOK {
+		t.Fatalf("bench session load: %d %s", code, data)
+	}
+	var warm []float64
+	for r := 0; r < n; r++ {
+		code, data = postJSON("/v1/session/"+opened.SessionID+"/change", SessionChangeRequest{
+			Path: "bench.py", Version: r + 2, All: true,
+			Edits: []session.Edit{{
+				Range: &session.Range{
+					Start: session.Pos{Line: lines, Character: 0},
+					End:   session.Pos{Line: lines + 1, Character: 0},
+				},
+				Text: fmt.Sprintf("# warm %d\n", r),
+			}},
+		})
+		var out SessionChangeResponse
+		if code != http.StatusOK || json.Unmarshal(data, &out) != nil {
+			t.Fatalf("warm session round %d: %d %s", r, code, data)
+		}
+		if out.Scan != "incremental" {
+			t.Fatalf("warm session round %d: scan=%q, want incremental (%s)", r, out.Scan, data)
+		}
+		warm = append(warm, out.ScanMillis)
+	}
+	return n, median(cold), median(warm), quantile(warm, 0.99)
+}
+
+func quantile(xs []float64, q float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)))
+	if i >= len(s) {
+		i = len(s) - 1
+	}
+	return s[i]
 }
 
 func median(xs []float64) float64 {

@@ -1,0 +1,187 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestReloadOnSignalStop pins the signal-watcher lifecycle: fn fires on
+// the signal, and after stop() returns it never fires again — not even
+// for a signal that was already buffered in the channel when stop was
+// called. SIGUSR1 stands in for SIGHUP so the test cannot collide with
+// anything else watching HUP.
+func TestReloadOnSignalStop(t *testing.T) {
+	var calls atomic.Int64
+	fired := make(chan struct{}, 16)
+	stop := ReloadOnSignal(func() error {
+		calls.Add(1)
+		fired <- struct{}{}
+		return nil
+	}, syscall.SIGUSR1)
+
+	if err := syscall.Kill(os.Getpid(), syscall.SIGUSR1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("fn did not fire on SIGUSR1")
+	}
+
+	stop()
+	after := calls.Load()
+	// The signal is unregistered and the goroutine has exited: further
+	// signals are delivered to nobody (default disposition for USR1 is
+	// ignored only while no handler exists — signal.Stop removed ours,
+	// and Go's runtime keeps the process-level handler, so this is safe).
+	for i := 0; i < 3; i++ {
+		syscall.Kill(os.Getpid(), syscall.SIGUSR1)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if got := calls.Load(); got != after {
+		t.Fatalf("fn fired %d more times after stop", got-after)
+	}
+	// stop is idempotent and does not deadlock.
+	stop()
+}
+
+// TestReloadOnSignalStopDuringBurst races stop against a stream of
+// signals: whatever lands in the buffered channel before stop must not
+// leak an fn call after stop has returned.
+func TestReloadOnSignalStopDuringBurst(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		var calls atomic.Int64
+		var stopped atomic.Bool
+		stop := ReloadOnSignal(func() error {
+			if stopped.Load() {
+				t.Error("fn invoked after stop returned")
+			}
+			calls.Add(1)
+			return nil
+		}, syscall.SIGUSR2)
+
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				syscall.Kill(os.Getpid(), syscall.SIGUSR2)
+			}
+		}()
+		stop()
+		stopped.Store(true)
+		wg.Wait()
+		// Drain any last in-flight delivery window before the next round
+		// re-registers the signal.
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func (l *reloadLoader) count() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.calls
+}
+
+// TestCloseRefusesReload pins the reload/shutdown handshake: once Close
+// returns, Reload fails with the closing error, the HTTP reload
+// endpoint answers 503, new sessions are turned away with 503, and the
+// bundle pointer never moves again — while scans keep draining.
+func TestCloseRefusesReload(t *testing.T) {
+	sv, _, loader := newReloadServer(t)
+	ts := httptest.NewServer(sv.Handler())
+	defer ts.Close()
+
+	if _, err := sv.Reload(); err != nil {
+		t.Fatalf("reload before close: %v", err)
+	}
+	if err := sv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	callsAtClose := loader.count()
+	finalBundle := sv.cur.Load()
+
+	if _, err := sv.Reload(); !errors.Is(err, errServerClosing) {
+		t.Fatalf("reload after close: %v, want errServerClosing", err)
+	}
+	resp, err := http.Post(ts.URL+"/debug/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("POST /debug/reload after close: %d", resp.StatusCode)
+	}
+	code, data := postJSONBody(t, ts.URL+"/v1/session", SessionRequest{Op: "open"})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("session open after close: %d %s", code, data)
+	}
+	if loader.count() != callsAtClose {
+		t.Fatal("loader invoked after close")
+	}
+	if sv.cur.Load() != finalBundle {
+		t.Fatal("bundle pointer moved after close")
+	}
+
+	// Draining scans still answer: shutdown refuses new work, not work
+	// already admitted.
+	body, _ := json.Marshal(ScanRequest{Source: "x = 1\n"})
+	sresp, sdata := postScan(t, ts.URL, string(body))
+	if sresp.StatusCode != http.StatusOK {
+		t.Fatalf("scan during drain: %d %s", sresp.StatusCode, sdata)
+	}
+}
+
+// TestCloseReloadRace hammers Reload from several goroutines while
+// Close lands in the middle: no reload may complete after Close returns
+// (the bundle pointer is final), and every Reload that loses the race
+// reports the closing error rather than succeeding or panicking.
+func TestCloseReloadRace(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		sv, _, _ := newReloadServer(t)
+
+		var wg sync.WaitGroup
+		var closeCalled atomic.Bool
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					_, err := sv.Reload()
+					if err == nil {
+						continue
+					}
+					if errors.Is(err, errServerClosing) {
+						if !closeCalled.Load() {
+							t.Error("errServerClosing before Close was called")
+						}
+						return
+					}
+					t.Errorf("reload: %v", err)
+					return
+				}
+			}()
+		}
+		time.Sleep(time.Duration(round) * time.Millisecond)
+		closeCalled.Store(true)
+		if err := sv.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// After Close returns the bundle pointer is final: a reload that
+		// was already inside the mutex has been waited out, and every
+		// loser must see errServerClosing rather than swap.
+		final := sv.cur.Load()
+		wg.Wait()
+		if sv.cur.Load() != final {
+			t.Fatal("bundle swapped after Close returned")
+		}
+	}
+}

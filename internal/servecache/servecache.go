@@ -103,8 +103,11 @@ func (c *Cache) Get(key string) (*core.CachedFile, bool) {
 // Add publishes f under key, evicting least-recently-used units until
 // both bounds hold again. A unit whose own cost exceeds the byte bound
 // is not stored at all (storing it would flush the whole cache for one
-// oversized file). Re-adding an existing key refreshes the unit and its
-// recency. Costs below 1 are clamped to 1 so every unit is accounted.
+// oversized file) — and if the key was already resident, the stale unit
+// is evicted rather than left to answer future Gets for a key the
+// caller just tried to replace. Re-adding an existing key refreshes the
+// unit and its recency. Costs below 1 are clamped to 1 so every unit is
+// accounted.
 func (c *Cache) Add(key string, f *core.CachedFile) {
 	cost := f.Cost
 	if cost < 1 {
@@ -113,6 +116,10 @@ func (c *Cache) Add(key string, f *core.CachedFile) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if cost > c.maxBytes {
+		if el, ok := c.items[key]; ok {
+			c.removeElement(el)
+			c.updateGauges()
+		}
 		return
 	}
 	if el, ok := c.items[key]; ok {
@@ -132,10 +139,15 @@ func (c *Cache) Add(key string, f *core.CachedFile) {
 
 // evictOldest drops the least recently used unit; callers hold the lock.
 func (c *Cache) evictOldest() {
-	el := c.ll.Back()
-	if el == nil {
-		return
+	if el := c.ll.Back(); el != nil {
+		c.removeElement(el)
 	}
+}
+
+// removeElement evicts one resident unit, keeping bytes equal to the
+// sum of resident costs and counting the eviction exactly once; callers
+// hold the lock.
+func (c *Cache) removeElement(el *list.Element) {
 	it := el.Value.(*item)
 	c.ll.Remove(el)
 	delete(c.items, it.key)

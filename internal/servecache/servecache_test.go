@@ -80,6 +80,168 @@ func TestOversizedUnitRejected(t *testing.T) {
 	}
 }
 
+func TestOversizedUpdateEvictsStale(t *testing.T) {
+	c := New(100, 1000)
+	evictions := &fakeCounter{}
+	c.SetMetrics(Metrics{Evictions: evictions})
+	c.Add("a", unit(400))
+	c.Add("b", unit(100))
+	// Replacing a resident unit with one too big to store must not
+	// leave the stale version answering future Gets.
+	c.Add("a", unit(2000))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("stale unit still resident after oversized update")
+	}
+	st := c.Stats()
+	if st.Entries != 1 || st.Bytes != 100 {
+		t.Fatalf("after oversized update: %+v, want 1 entry / 100 bytes", st)
+	}
+	if st.Evictions != 1 || evictions.n.Load() != 1 {
+		t.Fatalf("evictions = %d (hook %d), want exactly 1", st.Evictions, evictions.n.Load())
+	}
+	// Repeating the oversized add evicts nothing further: the key is
+	// already gone, so there is no second eviction to count.
+	c.Add("a", unit(2000))
+	if got := c.Stats().Evictions; got != 1 {
+		t.Fatalf("second oversized add bumped evictions to %d", got)
+	}
+}
+
+// cacheModel is an exact reference implementation of the LRU semantics:
+// an ordered key list (most recent first) plus cost map, replayed
+// operation for operation against the real cache.
+type cacheModel struct {
+	maxEntries int
+	maxBytes   int64
+	order      []string
+	cost       map[string]int64
+	bytes      int64
+	hits       int64
+	misses     int64
+	evictions  int64
+}
+
+func newCacheModel(maxEntries int, maxBytes int64) *cacheModel {
+	return &cacheModel{maxEntries: maxEntries, maxBytes: maxBytes, cost: map[string]int64{}}
+}
+
+func (m *cacheModel) remove(key string) {
+	for i, k := range m.order {
+		if k == key {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.bytes -= m.cost[key]
+	delete(m.cost, key)
+	m.evictions++
+}
+
+func (m *cacheModel) add(key string, cost int64) {
+	if cost < 1 {
+		cost = 1
+	}
+	if cost > m.maxBytes {
+		if _, ok := m.cost[key]; ok {
+			m.remove(key)
+		}
+		return
+	}
+	if old, ok := m.cost[key]; ok {
+		m.bytes += cost - old
+		m.cost[key] = cost
+		m.touch(key)
+	} else {
+		m.order = append([]string{key}, m.order...)
+		m.cost[key] = cost
+		m.bytes += cost
+	}
+	for len(m.order) > m.maxEntries || m.bytes > m.maxBytes {
+		m.remove(m.order[len(m.order)-1])
+	}
+}
+
+func (m *cacheModel) get(key string) bool {
+	if _, ok := m.cost[key]; !ok {
+		m.misses++
+		return false
+	}
+	m.hits++
+	m.touch(key)
+	return true
+}
+
+func (m *cacheModel) touch(key string) {
+	for i, k := range m.order {
+		if k == key {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			m.order = append([]string{key}, m.order...)
+			return
+		}
+	}
+}
+
+// TestReferenceModelProperty replays a deterministic random op sequence
+// — including zero-cost units, replacements with different costs, and
+// oversized updates of resident keys — against both the cache and the
+// reference model, and demands exact agreement on every counter after
+// every operation: bytes must equal the sum of resident costs, and each
+// evicted unit is counted exactly once.
+func TestReferenceModelProperty(t *testing.T) {
+	const maxEntries, maxBytes = 8, 2000
+	c := New(maxEntries, maxBytes)
+	evictions := &fakeCounter{}
+	c.SetMetrics(Metrics{Evictions: evictions})
+	m := newCacheModel(maxEntries, maxBytes)
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 10000; i++ {
+		key := fmt.Sprintf("k%d", rng.Intn(24))
+		if rng.Intn(3) < 2 {
+			// Costs from -1 (clamped) through 1.5× the byte bound
+			// (oversized), biased to land near the bound.
+			cost := int64(rng.Intn(maxBytes*3/2)) - 1
+			c.Add(key, unit(cost))
+			m.add(key, cost)
+		} else {
+			_, got := c.Get(key)
+			if want := m.get(key); got != want {
+				t.Fatalf("op %d: Get(%s) = %v, model says %v", i, key, got, want)
+			}
+		}
+		st := c.Stats()
+		var modelSum int64
+		for _, v := range m.cost {
+			modelSum += v
+		}
+		if modelSum != m.bytes {
+			t.Fatalf("op %d: model self-check failed: %d vs %d", i, modelSum, m.bytes)
+		}
+		if st.Entries != len(m.order) || st.Bytes != m.bytes {
+			t.Fatalf("op %d: cache %d entries / %d bytes, model %d / %d",
+				i, st.Entries, st.Bytes, len(m.order), m.bytes)
+		}
+		if st.Hits != m.hits || st.Misses != m.misses || st.Evictions != m.evictions {
+			t.Fatalf("op %d: counters hits=%d/%d misses=%d/%d evictions=%d/%d (cache/model)",
+				i, st.Hits, m.hits, st.Misses, m.misses, st.Evictions, m.evictions)
+		}
+		if evictions.n.Load() != m.evictions {
+			t.Fatalf("op %d: eviction hook fired %d times, model evicted %d units",
+				i, evictions.n.Load(), m.evictions)
+		}
+	}
+	// Final membership check in model recency order; Get bumps recency
+	// identically on both sides, so they stay in lockstep.
+	for _, key := range append([]string(nil), m.order...) {
+		if _, ok := c.Get(key); !ok {
+			t.Fatalf("model-resident key %s missing from cache", key)
+		}
+		m.get(key)
+	}
+	if st := c.Stats(); st.Entries != len(m.order) || st.Bytes != m.bytes {
+		t.Fatalf("final state diverged: cache %+v, model %d entries / %d bytes", st, len(m.order), m.bytes)
+	}
+}
+
 // TestEvictionBoundsProperty drives a deterministic random workload and
 // checks the hard invariants after every operation: entries and bytes
 // never exceed their bounds, and byte accounting matches the live set.

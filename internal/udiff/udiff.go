@@ -7,8 +7,24 @@
 // lines start with ' ' (context), '-' (deletion), '+' (addition), or
 // '\' (the "No newline at end of file" marker). Header lines (---/+++,
 // `diff --git`, index …) and anything else outside hunks are ignored.
-// Context and deletion lines are verified against the source; a
-// mismatch is an error, not a fuzzy apply.
+//
+// Application is strict — a patch that does not describe the source
+// exactly is rejected rather than fuzzily or partially applied:
+//
+//   - Context and deletion lines are verified against the source; a
+//     mismatch is an error.
+//   - Hunk bodies must account for exactly the line counts the header
+//     declares on both sides; a body that runs short (truncated patch)
+//     or long (corrupted header) is an error.
+//   - A "\ No newline at end of file" marker must directly follow a
+//     content line, and that line must be the last of its side(s) of
+//     the hunk; a marker on the before side additionally requires the
+//     source to really end without a newline.
+//
+// Sources with uniform CRLF line endings are normalized to LF for
+// matching and the patched text is converted back, so an LF patch (what
+// git emits) applies to a CRLF file. Mixed line endings are left
+// untouched and must match the patch byte-for-byte.
 package udiff
 
 import (
@@ -17,11 +33,24 @@ import (
 	"strings"
 )
 
+// Kinds of hunk-body line, for tracking what a "\ No newline" marker
+// attaches to.
+const (
+	lastNone = iota
+	lastContext
+	lastDel
+	lastAdd
+	lastMarker
+)
+
 // Apply applies a unified diff to src and returns the patched text. The
-// source's trailing-newline shape is preserved: sources ending in a
-// newline stay that way unless the patch's last added line carries a
-// "No newline" marker.
+// output's trailing-newline shape follows the patch where the last hunk
+// reaches the end of the source (an added final line ends with a newline
+// unless a "No newline" marker follows it) and the source otherwise.
 func Apply(src, patch string) (string, error) {
+	src, srcCRLF := normalizeEOL(src)
+	patch, _ = normalizeEOL(patch)
+
 	srcLines := strings.Split(src, "\n")
 	// A trailing newline yields one empty trailing element; drop it so
 	// lines are content-only, and restore the newline at the end.
@@ -36,19 +65,24 @@ func Apply(src, patch string) (string, error) {
 	patchLines := strings.Split(patch, "\n")
 	inHunk := false
 	sawHunk := false
-	noTrailingNL := false
+	resultNL := trailingNL // whether the patched text ends with a newline
+	beforeLeft, afterLeft := 0, 0
+	lastKind := lastNone
 	for i := 0; i < len(patchLines); i++ {
 		line := patchLines[i]
 		if strings.HasPrefix(line, "@@") {
-			start, count, err := parseHunkHeader(line)
+			if inHunk && (beforeLeft > 0 || afterLeft > 0) {
+				return "", fmt.Errorf("udiff: hunk body ended with %d before / %d after lines unaccounted for", beforeLeft, afterLeft)
+			}
+			h, err := parseHunkHeader(line)
 			if err != nil {
 				return "", err
 			}
-			// start is 1-based; a zero-length before-range ("-0,0")
-			// addresses the position after line 0.
-			hunkStart := start - 1
-			if count == 0 {
-				hunkStart = start
+			// Starts are 1-based; a zero-length before-range ("-N,0")
+			// addresses the position after line N.
+			hunkStart := h.beforeStart - 1
+			if h.beforeCount == 0 {
+				hunkStart = h.beforeStart
 			}
 			if hunkStart < srcPos || hunkStart > len(srcLines) {
 				return "", fmt.Errorf("udiff: hunk %q out of order or beyond source (%d lines)", line, len(srcLines))
@@ -57,6 +91,8 @@ func Apply(src, patch string) (string, error) {
 			srcPos = hunkStart
 			inHunk = true
 			sawHunk = true
+			beforeLeft, afterLeft = h.beforeCount, h.afterCount
+			lastKind = lastNone
 			continue
 		}
 		if !inHunk {
@@ -65,44 +101,109 @@ func Apply(src, patch string) (string, error) {
 		switch {
 		case line == "" && i == len(patchLines)-1:
 			// Trailing newline of the patch text itself.
-		case strings.HasPrefix(line, " "):
-			if err := consume(srcLines, srcPos, line[1:], "context"); err != nil {
+		case strings.HasPrefix(line, " "), line == "":
+			// Some tools emit bare empty lines for empty context.
+			body := ""
+			if line != "" {
+				body = line[1:]
+			}
+			if beforeLeft == 0 || afterLeft == 0 {
+				return "", fmt.Errorf("udiff: context line %q exceeds the hunk header's line counts", body)
+			}
+			if err := consume(srcLines, srcPos, body, "context"); err != nil {
 				return "", err
 			}
-			out = append(out, line[1:])
+			out = append(out, body)
 			srcPos++
+			beforeLeft--
+			afterLeft--
+			resultNL = trailingNL
+			lastKind = lastContext
 		case strings.HasPrefix(line, "-"):
+			if beforeLeft == 0 {
+				return "", fmt.Errorf("udiff: deleted line %q exceeds the hunk header's before-count", line[1:])
+			}
 			if err := consume(srcLines, srcPos, line[1:], "deleted"); err != nil {
 				return "", err
 			}
 			srcPos++
+			beforeLeft--
+			// If this deletion ends the output, the preceding kept line
+			// was newline-terminated in the source.
+			resultNL = true
+			lastKind = lastDel
 		case strings.HasPrefix(line, "+"):
-			out = append(out, line[1:])
-			noTrailingNL = false
-		case strings.HasPrefix(line, `\`):
-			// "\ No newline at end of file": applies to the line just
-			// emitted (or kept); only the final one affects the output.
-			noTrailingNL = true
-		case line == "":
-			// Some tools emit bare empty lines for empty context.
-			if err := consume(srcLines, srcPos, "", "context"); err != nil {
-				return "", err
+			if afterLeft == 0 {
+				return "", fmt.Errorf("udiff: added line %q exceeds the hunk header's after-count", line[1:])
 			}
-			out = append(out, "")
-			srcPos++
+			out = append(out, line[1:])
+			afterLeft--
+			resultNL = true
+			lastKind = lastAdd
+		case strings.HasPrefix(line, `\`):
+			// "\ No newline at end of file": attaches to the line just
+			// above it, which must end its side(s) of the hunk.
+			switch lastKind {
+			case lastNone, lastMarker:
+				return "", fmt.Errorf("udiff: marker %q does not follow a context, deleted, or added line", line)
+			case lastContext, lastDel:
+				if beforeLeft > 0 || (lastKind == lastContext && afterLeft > 0) {
+					return "", fmt.Errorf("udiff: marker %q on a line that is not the last of the hunk", line)
+				}
+				if srcPos != len(srcLines) || trailingNL {
+					return "", fmt.Errorf("udiff: patch says the source has no newline at end of file, but it does")
+				}
+				if lastKind == lastContext {
+					resultNL = false
+				}
+			case lastAdd:
+				if afterLeft > 0 {
+					return "", fmt.Errorf("udiff: marker %q on an added line that is not the last of the hunk", line)
+				}
+				resultNL = false
+			}
+			lastKind = lastMarker
 		default:
-			inHunk = false // next header block (e.g. "diff --git" of another file)
+			// Next header block (e.g. "diff --git" of another file).
+			if beforeLeft > 0 || afterLeft > 0 {
+				return "", fmt.Errorf("udiff: hunk interrupted by %q with %d before / %d after lines unaccounted for", line, beforeLeft, afterLeft)
+			}
+			inHunk = false
+			lastKind = lastNone
 		}
+	}
+	if inHunk && (beforeLeft > 0 || afterLeft > 0) {
+		return "", fmt.Errorf("udiff: patch ended with %d before / %d after lines unaccounted for", beforeLeft, afterLeft)
 	}
 	if !sawHunk {
 		return "", fmt.Errorf("udiff: no @@ hunks in patch")
 	}
-	out = append(out, srcLines[srcPos:]...)
+	if srcPos < len(srcLines) {
+		out = append(out, srcLines[srcPos:]...)
+		resultNL = trailingNL // the source's own tail ends the output
+	}
+	if len(out) == 0 {
+		return "", nil
+	}
 	result := strings.Join(out, "\n")
-	if trailingNL && !noTrailingNL {
+	if resultNL {
 		result += "\n"
 	}
+	if srcCRLF {
+		result = strings.ReplaceAll(result, "\n", "\r\n")
+	}
 	return result, nil
+}
+
+// normalizeEOL converts uniformly-CRLF text to LF and reports that it
+// did. Text with mixed line endings is returned untouched, so patches
+// must match it byte-for-byte — strict rejection over a fuzzy apply.
+func normalizeEOL(s string) (string, bool) {
+	crlf := strings.Count(s, "\r\n")
+	if crlf == 0 || crlf != strings.Count(s, "\r") || crlf != strings.Count(s, "\n") {
+		return s, false
+	}
+	return strings.ReplaceAll(s, "\r\n", "\n"), true
 }
 
 // consume verifies that the source line at pos equals want.
@@ -117,29 +218,48 @@ func consume(srcLines []string, pos int, want, kind string) error {
 	return nil
 }
 
-// parseHunkHeader extracts the before-range of "@@ -a,b +c,d @@".
-func parseHunkHeader(line string) (start, count int, err error) {
+type hunkHeader struct {
+	beforeStart, beforeCount int
+	afterStart, afterCount   int
+}
+
+// parseHunkHeader extracts both ranges of "@@ -a,b +c,d @@".
+func parseHunkHeader(line string) (hunkHeader, error) {
+	var h hunkHeader
+	malformed := fmt.Errorf("udiff: malformed hunk header %q", line)
 	rest := strings.TrimPrefix(line, "@@")
 	end := strings.Index(rest, "@@")
 	if end < 0 {
-		return 0, 0, fmt.Errorf("udiff: malformed hunk header %q", line)
+		return h, malformed
 	}
 	fields := strings.Fields(rest[:end])
 	if len(fields) != 2 || !strings.HasPrefix(fields[0], "-") || !strings.HasPrefix(fields[1], "+") {
-		return 0, 0, fmt.Errorf("udiff: malformed hunk header %q", line)
+		return h, malformed
 	}
-	before := strings.TrimPrefix(fields[0], "-")
+	var ok bool
+	if h.beforeStart, h.beforeCount, ok = parseRange(fields[0][1:]); !ok {
+		return h, malformed
+	}
+	if h.afterStart, h.afterCount, ok = parseRange(fields[1][1:]); !ok {
+		return h, malformed
+	}
+	return h, nil
+}
+
+// parseRange parses "start" or "start,count"; count defaults to 1.
+func parseRange(s string) (start, count int, ok bool) {
 	count = 1
-	if i := strings.IndexByte(before, ','); i >= 0 {
-		count, err = strconv.Atoi(before[i+1:])
-		if err != nil {
-			return 0, 0, fmt.Errorf("udiff: malformed hunk header %q", line)
+	if i := strings.IndexByte(s, ','); i >= 0 {
+		n, err := strconv.Atoi(s[i+1:])
+		if err != nil || n < 0 {
+			return 0, 0, false
 		}
-		before = before[:i]
+		count = n
+		s = s[:i]
 	}
-	start, err = strconv.Atoi(before)
+	start, err := strconv.Atoi(s)
 	if err != nil || start < 0 {
-		return 0, 0, fmt.Errorf("udiff: malformed hunk header %q", line)
+		return 0, 0, false
 	}
-	return start, count, nil
+	return start, count, true
 }

@@ -83,6 +83,60 @@ func TestApplyNoNewlineMarker(t *testing.T) {
 	}
 }
 
+func TestApplyStrictAccounting(t *testing.T) {
+	cases := []struct {
+		name, src, patch string
+		ok               bool
+		want             string
+	}{
+		// Header/body count disagreements: never partially applied.
+		{"body longer: extra context", "a\nb\n", "@@ -1,1 +1,1 @@\n a\n b\n", false, ""},
+		{"body longer: extra addition", "a\n", "@@ -1,1 +1,1 @@\n a\n+b\n", false, ""},
+		{"body longer: extra deletion", "a\nb\n", "@@ -1,1 +1,1 @@\n-a\n-b\n+c\n", false, ""},
+		{"body shorter: patch ends", "a\nb\n", "@@ -1,2 +1,2 @@\n a\n", false, ""},
+		{"body shorter: next hunk", "a\nb\nc\n", "@@ -1,2 +1,2 @@\n a\n@@ -3,1 +3,1 @@\n-c\n+C\n", false, ""},
+		{"body shorter: junk line", "a\nb\n", "@@ -1,2 +1,2 @@\n a\ndiff --git a/x b/x\n", false, ""},
+		{"negative count", "a\n", "@@ -1,-1 +1,1 @@\n-a\n+b\n", false, ""},
+		{"counts exactly consumed", "a\nb\nc\n", "@@ -1,3 +1,3 @@\n a\n-b\n+B\n c\n", true, "a\nB\nc\n"},
+
+		// "\ No newline at end of file" placement rules.
+		{"marker directly after header", "a", "@@ -1,1 +1,1 @@\n\\ No newline at end of file\n-a\n+b\n", false, ""},
+		{"marker on mid-hunk context", "a\nb", "@@ -1,2 +1,2 @@\n a\n\\ No newline at end of file\n-b\n+c\n", false, ""},
+		{"marker on context but source has newline", "a\n", "@@ -1,1 +1,1 @@\n a\n\\ No newline at end of file\n", false, ""},
+		{"marker on deletion but source has newline", "a\n", "@@ -1,1 +1,1 @@\n-a\n\\ No newline at end of file\n+b\n", false, ""},
+		{"marker on mid-hunk deletion", "a\nb\n", "@@ -1,2 +1,1 @@\n-a\n\\ No newline at end of file\n b\n", false, ""},
+		{"doubled marker", "a", "@@ -1,1 +1,1 @@\n-a\n\\ No newline at end of file\n\\ No newline at end of file\n+b\n", false, ""},
+		{"final context marker ok", "a\nb", "@@ -1,2 +1,2 @@\n a\n-b\n+B\n\\ No newline at end of file\n", true, "a\nB"},
+		{"gain trailing newline", "a", "@@ -1,1 +1,2 @@\n-a\n\\ No newline at end of file\n+a\n+b\n", true, "a\nb\n"},
+		{"delete unterminated last line", "a\nb", "@@ -1,2 +1,1 @@\n a\n-b\n\\ No newline at end of file\n", true, "a\n"},
+		{"edit above unterminated tail keeps shape", "a\nb", "@@ -1,1 +1,1 @@\n-a\n+A\n", true, "A\nb"},
+		{"delete only line", "a\n", "@@ -1,1 +0,0 @@\n-a\n", true, ""},
+
+		// CRLF sources: uniform CRLF normalized for matching, restored
+		// on output; mixed endings must match byte-for-byte.
+		{"crlf source, lf patch", "a\r\nb\r\n", "@@ -1,2 +1,2 @@\n a\n-b\n+B\n", true, "a\r\nB\r\n"},
+		{"crlf source, crlf patch", "a\r\nb\r\n", "@@ -1,2 +1,2 @@\r\n a\r\n-b\r\n+B\r\n", true, "a\r\nB\r\n"},
+		{"crlf source, added lines gain crlf", "a\r\n", "@@ -1,1 +1,2 @@\n a\n+b\n", true, "a\r\nb\r\n"},
+		{"mixed endings rejected on mismatch", "a\r\nb\n", "@@ -1,2 +1,2 @@\n a\n-b\n+B\n", false, ""},
+	}
+	for _, tc := range cases {
+		got, err := Apply(tc.src, tc.patch)
+		if !tc.ok {
+			if err == nil {
+				t.Errorf("%s: accepted, produced %q", tc.name, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: rejected: %v", tc.name, err)
+			continue
+		}
+		if got != tc.want {
+			t.Errorf("%s: got %q want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
 func TestApplyRejectsMismatch(t *testing.T) {
 	cases := []struct{ name, src, patch string }{
 		{"context mismatch", "a\nb\n", "@@ -1,2 +1,2 @@\n x\n-b\n+c\n"},
