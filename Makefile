@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet fmt test race bench serve-smoke
+.PHONY: tier1 build vet fmt test race bench serve-smoke driver-gate
 
-tier1: build vet fmt race serve-smoke
+tier1: build vet fmt race serve-smoke driver-gate
 
 build:
 	$(GO) build ./...
@@ -41,6 +41,33 @@ bench:
 	BENCH_TRACE_JSON=BENCH_trace.json $(GO) test -run 'TestWriteTraceBenchJSON$$' -count=1 -v .
 	BENCH_KNOWLEDGE_JSON=BENCH_knowledge.json $(GO) test -run 'TestWriteKnowledgeBenchJSON$$' -count=1 -v .
 	BENCH_SERVE_JSON=$(CURDIR)/BENCH_serve.json $(GO) test -run 'TestWriteServeBenchJSON$$' -count=1 -v ./internal/serve
+
+# Determinism gate for the distributed miner: the knowledge file from a
+# 2-shard driver run with spawned worker processes must be byte-for-byte
+# identical to a serial single-process mine of the same corpus, and a
+# second driver run over the same checkpoint directory must reuse every
+# shard checkpoint and still produce the same bytes.
+driver-gate:
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp" ./cmd/namer-corpus ./cmd/namer-mine; \
+	"$$tmp/namer-corpus" -lang python -repos 12 -files 3 -out "$$tmp/corpus" >/dev/null; \
+	"$$tmp/namer-mine" -lang python -dir "$$tmp/corpus" -parallelism 1 \
+		-out "$$tmp/serial.bin" >/dev/null 2>&1; \
+	"$$tmp/namer-mine" -lang python -dir "$$tmp/corpus" -driver -shards 2 -worker-procs 2 \
+		-checkpoints "$$tmp/ck" -out "$$tmp/driver.bin" >"$$tmp/driver.log" 2>&1 || \
+		{ echo "driver-gate: driver mine failed"; cat "$$tmp/driver.log"; exit 1; }; \
+	cmp "$$tmp/serial.bin" "$$tmp/driver.bin" || \
+		{ echo "driver-gate: 2-shard driver knowledge differs from serial mine"; exit 1; }; \
+	"$$tmp/namer-mine" -lang python -dir "$$tmp/corpus" -driver -shards 2 -worker-procs 2 \
+		-checkpoints "$$tmp/ck" -out "$$tmp/resumed.bin" >"$$tmp/resume.log" 2>&1 || \
+		{ echo "driver-gate: resumed driver mine failed"; cat "$$tmp/resume.log"; exit 1; }; \
+	grep -qE 'driver: 2 shards \(2 stmts \+ 2 trees checkpoints reused' "$$tmp/resume.log" || \
+		{ echo "driver-gate: resume did not reuse the shard checkpoints"; cat "$$tmp/resume.log"; exit 1; }; \
+	cmp "$$tmp/serial.bin" "$$tmp/resumed.bin" || \
+		{ echo "driver-gate: resumed driver knowledge differs from serial mine"; exit 1; }; \
+	echo "driver-gate: ok (2-shard driver == serial, full checkpoint reuse)"
 
 # End-to-end smoke test of the serving layer: generate a corpus, mine
 # binary knowledge (with a -trace export that must contain the FP

@@ -7,18 +7,21 @@
 package namer
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"namer/internal/ast"
 	"namer/internal/astplus"
 	"namer/internal/core"
 	"namer/internal/corpus"
 	"namer/internal/datalog"
+	"namer/internal/driver"
 	"namer/internal/eval"
 	"namer/internal/fptree"
 	"namer/internal/golang"
@@ -327,10 +330,15 @@ func BenchmarkPruneUncommon(b *testing.B) {
 type miningBenchRecord struct {
 	Name         string `json:"name"`
 	NsPerOp      int64  `json:"ns_per_op"`
-	AllocsPerOp  int64  `json:"allocs_per_op"`
-	BytesPerOp   int64  `json:"bytes_per_op"`
+	AllocsPerOp  int64  `json:"allocs_per_op,omitempty"`
+	BytesPerOp   int64  `json:"bytes_per_op,omitempty"`
 	TreeNodes    int    `json:"tree_nodes,omitempty"`
 	Transactions int    `json:"transactions,omitempty"`
+
+	// Driver-mode rows: shard count and the map/reduce wall split.
+	Shards   int   `json:"shards,omitempty"`
+	MapNs    int64 `json:"map_ns,omitempty"`
+	ReduceNs int64 `json:"reduce_ns,omitempty"`
 }
 
 type miningBenchFile struct {
@@ -391,6 +399,43 @@ func TestWriteMiningBenchJSON(t *testing.T) {
 			NsPerOp:     scan.NsPerOp(),
 			AllocsPerOp: scan.AllocsPerOp(),
 			BytesPerOp:  scan.AllocedBytesPerOp(),
+		})
+	}
+	// Driver-mode rows: the same corpus mined through the map/reduce
+	// driver, recording end-to-end wall clock and the merged shard-tree
+	// shapes so the distributed path's trajectory is tracked alongside
+	// the in-process one.
+	corpusDir := t.TempDir()
+	if err := c.WriteTo(corpusDir); err != nil {
+		t.Fatal(err)
+	}
+	for _, nshards := range []int{2, runtime.NumCPU()} {
+		cfg := opts.System
+		cfg.Mining.MinPatternCount = 0 // auto-scale post-map, like namer-mine -driver
+		start := time.Now()
+		_, stats, err := driver.Run(context.Background(), driver.Options{
+			CorpusDir:     corpusDir,
+			Config:        cfg,
+			Shards:        nshards,
+			CheckpointDir: t.TempDir(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wall := time.Since(start)
+		nodes, txs := 0, 0
+		for _, ms := range stats.Mining {
+			nodes += ms.TreeNodes
+			txs += ms.Transactions
+		}
+		file.Results = append(file.Results, miningBenchRecord{
+			Name:         fmt.Sprintf("Driver/shards=%d", nshards),
+			NsPerOp:      wall.Nanoseconds(),
+			TreeNodes:    nodes,
+			Transactions: txs,
+			Shards:       stats.Shards,
+			MapNs:        stats.MapWall.Nanoseconds(),
+			ReduceNs:     stats.ReduceWall.Nanoseconds(),
 		})
 	}
 	data, err := json.MarshalIndent(file, "", "  ")

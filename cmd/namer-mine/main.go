@@ -14,6 +14,15 @@
 // load it in chrome://tracing or https://ui.perfetto.dev to see where
 // the wall time went, stage by stage and file by file. The same tree is
 // printed compactly to stderr at exit.
+//
+// -driver switches to the distributed map/reduce miner: the corpus is
+// split into -shards repo shards, map workers run as in-process
+// goroutines (or as spawned `namer-mine -worker` child processes with
+// -worker-procs N), and every shard's intermediate product is a
+// CRC-checked checkpoint under -checkpoints, so a killed run resumes
+// from where it stopped (-fresh discards the checkpoints instead). The
+// mined knowledge is byte-identical to a non-driver run at any shard or
+// worker count.
 package main
 
 import (
@@ -28,6 +37,7 @@ import (
 	"namer/internal/buildinfo"
 	"namer/internal/core"
 	"namer/internal/corpus"
+	"namer/internal/driver"
 	"namer/internal/knowledge"
 	"namer/internal/obs"
 	"namer/internal/prof"
@@ -50,10 +60,26 @@ func main() {
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
 	traceOut := flag.String("trace", "",
 		"write a Chrome trace-event JSON of the full mining run to this file (chrome://tracing, Perfetto)")
+	driverMode := flag.Bool("driver", false,
+		"run the distributed map/reduce miner with per-shard checkpoints (resumable)")
+	shards := flag.Int("shards", 0, "driver mode: corpus shard count (0 = all CPUs)")
+	workerProcs := flag.Int("worker-procs", 0,
+		"driver mode: run map workers as this many spawned namer-mine -worker child processes (0 = in-process goroutines)")
+	checkpoints := flag.String("checkpoints", "",
+		"driver mode: checkpoint directory (default <out>.ckpt)")
+	fresh := flag.Bool("fresh", false, "driver mode: discard existing checkpoints instead of resuming")
+	workerMode := flag.Bool("worker", false,
+		"serve map jobs over stdin/stdout JSON lines (spawned by -driver -worker-procs; not for direct use)")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
 		fmt.Println("namer-mine", buildinfo.String())
+		return
+	}
+	if *workerMode {
+		if err := driver.ServeWorker(os.Stdin, os.Stdout); err != nil {
+			fatal(err)
+		}
 		return
 	}
 
@@ -78,6 +104,55 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+
+	if *driverMode {
+		cfg := core.DefaultConfig(l)
+		cfg.UseAnalysis = !*noAnalysis
+		cfg.MinPairCount = *minPairCount
+		cfg.Parallelism = *parallelism
+		// 0 lets the driver auto-scale the threshold once the map round
+		// has counted the parsed files, matching the serial path.
+		cfg.Mining.MinPatternCount = *minPatternCount
+		ckdir := *checkpoints
+		if ckdir == "" {
+			ckdir = *out + ".ckpt"
+		}
+		opts := driver.Options{
+			CorpusDir:     *dir,
+			Config:        cfg,
+			Shards:        *shards,
+			CheckpointDir: ckdir,
+			Fresh:         *fresh,
+			Workers:       *parallelism,
+			Status:        os.Stderr,
+		}
+		if *workerProcs > 0 {
+			exe, err := os.Executable()
+			if err != nil {
+				fatal(err)
+			}
+			opts.WorkerCommand = []string{exe, "-worker"}
+			opts.Workers = *workerProcs
+		}
+		k, stats, err := driver.Run(ctx, opts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("driver: %d shards (%d stmts + %d trees checkpoints reused), %d files, %d statements\n",
+			stats.Shards, stats.StmtsReused, stats.TreesReused, stats.FilesParsed, stats.Statements)
+		for _, ms := range stats.Mining {
+			fmt.Printf("  %v FP tree: %d nodes over %d transactions\n", ms.Type, ms.TreeNodes, ms.Transactions)
+		}
+		fmt.Printf("driver: map %v, reduce %v\n",
+			stats.MapWall.Round(time.Millisecond), stats.ReduceWall.Round(time.Millisecond))
+		if err := saveKnowledge(*out, *format, k); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+		finishTrace(tr, *traceOut)
+		return
+	}
+
 	_, sp := obs.StartSpan(ctx, "load_corpus")
 	files, errs := core.LoadDirectory(*dir, l)
 	sp.SetAttrInt("files", len(files))
@@ -111,7 +186,12 @@ func main() {
 	sys := core.NewSystem(cfg)
 	_, sp = obs.StartSpan(ctx, "mine_pairs")
 	if pairs, err := corpus.ReadCommits(filepath.Join(*dir, "commits")); err == nil {
-		sys.MinePairs(corpus.ParseCommitSources(l, pairs))
+		commits, skipped := corpus.ParseCommitSources(l, pairs)
+		if skipped > 0 {
+			fmt.Fprintf(os.Stderr, "warning: %d of %d commit pairs did not parse and were skipped\n",
+				skipped, len(pairs))
+		}
+		sys.MinePairs(commits)
 		fmt.Printf("mined %d confusing word pairs from %d commits\n", sys.Pairs.Len(), len(pairs))
 	} else {
 		sys.MinePairs(nil)
@@ -135,40 +215,49 @@ func main() {
 	}
 
 	_, sp = obs.StartSpan(ctx, "save_knowledge")
-	switch *format {
-	case "auto", "":
-		err = sys.SaveKnowledge(*out)
-	case "v1":
-		var k *knowledge.Artifact
-		if k, err = sys.ExportKnowledge(); err == nil {
-			err = knowledge.SaveV1(*out, k)
-		}
-	default:
-		err = fmt.Errorf("unknown -format %q (want auto or v1)", *format)
+	k, err := sys.ExportKnowledge()
+	if err == nil {
+		err = saveKnowledge(*out, *format, k)
 	}
 	sp.End()
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("wrote %s\n", *out)
+	finishTrace(tr, *traceOut)
+}
 
-	if tr != nil {
-		tr.Finish()
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			fatal(err)
-		}
-		if err := tr.WriteChromeTrace(f); err != nil {
-			f.Close()
-			fatal(err)
-		}
-		if err := f.Close(); err != nil {
-			fatal(err)
-		}
-		tr.WriteTree(os.Stderr)
-		fmt.Printf("wrote trace %s (%d spans, %v; open in chrome://tracing)\n",
-			*traceOut, tr.SpanCount(), tr.Duration().Round(time.Millisecond))
+// saveKnowledge writes the artifact under the -format flag's encoding.
+func saveKnowledge(out, format string, k *knowledge.Artifact) error {
+	switch format {
+	case "auto", "":
+		return knowledge.Save(out, k)
+	case "v1":
+		return knowledge.SaveV1(out, k)
+	default:
+		return fmt.Errorf("unknown -format %q (want auto or v1)", format)
 	}
+}
+
+func finishTrace(tr *obs.Trace, traceOut string) {
+	if tr == nil {
+		return
+	}
+	tr.Finish()
+	f, err := os.Create(traceOut)
+	if err != nil {
+		fatal(err)
+	}
+	if err := tr.WriteChromeTrace(f); err != nil {
+		f.Close()
+		fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		fatal(err)
+	}
+	tr.WriteTree(os.Stderr)
+	fmt.Printf("wrote trace %s (%d spans, %v; open in chrome://tracing)\n",
+		traceOut, tr.SpanCount(), tr.Duration().Round(time.Millisecond))
 }
 
 func fatal(err error) {

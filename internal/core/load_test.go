@@ -71,7 +71,11 @@ func TestToolchainFlow(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sys.MinePairs(corpus.ParseCommitSources(ast.Python, pairsSrc))
+	commits, skipped := corpus.ParseCommitSources(ast.Python, pairsSrc)
+	if skipped > 0 {
+		t.Fatalf("%d commit pairs failed to parse", skipped)
+	}
+	sys.MinePairs(commits)
 	if sys.Pairs.Len() == 0 {
 		t.Fatal("no pairs mined from on-disk commits")
 	}

@@ -2,6 +2,7 @@ package corpus
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 
@@ -59,13 +60,14 @@ func WriteCommits(dir string, pairs [][2]string) error {
 
 // ReadCommits loads commit pairs written by WriteCommits.
 func ReadCommits(dir string) ([][2]string, error) {
-	data, err := os.ReadFile(filepath.Join(dir, "commits.json"))
+	path := filepath.Join(dir, "commits.json")
+	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("read commits: %w", err)
 	}
 	var in []commitPair
 	if err := json.Unmarshal(data, &in); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("parse commits %s: %w", path, err)
 	}
 	out := make([][2]string, 0, len(in))
 	for _, p := range in {
@@ -78,26 +80,31 @@ func ReadCommits(dir string) ([][2]string, error) {
 func ReadIssues(path string) ([]*Issue, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("read issues: %w", err)
 	}
 	var issues []*Issue
 	if err := json.Unmarshal(data, &issues); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("parse issues %s: %w", path, err)
 	}
 	return issues, nil
 }
 
 // ParseCommitSources parses textual commit pairs into confusion-miner
-// input for the given language, skipping pairs that do not parse.
-func ParseCommitSources(lang ast.Language, pairs [][2]string) []confusion.Commit {
+// input for the given language. Pairs whose before or after side fails
+// to parse are skipped; the second return value is how many were
+// dropped, so callers can warn instead of quietly losing supervision
+// signal.
+func ParseCommitSources(lang ast.Language, pairs [][2]string) ([]confusion.Commit, int) {
 	var out []confusion.Commit
+	skipped := 0
 	for _, p := range pairs {
 		b, errB := parseLang(lang, p[0])
 		a, errA := parseLang(lang, p[1])
 		if errB != nil || errA != nil {
+			skipped++
 			continue
 		}
 		out = append(out, confusion.Commit{Before: b, After: a})
 	}
-	return out
+	return out, skipped
 }

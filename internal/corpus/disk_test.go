@@ -1,0 +1,115 @@
+package corpus
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"namer/internal/ast"
+)
+
+func TestDiskRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	c := &Corpus{
+		Lang: ast.Python,
+		Repos: []*Repo{{
+			Name: "repo0",
+			Files: []*SourceFile{
+				{Path: "repo0/a.py", Source: "def get_name():\n    return name\n"},
+			},
+		}},
+		CommitSources: [][2]string{
+			{"def get_user_id():\n    return user_name\n", "def get_user_id():\n    return user_id\n"},
+		},
+		Issues: []*Issue{{
+			Repo: "repo0", Path: "repo0/a.py", Line: 1,
+			Severity: CodeQuality, Category: "confusing",
+			Original: "name", Fixed: "id",
+		}},
+	}
+	if err := c.WriteTo(dir); err != nil {
+		t.Fatal(err)
+	}
+
+	pairs, err := ReadCommits(filepath.Join(dir, "commits"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pairs, c.CommitSources) {
+		t.Fatalf("commit pairs changed across round trip:\n got %q\nwant %q", pairs, c.CommitSources)
+	}
+	commits, skipped := ParseCommitSources(ast.Python, pairs)
+	if skipped != 0 || len(commits) != 1 {
+		t.Fatalf("parsed %d commits with %d skipped, want 1/0", len(commits), skipped)
+	}
+
+	issues, err := ReadIssues(filepath.Join(dir, "issues.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(issues) != 1 || !reflect.DeepEqual(*issues[0], *c.Issues[0]) {
+		t.Fatalf("issues changed across round trip: %+v", issues)
+	}
+
+	src, err := os.ReadFile(filepath.Join(dir, "repo0", "a.py"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(src) != c.Repos[0].Files[0].Source {
+		t.Fatal("source file changed across round trip")
+	}
+}
+
+func TestReadCommitsErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadCommits(filepath.Join(dir, "commits")); err == nil {
+		t.Fatal("missing commits.json accepted")
+	}
+	commitsDir := filepath.Join(dir, "commits")
+	if err := os.MkdirAll(commitsDir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(commitsDir, "commits.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadCommits(commitsDir)
+	if err == nil {
+		t.Fatal("corrupt commits.json accepted")
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("error %q does not name the offending file %s", err, path)
+	}
+}
+
+func TestReadIssuesErrors(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := ReadIssues(filepath.Join(dir, "issues.json")); err == nil {
+		t.Fatal("missing issues.json accepted")
+	}
+	path := filepath.Join(dir, "issues.json")
+	if err := os.WriteFile(path, []byte("[{\"Repo\": 3]"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadIssues(path)
+	if err == nil {
+		t.Fatal("corrupt issues.json accepted")
+	}
+	if !strings.Contains(err.Error(), path) {
+		t.Fatalf("error %q does not name the offending file %s", err, path)
+	}
+}
+
+func TestParseCommitSourcesCountsSkipped(t *testing.T) {
+	pairs := [][2]string{
+		{"x = 1\n", "y = 1\n"},
+		{"def broken(:\n", "def broken():\n    pass\n"}, // before does not parse
+		{"a = 2\n", "b = ("},                            // after does not parse
+	}
+	commits, skipped := ParseCommitSources(ast.Python, pairs)
+	if len(commits) != 1 || skipped != 2 {
+		t.Fatalf("parsed %d commits with %d skipped, want 1/2", len(commits), skipped)
+	}
+}

@@ -1,0 +1,578 @@
+package driver
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"namer/internal/confusion"
+	"namer/internal/fptree"
+	"namer/internal/namepath"
+	"namer/internal/pattern"
+)
+
+// Checkpoint payload codecs. All three artifact kinds share the same
+// building blocks: an interned string table (path element values and end
+// subtokens appear in thousands of paths each) and a path table
+// (statements and tree item lists reference paths by dense id). Integers
+// are unsigned varints. The envelope — magic, version, kind, CRC — is
+// knowledge.WriteCheckpoint's job; these encodings only define the
+// payloads.
+//
+//	shard-stmts   sliceHash, filesParsed, filesSkipped, strings, paths,
+//	              per-path shard-local count, statements (path-id lists)
+//	reduce-counts planHash, filesParsed, filesSkipped, statements,
+//	              strings, paths (sorted by key), per-path global count,
+//	              confusing pairs (mistaken, correct, count)
+//	shard-trees   sliceHash, countsHash, strings, paths, per pattern
+//	              type: type, transactions, item path-ids, fptree bytes
+//
+// Decode sanity bounds mirror the knowledge codecs: counts above these
+// limits indicate corruption and fail fast instead of allocating.
+const (
+	maxArtifactStrings = 1 << 26
+	maxArtifactStrLen  = 1 << 22
+	maxArtifactPaths   = 1 << 26
+	maxArtifactElems   = 1 << 16
+	maxArtifactStmts   = 1 << 26
+	maxArtifactPairs   = 1 << 26
+	maxArtifactTypes   = 16
+)
+
+// Checkpoint kinds.
+const (
+	kindStmts  = "shard-stmts"
+	kindCounts = "reduce-counts"
+	kindTrees  = "shard-trees"
+)
+
+// shardStmts is map round 1's product for one shard.
+type shardStmts struct {
+	SliceHash    string
+	FilesParsed  int
+	FilesSkipped int
+	Paths        []namepath.Path // distinct paths, first-appearance order
+	Counts       []int           // shard-local occurrences, aligned with Paths
+	Stmts        [][]int32       // per statement, ids into Paths
+}
+
+// reduceCounts is reduce 1's product: the global view round 2 needs.
+type reduceCounts struct {
+	PlanHash     string
+	FilesParsed  int
+	FilesSkipped int
+	Statements   int
+	Paths        []namepath.Path
+	Counts       []int
+	Pairs        *confusion.PairSet
+}
+
+// shardTrees is map round 2's product for one shard.
+type shardTrees struct {
+	SliceHash  string
+	CountsHash string
+	Types      []typedTree
+}
+
+// typedTree is one pattern type's FP subtree over a shard. Tree item id
+// i denotes the path itemPaths[i]; on the wire the items section stores
+// the artifact path-table id of each tree item.
+type typedTree struct {
+	Type         pattern.Type
+	Transactions int
+	Items        []int32 // artifact path-table ids, indexed by tree item
+	Tree         []byte  // fptree.EncodeTree
+
+	itemPaths []namepath.Path // tree item id -> path
+}
+
+// --- encoder ---
+
+type artEnc struct {
+	buf     []byte
+	scratch [binary.MaxVarintLen64]byte
+
+	strs  []string
+	byStr map[string]uint64
+
+	paths  []namepath.Path
+	byPath map[string]int32
+}
+
+func newArtEnc() *artEnc {
+	return &artEnc{byStr: make(map[string]uint64), byPath: make(map[string]int32)}
+}
+
+func (e *artEnc) uvarint(v uint64) {
+	e.buf = append(e.buf, e.scratch[:binary.PutUvarint(e.scratch[:], v)]...)
+}
+
+func (e *artEnc) str(s string) {
+	e.uvarint(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+func (e *artEnc) internStr(s string) uint64 {
+	if id, ok := e.byStr[s]; ok {
+		return id
+	}
+	id := uint64(len(e.strs))
+	e.byStr[s] = id
+	e.strs = append(e.strs, s)
+	return id
+}
+
+func (e *artEnc) internPath(p namepath.Path) int32 {
+	k := p.Key()
+	if id, ok := e.byPath[k]; ok {
+		return id
+	}
+	for _, el := range p.Prefix {
+		e.internStr(el.Value)
+	}
+	e.internStr(p.End)
+	id := int32(len(e.paths))
+	e.byPath[k] = id
+	e.paths = append(e.paths, p)
+	return id
+}
+
+// tables emits the string and path tables. Call after every internStr/
+// internPath, before any section that references ids.
+func (e *artEnc) tables() {
+	e.uvarint(uint64(len(e.strs)))
+	for _, s := range e.strs {
+		e.str(s)
+	}
+	e.uvarint(uint64(len(e.paths)))
+	for _, p := range e.paths {
+		e.uvarint(uint64(len(p.Prefix)))
+		for _, el := range p.Prefix {
+			e.uvarint(e.byStr[el.Value])
+			e.uvarint(uint64(el.Index))
+		}
+		e.uvarint(e.byStr[p.End])
+	}
+}
+
+// --- decoder ---
+
+type artDec struct {
+	data []byte
+	pos  int
+
+	strs  []string
+	paths []namepath.Path
+}
+
+func (d *artDec) uvarint(what string) (uint64, error) {
+	v, n := binary.Uvarint(d.data[d.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("driver: truncated %s at byte %d", what, d.pos)
+	}
+	d.pos += n
+	return v, nil
+}
+
+// scalar reads a standalone integer value (a file or statement tally),
+// bounded only by its own range — unlike count, it implies no following
+// bytes.
+func (d *artDec) scalar(what string, max uint64) (int, error) {
+	v, err := d.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > max {
+		return 0, fmt.Errorf("driver: %s %d out of range", what, v)
+	}
+	return int(v), nil
+}
+
+// count reads an element count: a table or list length whose elements
+// occupy at least one byte each, so any value beyond the remaining
+// payload is corruption.
+func (d *artDec) count(what string, max uint64) (int, error) {
+	v, err := d.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if v > max || v > uint64(len(d.data)-d.pos) {
+		return 0, fmt.Errorf("driver: implausible %s %d at byte %d", what, v, d.pos)
+	}
+	return int(v), nil
+}
+
+func (d *artDec) str(what string) (string, error) {
+	n, err := d.count(what, maxArtifactStrLen)
+	if err != nil {
+		return "", err
+	}
+	s := string(d.data[d.pos : d.pos+n])
+	d.pos += n
+	return s, nil
+}
+
+func (d *artDec) strID(what string) (string, error) {
+	id, err := d.uvarint(what)
+	if err != nil {
+		return "", err
+	}
+	if id >= uint64(len(d.strs)) {
+		return "", fmt.Errorf("driver: %s string id %d out of range at byte %d", what, id, d.pos)
+	}
+	return d.strs[id], nil
+}
+
+// tables reads the string and path tables written by artEnc.tables.
+func (d *artDec) tables() error {
+	nstr, err := d.count("string count", maxArtifactStrings)
+	if err != nil {
+		return err
+	}
+	d.strs = make([]string, nstr)
+	for i := range d.strs {
+		if d.strs[i], err = d.str("string"); err != nil {
+			return err
+		}
+	}
+	npath, err := d.count("path count", maxArtifactPaths)
+	if err != nil {
+		return err
+	}
+	d.paths = make([]namepath.Path, npath)
+	for i := range d.paths {
+		elems, err := d.count("path elems", maxArtifactElems)
+		if err != nil {
+			return err
+		}
+		p := namepath.Path{Prefix: make([]namepath.Elem, elems)}
+		for j := range p.Prefix {
+			if p.Prefix[j].Value, err = d.strID("elem value"); err != nil {
+				return err
+			}
+			idx, err := d.uvarint("elem index")
+			if err != nil {
+				return err
+			}
+			if idx > math.MaxInt32 {
+				return fmt.Errorf("driver: elem index %d out of range at byte %d", idx, d.pos)
+			}
+			p.Prefix[j].Index = int(idx)
+		}
+		if p.End, err = d.strID("path end"); err != nil {
+			return err
+		}
+		d.paths[i] = p.Memoized()
+	}
+	return nil
+}
+
+func (d *artDec) pathID(what string) (int32, error) {
+	id, err := d.uvarint(what)
+	if err != nil {
+		return 0, err
+	}
+	if id >= uint64(len(d.paths)) {
+		return 0, fmt.Errorf("driver: %s path id %d out of range at byte %d", what, id, d.pos)
+	}
+	return int32(id), nil
+}
+
+func (d *artDec) done() error {
+	if d.pos != len(d.data) {
+		return fmt.Errorf("driver: %d trailing bytes in artifact", len(d.data)-d.pos)
+	}
+	return nil
+}
+
+// --- shard-stmts ---
+
+func encodeShardStmts(a *shardStmts) []byte {
+	e := newArtEnc()
+	for _, p := range a.Paths {
+		e.internPath(p)
+	}
+	e.str(a.SliceHash)
+	e.uvarint(uint64(a.FilesParsed))
+	e.uvarint(uint64(a.FilesSkipped))
+	e.tables()
+	for _, c := range a.Counts {
+		e.uvarint(uint64(c))
+	}
+	e.uvarint(uint64(len(a.Stmts)))
+	for _, ids := range a.Stmts {
+		e.uvarint(uint64(len(ids)))
+		for _, id := range ids {
+			e.uvarint(uint64(id))
+		}
+	}
+	return e.buf
+}
+
+func decodeShardStmts(data []byte) (*shardStmts, error) {
+	d := &artDec{data: data}
+	a := &shardStmts{}
+	var err error
+	if a.SliceHash, err = d.str("slice hash"); err != nil {
+		return nil, err
+	}
+	if a.FilesParsed, err = d.scalar("files parsed", maxArtifactStmts); err != nil {
+		return nil, err
+	}
+	if a.FilesSkipped, err = d.scalar("files skipped", maxArtifactStmts); err != nil {
+		return nil, err
+	}
+	if err = d.tables(); err != nil {
+		return nil, err
+	}
+	a.Paths = d.paths
+	a.Counts = make([]int, len(a.Paths))
+	for i := range a.Counts {
+		c, err := d.uvarint("path count value")
+		if err != nil {
+			return nil, err
+		}
+		if c > math.MaxInt32 {
+			return nil, fmt.Errorf("driver: path count %d out of range", c)
+		}
+		a.Counts[i] = int(c)
+	}
+	nstmt, err := d.count("statement count", maxArtifactStmts)
+	if err != nil {
+		return nil, err
+	}
+	a.Stmts = make([][]int32, nstmt)
+	for i := range a.Stmts {
+		k, err := d.count("statement paths", maxArtifactElems)
+		if err != nil {
+			return nil, err
+		}
+		ids := make([]int32, k)
+		for j := range ids {
+			if ids[j], err = d.pathID("statement path"); err != nil {
+				return nil, err
+			}
+		}
+		a.Stmts[i] = ids
+	}
+	return a, d.done()
+}
+
+// statements materializes the shard's indexed statements in extraction
+// order — the same objects pass 2 and the satisfaction-ratio prune see
+// in a single-process mine.
+func (a *shardStmts) statements() []*pattern.Statement {
+	out := make([]*pattern.Statement, len(a.Stmts))
+	for i, ids := range a.Stmts {
+		paths := make([]namepath.Path, len(ids))
+		for j, id := range ids {
+			paths[j] = a.Paths[id]
+		}
+		out[i] = pattern.NewStatement(paths)
+	}
+	return out
+}
+
+// --- reduce-counts ---
+
+func encodeReduceCounts(a *reduceCounts) []byte {
+	e := newArtEnc()
+	for _, p := range a.Paths {
+		e.internPath(p)
+	}
+	pairs := a.Pairs.Pairs()
+	for _, pr := range pairs {
+		e.internStr(pr[0])
+		e.internStr(pr[1])
+	}
+	e.str(a.PlanHash)
+	e.uvarint(uint64(a.FilesParsed))
+	e.uvarint(uint64(a.FilesSkipped))
+	e.uvarint(uint64(a.Statements))
+	e.tables()
+	for _, c := range a.Counts {
+		e.uvarint(uint64(c))
+	}
+	e.uvarint(uint64(len(pairs)))
+	for _, pr := range pairs {
+		e.uvarint(e.byStr[pr[0]])
+		e.uvarint(e.byStr[pr[1]])
+		e.uvarint(uint64(a.Pairs.Count(pr[0], pr[1])))
+	}
+	return e.buf
+}
+
+func decodeReduceCounts(data []byte) (*reduceCounts, error) {
+	d := &artDec{data: data}
+	a := &reduceCounts{}
+	var err error
+	if a.PlanHash, err = d.str("plan hash"); err != nil {
+		return nil, err
+	}
+	if a.FilesParsed, err = d.scalar("files parsed", maxArtifactStmts); err != nil {
+		return nil, err
+	}
+	if a.FilesSkipped, err = d.scalar("files skipped", maxArtifactStmts); err != nil {
+		return nil, err
+	}
+	if a.Statements, err = d.scalar("statement count", maxArtifactStmts); err != nil {
+		return nil, err
+	}
+	if err = d.tables(); err != nil {
+		return nil, err
+	}
+	a.Paths = d.paths
+	a.Counts = make([]int, len(a.Paths))
+	for i := range a.Counts {
+		c, err := d.uvarint("path count value")
+		if err != nil {
+			return nil, err
+		}
+		if c > math.MaxInt32 {
+			return nil, fmt.Errorf("driver: path count %d out of range", c)
+		}
+		a.Counts[i] = int(c)
+	}
+	npairs, err := d.count("pair count", maxArtifactPairs)
+	if err != nil {
+		return nil, err
+	}
+	a.Pairs = confusion.NewPairSet()
+	for i := 0; i < npairs; i++ {
+		mistaken, err := d.strID("pair mistaken")
+		if err != nil {
+			return nil, err
+		}
+		correct, err := d.strID("pair correct")
+		if err != nil {
+			return nil, err
+		}
+		n, err := d.uvarint("pair support")
+		if err != nil {
+			return nil, err
+		}
+		if n > math.MaxInt32 {
+			return nil, fmt.Errorf("driver: pair support %d out of range", n)
+		}
+		a.Pairs.AddN(mistaken, correct, int(n))
+	}
+	return a, d.done()
+}
+
+// freq rebuilds the dataset-wide path frequency map keyed by path key —
+// the exact input mining.BuildShardTree expects.
+func (a *reduceCounts) freq() map[string]int {
+	m := make(map[string]int, len(a.Paths))
+	for i, p := range a.Paths {
+		m[p.Key()] = a.Counts[i]
+	}
+	return m
+}
+
+// --- shard-trees ---
+
+func encodeShardTrees(a *shardTrees) []byte {
+	e := newArtEnc()
+	// Pass 1: intern every type's item paths so the tables are complete
+	// before any id is written; ids[t][i] is the path-table id of type
+	// t's tree item i.
+	ids := make([][]int32, len(a.Types))
+	for t, tt := range a.Types {
+		ids[t] = make([]int32, len(tt.itemPaths))
+		for i, p := range tt.itemPaths {
+			ids[t][i] = e.internPath(p)
+		}
+	}
+	e.str(a.SliceHash)
+	e.str(a.CountsHash)
+	e.tables()
+	e.uvarint(uint64(len(a.Types)))
+	for t, tt := range a.Types {
+		e.uvarint(uint64(tt.Type))
+		e.uvarint(uint64(tt.Transactions))
+		e.uvarint(uint64(len(ids[t])))
+		for _, id := range ids[t] {
+			e.uvarint(uint64(id))
+		}
+		e.uvarint(uint64(len(tt.Tree)))
+		e.buf = append(e.buf, tt.Tree...)
+	}
+	return e.buf
+}
+
+func decodeShardTrees(data []byte) (*shardTrees, error) {
+	d := &artDec{data: data}
+	a := &shardTrees{}
+	var err error
+	if a.SliceHash, err = d.str("slice hash"); err != nil {
+		return nil, err
+	}
+	if a.CountsHash, err = d.str("counts hash"); err != nil {
+		return nil, err
+	}
+	if err = d.tables(); err != nil {
+		return nil, err
+	}
+	ntypes, err := d.count("type count", maxArtifactTypes)
+	if err != nil {
+		return nil, err
+	}
+	a.Types = make([]typedTree, ntypes)
+	for i := range a.Types {
+		tt := &a.Types[i]
+		typ, err := d.uvarint("pattern type")
+		if err != nil {
+			return nil, err
+		}
+		tt.Type = pattern.Type(typ)
+		txs, err := d.uvarint("transactions")
+		if err != nil {
+			return nil, err
+		}
+		if txs > math.MaxInt32 {
+			return nil, fmt.Errorf("driver: transaction count %d out of range", txs)
+		}
+		tt.Transactions = int(txs)
+		nitems, err := d.count("item count", maxArtifactPaths)
+		if err != nil {
+			return nil, err
+		}
+		tt.Items = make([]int32, nitems)
+		tt.itemPaths = make([]namepath.Path, nitems)
+		for j := range tt.Items {
+			if tt.Items[j], err = d.pathID("tree item"); err != nil {
+				return nil, err
+			}
+			tt.itemPaths[j] = d.paths[tt.Items[j]]
+		}
+		ntree, err := d.count("tree bytes", 1<<31)
+		if err != nil {
+			return nil, err
+		}
+		tt.Tree = d.data[d.pos : d.pos+ntree]
+		d.pos += ntree
+	}
+	return a, d.done()
+}
+
+// decodeTyped turns one decoded typedTree into the mining.ShardTree
+// inputs: the FP tree and its item→path table. Every tree item is range
+// checked against the table, so a corrupt artifact fails here instead of
+// panicking inside the reduce merge.
+func (tt *typedTree) decodeTyped() (*fptree.Tree, []namepath.Path, error) {
+	t, err := fptree.DecodeTree(tt.Tree)
+	if err != nil {
+		return nil, nil, err
+	}
+	var rangeErr error
+	t.Walk(func(n *fptree.Node, _ []int) {
+		if rangeErr == nil && (n.Item < 0 || int(n.Item) >= len(tt.itemPaths)) {
+			rangeErr = fmt.Errorf("driver: tree item %d outside %d-entry item table",
+				n.Item, len(tt.itemPaths))
+		}
+	})
+	if rangeErr != nil {
+		return nil, nil, rangeErr
+	}
+	return t, tt.itemPaths, nil
+}

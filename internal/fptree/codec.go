@@ -1,0 +1,170 @@
+package fptree
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Tree codec: a compact binary serialization of an FP tree, used by the
+// map/reduce mining driver to checkpoint per-shard subtrees on disk
+// between the map and reduce phases. The layout is a preorder walk with
+// per-node child counts (all integers unsigned varints):
+//
+//	nodes      non-root node count
+//	rootKids   child count of the root
+//	then, in preorder with children in ascending item order, per node:
+//	  item, count, flags (bit 0 = IsLast), childCount
+//
+// The encoding is canonical: it depends only on the tree's logical
+// structure (Canonical form), never on arena layout or insertion order,
+// so two equal trees serialize to identical bytes. The decoder validates
+// every count and the ascending-sibling-item invariant and never panics
+// on corrupt input; integrity (checksums) is the containing checkpoint
+// file's job.
+
+// codec sanity bounds: a count above these limits indicates corruption
+// and fails fast instead of attempting a giant allocation.
+const (
+	maxTreeNodes = 1 << 28
+)
+
+// EncodeTree serializes the tree. The inverse is DecodeTree.
+func EncodeTree(t *Tree) []byte {
+	var scratch [binary.MaxVarintLen64]byte
+	buf := make([]byte, 0, 8+8*len(t.nodes))
+	uvarint := func(v uint64) {
+		n := binary.PutUvarint(scratch[:], v)
+		buf = append(buf, scratch[:n]...)
+	}
+	uvarint(uint64(t.Size()))
+	uvarint(uint64(len(t.nodes[0].children)))
+	// Preorder with an explicit stack: children are pushed in reverse so
+	// they pop in ascending item order, matching Walk.
+	stack := make([]int32, 0, 64)
+	kids := t.nodes[0].children
+	for i := len(kids) - 1; i >= 0; i-- {
+		stack = append(stack, kids[i])
+	}
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n := &t.nodes[id]
+		uvarint(uint64(n.Item))
+		uvarint(uint64(n.Count))
+		flags := byte(0)
+		if n.IsLast {
+			flags = 1
+		}
+		buf = append(buf, flags)
+		uvarint(uint64(len(n.children)))
+		for i := len(n.children) - 1; i >= 0; i-- {
+			stack = append(stack, n.children[i])
+		}
+	}
+	return buf
+}
+
+// DecodeTree parses a tree serialized by EncodeTree, validating node
+// counts, value ranges, and the ascending-sibling-item invariant.
+// Corrupt or truncated input returns a descriptive error, never panics.
+func DecodeTree(data []byte) (*Tree, error) {
+	pos := 0
+	uvarint := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(data[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("fptree: truncated %s at byte %d", what, pos)
+		}
+		pos += n
+		return v, nil
+	}
+	total, err := uvarint("node count")
+	if err != nil {
+		return nil, err
+	}
+	if total > maxTreeNodes || total > uint64(len(data)) {
+		return nil, fmt.Errorf("fptree: implausible node count %d for %d bytes", total, len(data))
+	}
+	rootKids, err := uvarint("root child count")
+	if err != nil {
+		return nil, err
+	}
+	if rootKids > total {
+		return nil, fmt.Errorf("fptree: root child count %d exceeds node count %d", rootKids, total)
+	}
+	t := &Tree{nodes: make([]Node, 1, total+1)}
+	t.nodes[0] = Node{Item: -1}
+
+	// frame tracks one partially-read node: how many of its children are
+	// still to come and the item of the last child seen (for the
+	// ascending-sibling check).
+	type frame struct {
+		id        int32
+		remaining uint64
+		lastItem  int64
+	}
+	stack := make([]frame, 0, 64)
+	stack = append(stack, frame{id: 0, remaining: rootKids, lastItem: -1})
+	read := uint64(0)
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.remaining == 0 {
+			stack = stack[:len(stack)-1]
+			continue
+		}
+		item, err := uvarint("item")
+		if err != nil {
+			return nil, err
+		}
+		if item > math.MaxInt32 {
+			return nil, fmt.Errorf("fptree: item %d out of int32 range at byte %d", item, pos)
+		}
+		if int64(item) <= top.lastItem {
+			return nil, fmt.Errorf("fptree: sibling items not ascending (%d after %d) at byte %d",
+				item, top.lastItem, pos)
+		}
+		count, err := uvarint("count")
+		if err != nil {
+			return nil, err
+		}
+		if count > math.MaxInt32 {
+			return nil, fmt.Errorf("fptree: count %d out of int32 range at byte %d", count, pos)
+		}
+		if pos >= len(data) {
+			return nil, fmt.Errorf("fptree: truncated flags at byte %d", pos)
+		}
+		flags := data[pos]
+		pos++
+		if flags > 1 {
+			return nil, fmt.Errorf("fptree: invalid flags 0x%x at byte %d", flags, pos-1)
+		}
+		kids, err := uvarint("child count")
+		if err != nil {
+			return nil, err
+		}
+		read++
+		if read > total {
+			return nil, fmt.Errorf("fptree: more than the declared %d nodes", total)
+		}
+		if kids > total-read {
+			return nil, fmt.Errorf("fptree: child count %d exceeds remaining nodes at byte %d", kids, pos)
+		}
+		id := int32(len(t.nodes))
+		t.nodes = append(t.nodes, Node{Item: int32(item), Count: int32(count), IsLast: flags == 1})
+		top.lastItem = int64(item)
+		top.remaining--
+		// Children arrive in ascending item order, so plain appends keep
+		// the parent's children index sorted by construction.
+		t.nodes[top.id].children = append(t.nodes[top.id].children, id)
+		if kids > 0 {
+			stack = append(stack, frame{id: id, remaining: kids, lastItem: -1})
+		}
+	}
+	if read != total {
+		return nil, fmt.Errorf("fptree: declared %d nodes, found %d", total, read)
+	}
+	if pos != len(data) {
+		return nil, fmt.Errorf("fptree: %d trailing bytes after tree", len(data)-pos)
+	}
+	return t, nil
+}

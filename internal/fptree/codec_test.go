@@ -1,0 +1,160 @@
+package fptree
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randomTree builds a tree from random transactions, returning it.
+func randomTree(seed int64, txs, maxLen, maxItem int) *Tree {
+	rng := rand.New(rand.NewSource(seed))
+	t := New()
+	for i := 0; i < txs; i++ {
+		n := 1 + rng.Intn(maxLen)
+		items := make([]int, n)
+		for j := range items {
+			items[j] = rng.Intn(maxItem)
+		}
+		t.Update(items)
+	}
+	return t
+}
+
+func TestTreeCodecRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		orig := randomTree(seed, 100, 8, 30)
+		data := EncodeTree(orig)
+		got, err := DecodeTree(data)
+		if err != nil {
+			t.Fatalf("seed %d: decode: %v", seed, err)
+		}
+		if got.Canonical() != orig.Canonical() {
+			t.Fatalf("seed %d: round trip changed the tree", seed)
+		}
+	}
+}
+
+func TestTreeCodecEmptyTree(t *testing.T) {
+	got, err := DecodeTree(EncodeTree(New()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != 0 {
+		t.Fatalf("Size = %d, want 0", got.Size())
+	}
+}
+
+// The encoding must be canonical: equal trees built on different
+// schedules (serial vs sharded arenas) serialize to identical bytes.
+func TestTreeCodecCanonicalAcrossBuilds(t *testing.T) {
+	txs := NewTransactions()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 200; i++ {
+		n := 1 + rng.Intn(6)
+		items := make([]int32, n)
+		for j := range items {
+			items[j] = int32(rng.Intn(20))
+		}
+		txs.Push(items)
+	}
+	serial := EncodeTree(Build(txs))
+	sharded := EncodeTree(BuildSharded(txs, 4))
+	if string(serial) != string(sharded) {
+		t.Fatal("serial and sharded builds of the same transactions serialize differently")
+	}
+}
+
+// Every single-byte flip or truncation of a valid encoding must fail to
+// decode or decode to a structurally valid tree — never panic.
+func TestTreeCodecCorruptionNeverPanics(t *testing.T) {
+	data := EncodeTree(randomTree(3, 50, 6, 15))
+	for i := range data {
+		for _, delta := range []byte{0x01, 0x80, 0xFF} {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= delta
+			tr, err := DecodeTree(mut) // must not panic
+			if err == nil && tr == nil {
+				t.Fatal("nil tree with nil error")
+			}
+		}
+		if _, err := DecodeTree(data[:i]); err == nil && i < len(data) {
+			// Short prefixes may happen to decode (e.g. cutting trailing
+			// garbage that was never valid); a full-prefix success is
+			// only acceptable for the complete encoding.
+			t.Fatalf("truncation to %d of %d bytes decoded successfully", i, len(data))
+		}
+	}
+	if _, err := DecodeTree(nil); err == nil {
+		t.Fatal("empty input decoded successfully")
+	}
+}
+
+// Merge must handle chains as deep as the longest transaction without
+// recursing: a 200k-deep chain would overflow a recursive merge's stack
+// growth budget long before the arena does.
+func TestMergeDeepChain(t *testing.T) {
+	const depth = 200_000
+	chain := make([]int, depth)
+	for i := range chain {
+		chain[i] = i
+	}
+	a, b := New(), New()
+	a.Update(chain)
+	b.Update(chain)
+	a.Merge(b)
+	if a.Size() != depth {
+		t.Fatalf("Size = %d, want %d", a.Size(), depth)
+	}
+	// Counts along the chain doubled.
+	n := a.Root()
+	for i := 0; i < 10; i++ {
+		n = a.Child(n, i)
+		if n == nil || n.Count != 2 {
+			t.Fatalf("depth %d: count %v, want 2", i, n)
+		}
+	}
+}
+
+func TestMergeEquivalentToCombinedBuild(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	all, left, right := New(), New(), New()
+	for i := 0; i < 300; i++ {
+		n := 1 + rng.Intn(7)
+		items := make([]int, n)
+		for j := range items {
+			items[j] = rng.Intn(25)
+		}
+		all.Update(items)
+		if i%2 == 0 {
+			left.Update(items)
+		} else {
+			right.Update(items)
+		}
+	}
+	left.Merge(right)
+	if left.Canonical() != all.Canonical() {
+		t.Fatal("merged halves differ from the combined build")
+	}
+}
+
+// MergeMapped with an injective remap must equal building the remapped
+// transactions directly.
+func TestMergeMappedRemapsItems(t *testing.T) {
+	src, want, dst := New(), New(), New()
+	txs := [][]int{{0, 1, 2}, {0, 2}, {1}, {0, 1, 2, 3}}
+	remap := []int32{10, 5, 7, 2}
+	for _, tx := range txs {
+		src.Update(tx)
+		mapped := make([]int32, len(tx))
+		for i, it := range tx {
+			mapped[i] = remap[it]
+		}
+		// Build the expected tree with the same per-transaction item
+		// order (MergeMapped preserves structure, it does not re-sort).
+		want.Add(mapped)
+	}
+	dst.MergeMapped(src, func(i int32) int32 { return remap[i] })
+	if dst.Canonical() != want.Canonical() {
+		t.Fatalf("mapped merge differs:\n%s\nvs\n%s", dst.Canonical(), want.Canonical())
+	}
+}

@@ -165,23 +165,46 @@ func (t *Tree) Canonical() string {
 
 // Merge folds other into t: counts of shared prefixes are summed, IsLast
 // flags are OR-ed, and missing branches are copied. It is the
-// deterministic count-merge fallback for combining per-shard trees whose
-// transactions straddle shards (BuildSharded's item-disjoint fast path
-// never needs it).
+// deterministic count-merge used by the map/reduce mining driver to fold
+// per-shard trees on the reduce side (and the fallback for combining
+// trees whose transactions straddle BuildSharded's item-disjoint shards).
 func (t *Tree) Merge(other *Tree) {
-	var rec func(dst, src int32)
-	rec = func(dst, src int32) {
-		for _, sc := range other.nodes[src].children {
+	t.MergeMapped(other, nil)
+}
+
+// MergeMapped is Merge with the source tree's items translated through
+// mapItem as they are copied (nil means identity). The mining driver uses
+// it to fold shard trees whose items were interned locally: each shard's
+// dense ids are remapped into the reduce-side interner on the way in, so
+// shards never need to agree on id assignment up front. mapItem must be
+// injective over the source tree's items, which any interner remap is.
+//
+// The traversal keeps an explicit stack instead of recursing: merge depth
+// equals the longest transaction chain in the source tree, and
+// real-corpus statements can make that pathological — this is the reduce
+// phase's hot path, fed trees from arbitrary shards, so it must not be
+// able to overflow the goroutine stack.
+func (t *Tree) MergeMapped(other *Tree, mapItem func(int32) int32) {
+	type frame struct{ dst, src int32 }
+	stack := make([]frame, 0, 64)
+	stack = append(stack, frame{0, 0})
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, sc := range other.nodes[f.src].children {
 			sn := other.nodes[sc]
-			dc := t.ensureChild(dst, sn.Item)
+			item := sn.Item
+			if mapItem != nil {
+				item = mapItem(item)
+			}
+			dc := t.ensureChild(f.dst, item)
 			t.nodes[dc].Count += sn.Count
 			if sn.IsLast {
 				t.nodes[dc].IsLast = true
 			}
-			rec(dc, sc)
+			stack = append(stack, frame{dc, sc})
 		}
 	}
-	rec(0, 0)
 }
 
 // Transactions is a flat, append-only buffer of item lists: one backing

@@ -1,0 +1,118 @@
+package knowledge
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+)
+
+// Checkpoint container: the on-disk envelope for the map/reduce mining
+// driver's per-shard artifacts. Like the flat v2 knowledge format it is
+// versioned, CRC-checked over every byte, and written atomically (temp
+// file + rename), so a crashed or killed worker can never leave a torn
+// artifact that a resumed driver would trust. The payload is opaque to
+// this layer — the driver owns the per-kind encodings — but the kind
+// string is part of the validated header, so a shard-statements file can
+// never be misread as a shard-trees file.
+//
+// Layout (integers are unsigned varints unless noted):
+//
+//	magic     4 bytes  0x9F 'N' 'C' 'K'
+//	version   varint   1
+//	kind      varint length + raw bytes
+//	payload   varint length + raw bytes
+//	crc       4 bytes LE, CRC-32C over every preceding byte
+
+// ckMagic identifies a checkpoint file. The first byte is outside ASCII,
+// and the magic differs from the knowledge magic, so artifacts and
+// checkpoints can never be confused.
+var ckMagic = [4]byte{0x9F, 'N', 'C', 'K'}
+
+// CheckpointVersion is the current checkpoint envelope version.
+const CheckpointVersion = 1
+
+const maxCheckpointKind = 256
+
+// WriteCheckpoint writes payload to path inside a CRC-checked envelope,
+// atomically (temp file in the destination directory + rename).
+func WriteCheckpoint(path, kind string, payload []byte) error {
+	if len(kind) == 0 || len(kind) > maxCheckpointKind {
+		return fmt.Errorf("knowledge: invalid checkpoint kind %q", kind)
+	}
+	var scratch [binary.MaxVarintLen64]byte
+	buf := make([]byte, 0, len(payload)+len(kind)+32)
+	buf = append(buf, ckMagic[:]...)
+	buf = append(buf, scratch[:binary.PutUvarint(scratch[:], CheckpointVersion)]...)
+	buf = append(buf, scratch[:binary.PutUvarint(scratch[:], uint64(len(kind)))]...)
+	buf = append(buf, kind...)
+	buf = append(buf, scratch[:binary.PutUvarint(scratch[:], uint64(len(payload)))]...)
+	buf = append(buf, payload...)
+	crc := crc32.Checksum(buf, crcTable)
+	buf = binary.LittleEndian.AppendUint32(buf, crc)
+	return writeFileAtomic(path, buf)
+}
+
+// ReadCheckpoint reads a checkpoint written by WriteCheckpoint,
+// validating the magic, version, kind, length, and checksum. Any
+// mismatch — including a kind other than the expected one — returns an
+// error, which the driver treats as "re-run this shard".
+func ReadCheckpoint(path, kind string) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	payload, gotKind, err := decodeCheckpoint(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if gotKind != kind {
+		return nil, fmt.Errorf("%s: checkpoint kind %q, want %q", path, gotKind, kind)
+	}
+	return payload, nil
+}
+
+func decodeCheckpoint(data []byte) (payload []byte, kind string, err error) {
+	if len(data) < len(ckMagic)+4 || string(data[:len(ckMagic)]) != string(ckMagic[:]) {
+		return nil, "", fmt.Errorf("knowledge: not a checkpoint file (bad magic)")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(tail) {
+		return nil, "", fmt.Errorf("knowledge: checkpoint checksum mismatch")
+	}
+	pos := len(ckMagic)
+	uvarint := func(what string) (uint64, error) {
+		v, n := binary.Uvarint(body[pos:])
+		if n <= 0 {
+			return 0, fmt.Errorf("knowledge: truncated checkpoint %s at byte %d", what, pos)
+		}
+		pos += n
+		return v, nil
+	}
+	version, err := uvarint("version")
+	if err != nil {
+		return nil, "", err
+	}
+	if version != CheckpointVersion {
+		return nil, "", fmt.Errorf("knowledge: unsupported checkpoint version %d (this build reads %d)",
+			version, CheckpointVersion)
+	}
+	kindLen, err := uvarint("kind length")
+	if err != nil {
+		return nil, "", err
+	}
+	if kindLen == 0 || kindLen > maxCheckpointKind || kindLen > uint64(len(body)-pos) {
+		return nil, "", fmt.Errorf("knowledge: implausible checkpoint kind length %d", kindLen)
+	}
+	kind = string(body[pos : pos+int(kindLen)])
+	pos += int(kindLen)
+	payloadLen, err := uvarint("payload length")
+	if err != nil {
+		return nil, "", err
+	}
+	if payloadLen != uint64(len(body)-pos) {
+		return nil, "", fmt.Errorf("knowledge: checkpoint payload length %d, have %d bytes",
+			payloadLen, len(body)-pos)
+	}
+	return body[pos:], kind, nil
+}

@@ -1,0 +1,97 @@
+package knowledge
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "shard-0001.ck")
+	payload := []byte("per-shard artifact bytes \x00\xff binary ok")
+	if err := WriteCheckpoint(path, "shard-stmts", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(path, "shard-stmts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload changed across round trip")
+	}
+	if _, err := ReadCheckpoint(path, "shard-trees"); err == nil {
+		t.Fatal("wrong kind accepted")
+	}
+}
+
+func TestCheckpointEmptyPayload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "e.ck")
+	if err := WriteCheckpoint(path, "k", nil); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCheckpoint(path, "k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("payload = %q, want empty", got)
+	}
+}
+
+// Every single-byte corruption of a checkpoint must be rejected — this is
+// the property the driver's resume logic relies on to re-run only broken
+// shards instead of trusting them.
+func TestCheckpointEveryByteFlipRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.ck")
+	if err := WriteCheckpoint(path, "shard-stmts", []byte("payload payload payload")); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x01
+		if _, _, err := decodeCheckpoint(mut); err == nil {
+			t.Fatalf("flip at byte %d accepted", i)
+		}
+	}
+	for i := 0; i < len(data); i++ {
+		if _, _, err := decodeCheckpoint(data[:i]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", i)
+		}
+	}
+}
+
+func TestCheckpointRejectsUnrelatedFiles(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"json.ck":  `{"not": "a checkpoint"}`,
+		"empty.ck": "",
+	} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := ReadCheckpoint(p, "k"); err == nil {
+			t.Fatalf("%s accepted as checkpoint", name)
+		}
+	}
+	if _, err := ReadCheckpoint(filepath.Join(dir, "missing.ck"), "k"); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestCheckpointKindValidation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "k.ck")
+	if err := WriteCheckpoint(path, "", nil); err == nil {
+		t.Fatal("empty kind accepted")
+	}
+	if err := WriteCheckpoint(path, strings.Repeat("k", maxCheckpointKind+1), nil); err == nil {
+		t.Fatal("oversized kind accepted")
+	}
+}

@@ -7,7 +7,6 @@ package mining
 
 import (
 	"context"
-	"slices"
 	"sort"
 
 	"namer/internal/confusion"
@@ -101,18 +100,69 @@ func MinePatternsCtx(ctx context.Context, stmts []*pattern.Statement, t pattern.
 	// counts are identical to a serial pass regardless of scheduling.
 	_, sp := obs.StartSpan(ctx, "pass1_count")
 	sp.SetAttrInt("statements", len(stmts))
-	freq := countPathFrequencies(stmts, workers)
+	freq := CountPaths(stmts, workers)
 	sp.SetAttrInt("distinct_paths", len(freq))
 	sp.End()
 
-	// Pass 2: grow the FP tree (Algorithm 1, lines 4-7). Transaction
-	// generation is serial — the interner must assign ids in statement
-	// order for the frequency-ordering tie-break (and hence the tree
-	// shape) to be schedule-independent — but it only appends to flat
-	// scratch buffers; the tree growth itself is sharded by first item
-	// across `workers` goroutines (fptree.BuildSharded), which yields the
-	// same canonical tree as the serial reference build.
+	// Pass 2: grow the FP tree (Algorithm 1, lines 4-7). The single-process
+	// path is the one-shard special case of the map/reduce split: build one
+	// shard tree over all statements, "merge" the single tree, grow.
 	_, sp = obs.StartSpan(ctx, "build_tree")
+	st := BuildShardTree(stmts, t, pairs, freq, cfg)
+	sp.SetAttrInt("transactions", st.Transactions)
+	sp.SetAttrInt("tree_nodes", st.Tree.Size())
+	sp.End()
+	if cfg.OnTreeBuilt != nil {
+		cfg.OnTreeBuilt(st.Tree.Size(), st.Transactions)
+	}
+
+	// Algorithm 2: generate patterns from the FP tree.
+	_, sp = obs.StartSpan(ctx, "fp_growth")
+	candidates := Grow(st, t, pairs, cfg)
+	sp.SetAttrInt("candidates", len(candidates))
+	sp.End()
+
+	_, sp = obs.StartSpan(ctx, "prune_uncommon")
+	out := PruneUncommon(candidates, stmts, cfg.MinSatisfactionRatio, workers)
+	sp.SetAttrInt("kept", len(out))
+	sp.End()
+	msp.SetAttrInt("patterns", len(out))
+	return out
+}
+
+// ShardTree is the pass-2 product of one corpus shard: the FP tree over
+// the shard's transactions, the item table mapping the tree's dense item
+// ids back to name paths, and the number of inserted transactions. It is
+// the unit the map/reduce mining driver checkpoints per shard and folds
+// with MergeShardTrees on the reduce side.
+type ShardTree struct {
+	Tree         *fptree.Tree
+	Items        []namepath.Path
+	Transactions int
+}
+
+// BuildShardTree runs pass 2 of Algorithm 1 over one shard of statements:
+// transaction generation (path filtering by the dataset-wide frequency
+// table, condition/deduction splits, canonical item ordering) and FP-tree
+// growth. freq must be the merged pass-1 counts of the WHOLE dataset, not
+// just this shard — both the MinPathCount filter and the item ordering
+// depend on it, which is why the distributed protocol needs a count-merge
+// barrier between pass 1 and pass 2.
+//
+// Item ordering within a transaction is canonical and id-free: condition
+// paths sort by (dataset frequency desc, path key asc), deduction paths by
+// path key asc. Because the ordering never consults shard-local interner
+// ids, the transaction of a statement is the same path sequence no matter
+// which shard builds it, and an FP tree is uniquely determined by its
+// transaction multiset — so merging per-shard trees yields byte-identical
+// knowledge to a single-process build at any shard count.
+func BuildShardTree(stmts []*pattern.Statement, t pattern.Type,
+	pairs *confusion.PairSet, freq map[string]int, cfg Config) ShardTree {
+
+	if cfg.MaxPathsPerStatement <= 0 {
+		cfg.MaxPathsPerStatement = 10
+	}
+	workers := parallel.Degree(cfg.Parallelism)
 	in := namepath.NewInterner()
 	var itemFreq []int // dense: itemFreq[id] = dataset frequency of the path
 	intern := func(p namepath.Path) int32 {
@@ -150,12 +200,12 @@ func MinePatternsCtx(ctx context.Context, stmts []*pattern.Statement, t pattern.
 			for _, c := range split.cond {
 				items = append(items, intern(c))
 			}
-			sortItems(items, itemFreq)
+			sortItems(items, itemFreq, in)
 			deductStart := len(items)
 			for _, d := range split.deduct {
 				items = append(items, intern(d))
 			}
-			slices.Sort(items[deductStart:])
+			sortByKey(items[deductStart:], in)
 			if len(items) == 0 {
 				continue
 			}
@@ -170,27 +220,63 @@ func MinePatternsCtx(ctx context.Context, stmts []*pattern.Statement, t pattern.
 	if tree == nil {
 		tree = fptree.BuildSharded(txs, workers)
 	}
-	sp.SetAttrInt("transactions", transactions)
-	sp.SetAttrInt("tree_nodes", tree.Size())
-	sp.End()
-	if cfg.OnTreeBuilt != nil {
-		cfg.OnTreeBuilt(tree.Size(), transactions)
+	st := ShardTree{Tree: tree, Transactions: transactions}
+	st.Items = make([]namepath.Path, in.Len())
+	for i := range st.Items {
+		st.Items[i] = in.Path(i)
 	}
+	return st
+}
 
-	// Algorithm 2: generate patterns from the FP tree.
-	_, sp = obs.StartSpan(ctx, "fp_growth")
+// MergeShardTrees folds per-shard trees into one: every shard's item ids
+// are remapped into a shared interner and its tree is count-merged into
+// the accumulator (fptree.Tree.MergeMapped). Because each shard's
+// transactions were ordered canonically (BuildShardTree), the merged tree
+// equals the tree a single process would build over the concatenated
+// statements — shard boundaries and merge order leave no trace.
+func MergeShardTrees(shards []ShardTree) ShardTree {
+	in := namepath.NewInterner()
+	tree := fptree.New()
+	total := 0
+	for _, sh := range shards {
+		if sh.Tree == nil || sh.Tree.Size() == 0 {
+			total += sh.Transactions
+			continue
+		}
+		idMap := make([]int32, len(sh.Items))
+		for local, p := range sh.Items {
+			idMap[local] = int32(in.Intern(p))
+		}
+		tree.MergeMapped(sh.Tree, func(item int32) int32 { return idMap[item] })
+		total += sh.Transactions
+	}
+	out := ShardTree{Tree: tree, Transactions: total}
+	out.Items = make([]namepath.Path, in.Len())
+	for i := range out.Items {
+		out.Items[i] = in.Path(i)
+	}
+	return out
+}
+
+// Grow runs Algorithm 2 over a (possibly merged) shard tree: it walks the
+// FP tree, emits candidate patterns for every transaction-ending node,
+// aggregates equal patterns, applies the MinPatternCount support
+// threshold, and returns the candidates in ascending key order. The
+// output depends only on the tree's canonical form, never on its arena
+// layout or item-id assignment.
+func Grow(st ShardTree, t pattern.Type, pairs *confusion.PairSet, cfg Config) []*pattern.Pattern {
 	deductLen := 1
 	if t == pattern.Consistency {
 		deductLen = 2
 	}
 	byKey := make(map[string]*pattern.Pattern)
-	tree.Walk(func(n *fptree.Node, stack []int) {
+	st.Tree.Walk(func(n *fptree.Node, stack []int) {
 		if !n.IsLast || len(stack) < deductLen {
 			return
 		}
 		deduct := make([]namepath.Path, deductLen)
 		for i := 0; i < deductLen; i++ {
-			deduct[i] = in.Path(stack[len(stack)-deductLen+i])
+			deduct[i] = st.Items[stack[len(stack)-deductLen+i]]
 		}
 		if !validDeduction(deduct, t, pairs) {
 			return
@@ -202,7 +288,7 @@ func MinePatternsCtx(ctx context.Context, stmts []*pattern.Statement, t pattern.
 		for _, subset := range combinations(conds, cfg.MaxCombinationsPerNode) {
 			cond := make([]namepath.Path, len(subset))
 			for i, id := range subset {
-				cond[i] = in.Path(id)
+				cond[i] = st.Items[id]
 			}
 			p := &pattern.Pattern{Type: t, Condition: cond, Deduction: deduct, Count: int(n.Count)}
 			k := p.Key()
@@ -221,21 +307,15 @@ func MinePatternsCtx(ctx context.Context, stmts []*pattern.Statement, t pattern.
 		}
 	}
 	sort.Slice(candidates, func(i, j int) bool { return candidates[i].Key() < candidates[j].Key() })
-	sp.SetAttrInt("candidates", len(candidates))
-	sp.End()
-
-	_, sp = obs.StartSpan(ctx, "prune_uncommon")
-	out := PruneUncommon(candidates, stmts, cfg.MinSatisfactionRatio, workers)
-	sp.SetAttrInt("kept", len(out))
-	sp.End()
-	msp.SetAttrInt("patterns", len(out))
-	return out
+	return candidates
 }
 
-// countPathFrequencies is the sharded pass 1 of Algorithm 1: each worker
-// counts path occurrences over a contiguous statement range into a private
-// map, and the per-shard maps are folded together in shard order.
-func countPathFrequencies(stmts []*pattern.Statement, workers int) map[string]int {
+// CountPaths is the sharded pass 1 of Algorithm 1: each worker counts
+// path occurrences over a contiguous statement range into a private map,
+// and the per-shard maps are folded together in shard order. The counts
+// of disjoint statement sets merge by plain addition, which is what the
+// map/reduce driver's count-reduce step does across corpus shards.
+func CountPaths(stmts []*pattern.Statement, workers int) map[string]int {
 	shards := parallel.Shards(len(stmts), workers)
 	if len(shards) <= 1 {
 		freq := make(map[string]int)
@@ -372,16 +452,40 @@ func validDeduction(deduct []namepath.Path, t pattern.Type, pairs *confusion.Pai
 	return false
 }
 
-// sortItems orders condition items by descending dataset frequency (ties
-// by id), the standard FP-tree ordering that maximizes prefix sharing.
-// freq is the dense per-id frequency table built during interning.
-func sortItems(items []int32, freq []int) {
+// sortItems orders condition items by descending dataset frequency — the
+// standard FP-tree ordering that maximizes prefix sharing — with ties
+// broken by ascending path key. The tie-break is deliberately id-free:
+// interner ids depend on which statements a process has seen and in what
+// order, while the (frequency, key) order is a property of the dataset
+// alone, so every shard of a distributed mine sorts identically. freq is
+// the dense per-id frequency table built during interning; keys come
+// memoized from the interner's path table, so ties cost a map-free string
+// compare.
+func sortItems(items []int32, freq []int, in *namepath.Interner) {
 	sort.Slice(items, func(i, j int) bool {
 		fi, fj := freq[items[i]], freq[items[j]]
 		if fi != fj {
 			return fi > fj
 		}
-		return items[i] < items[j]
+		return in.Path(int(items[i])).Key() < in.Path(int(items[j])).Key()
+	})
+}
+
+// sortByKey orders deduction items by ascending path key (canonical and
+// id-free, see sortItems). Deductions are one or two items, so this is at
+// most a single compare-and-swap.
+func sortByKey(items []int32, in *namepath.Interner) {
+	if len(items) <= 1 {
+		return
+	}
+	if len(items) == 2 {
+		if in.Path(int(items[1])).Key() < in.Path(int(items[0])).Key() {
+			items[0], items[1] = items[1], items[0]
+		}
+		return
+	}
+	sort.Slice(items, func(i, j int) bool {
+		return in.Path(int(items[i])).Key() < in.Path(int(items[j])).Key()
 	})
 }
 

@@ -12,7 +12,9 @@ import (
 // ETA 6s"). Update is safe to call from concurrent workers and rate-
 // limits its own output, so it can sit directly in a per-item callback;
 // the ETA comes from the moving rate between emitted lines, not the
-// lifetime average, so it tracks speedups and slowdowns mid-run.
+// lifetime average, so it tracks speedups and slowdowns mid-run. The
+// first Update emits immediately, so short runs are not silent until
+// Final.
 type Progress struct {
 	w     io.Writer
 	label string
@@ -20,13 +22,22 @@ type Progress struct {
 	every time.Duration
 
 	mu       sync.Mutex
+	now      func() time.Time // injectable clock for tests
 	start    time.Time
+	emitted  bool
 	lastT    time.Time
 	lastDone int
 }
 
 // DefaultProgressInterval is how often Progress emits, at most.
 const DefaultProgressInterval = 2 * time.Second
+
+// minRateWindow is the smallest interval the moving rate is computed
+// over. A Final (or racing Update) arriving microseconds after the last
+// emitted line would otherwise divide a tiny item delta by a near-zero
+// dt and print an absurd rate and ETA; below the floor the lifetime
+// average is used instead.
+const minRateWindow = 100 * time.Millisecond
 
 // NewProgress returns a progress reporter writing to w. label prefixes
 // each line; unit names the items being counted ("files").
@@ -35,6 +46,7 @@ func NewProgress(w io.Writer, label, unit string) *Progress {
 	return &Progress{
 		w: w, label: label, unit: unit,
 		every: DefaultProgressInterval,
+		now:   time.Now,
 		start: now, lastT: now,
 	}
 }
@@ -48,12 +60,13 @@ func (p *Progress) SetInterval(d time.Duration) {
 
 // Update reports that `done` of `total` items are complete, with an
 // auxiliary running count (statements extracted, bytes read; 0 to
-// omit). At most one line per interval is written.
+// omit). The first call emits unconditionally; afterwards at most one
+// line per interval is written.
 func (p *Progress) Update(done, total, extra int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	now := time.Now()
-	if now.Sub(p.lastT) < p.every {
+	now := p.now()
+	if p.emitted && now.Sub(p.lastT) < p.every {
 		return
 	}
 	p.emitLocked(now, done, total, extra)
@@ -63,12 +76,15 @@ func (p *Progress) Update(done, total, extra int) {
 func (p *Progress) Final(done, total, extra int) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.emitLocked(time.Now(), done, total, extra)
+	p.emitLocked(p.now(), done, total, extra)
 }
 
 func (p *Progress) emitLocked(now time.Time, done, total, extra int) {
+	// The moving rate needs a window wide enough to mean something: a
+	// Final microseconds after the last Update must fall back to the
+	// lifetime average instead of printing a million-items/s spike.
 	rate := 0.0
-	if dt := now.Sub(p.lastT).Seconds(); dt > 0 && done > p.lastDone {
+	if dt := now.Sub(p.lastT).Seconds(); dt >= minRateWindow.Seconds() && done > p.lastDone {
 		rate = float64(done-p.lastDone) / dt
 	} else if dt := now.Sub(p.start).Seconds(); dt > 0 {
 		rate = float64(done) / dt
@@ -88,6 +104,64 @@ func (p *Progress) emitLocked(now time.Time, done, total, extra int) {
 		}
 	}
 	fmt.Fprintln(p.w, line)
+	p.emitted = true
 	p.lastT = now
 	p.lastDone = done
+}
+
+// ProgressAggregator folds per-source progress into one Progress line —
+// the cross-worker view of a distributed stage, where each map worker
+// (in-process shard goroutine or child process) reports only its own
+// done count. Report takes absolute per-source values, so workers can
+// re-report freely (including after a driver resume, where finished
+// shards report their totals once) and the aggregate never double
+// counts.
+type ProgressAggregator struct {
+	p     *Progress
+	total int
+
+	mu    sync.Mutex
+	done  []int
+	extra []int
+}
+
+// NewProgressAggregator returns an aggregator over `sources` independent
+// progress sources whose combined work is `total` items, reporting
+// through p.
+func NewProgressAggregator(p *Progress, sources, total int) *ProgressAggregator {
+	return &ProgressAggregator{
+		p:     p,
+		total: total,
+		done:  make([]int, sources),
+		extra: make([]int, sources),
+	}
+}
+
+// Report records that the given source has completed `done` items with
+// `extra` auxiliary units so far (absolute values, not deltas), and
+// forwards the cross-source sums to the underlying Progress. Safe for
+// concurrent use from every source.
+func (a *ProgressAggregator) Report(source, done, extra int) {
+	a.mu.Lock()
+	a.done[source] = done
+	a.extra[source] = extra
+	sumDone, sumExtra := 0, 0
+	for i := range a.done {
+		sumDone += a.done[i]
+		sumExtra += a.extra[i]
+	}
+	a.mu.Unlock()
+	a.p.Update(sumDone, a.total, sumExtra)
+}
+
+// Final emits the closing line with the current cross-source sums.
+func (a *ProgressAggregator) Final() {
+	a.mu.Lock()
+	sumDone, sumExtra := 0, 0
+	for i := range a.done {
+		sumDone += a.done[i]
+		sumExtra += a.extra[i]
+	}
+	a.mu.Unlock()
+	a.p.Final(sumDone, a.total, sumExtra)
 }

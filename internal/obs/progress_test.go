@@ -1,0 +1,112 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// A Final arriving microseconds after the last emitted line must not
+// compute the moving rate over the near-zero window — it falls back to
+// the lifetime average instead of printing an absurd rate and ETA.
+func TestProgressFinalRateNotSpiked(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "analyze", "files")
+	p.SetInterval(0)
+	clock := p.start
+	p.now = func() time.Time { return clock }
+
+	clock = clock.Add(10 * time.Second)
+	p.Update(500, 1000, 0) // lifetime and moving rate agree: 50.0/s
+
+	clock = clock.Add(50 * time.Microsecond)
+	p.Final(501, 1000, 0) // moving window is 50µs — must fall back
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	if !strings.Contains(lines[0], "50.0 files/s") {
+		t.Errorf("update line rate = %q, want 50.0 files/s", lines[0])
+	}
+	// 501 files over ~10s lifetime ≈ 50.1/s; the buggy moving rate would
+	// have been 1 file / 50µs = 20000/s.
+	if !strings.Contains(lines[1], "50.1 files/s") {
+		t.Errorf("final line rate = %q, want the lifetime average 50.1 files/s", lines[1])
+	}
+}
+
+// A moving window at or above the floor still tracks mid-run speed
+// changes rather than the lifetime average.
+func TestProgressMovingRateTracksSpeedup(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "analyze", "files")
+	p.SetInterval(0)
+	clock := p.start
+	p.now = func() time.Time { return clock }
+
+	clock = clock.Add(10 * time.Second)
+	p.Update(100, 1000, 0) // 10/s lifetime
+
+	clock = clock.Add(1 * time.Second)
+	p.Update(300, 1000, 0) // 200 files in the last second
+
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if !strings.Contains(lines[1], "200.0 files/s") {
+		t.Errorf("second line rate = %q, want the moving 200.0 files/s", lines[1])
+	}
+}
+
+func TestProgressFirstUpdateEmitsImmediately(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "mine", "shards")
+	// Default interval is 2s; the first Update must not wait for it.
+	p.Update(1, 8, 0)
+	if !strings.HasPrefix(buf.String(), "mine: 1/8 shards") {
+		t.Fatalf("first update silent or wrong: %q", buf.String())
+	}
+}
+
+func TestProgressAggregatorSumsSources(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "map", "files")
+	p.SetInterval(0)
+	a := NewProgressAggregator(p, 3, 30)
+	a.Report(0, 5, 100)
+	a.Report(2, 7, 200)
+	a.Report(0, 6, 120) // absolute re-report must replace, not add
+	a.Final()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "map: 13/30 files") {
+		t.Fatalf("final aggregate = %q, want 13/30", last)
+	}
+	if !strings.Contains(last, "320 statements") {
+		t.Fatalf("final aggregate = %q, want 320 statements", last)
+	}
+}
+
+func TestProgressAggregatorConcurrent(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgress(&buf, "map", "files")
+	a := NewProgressAggregator(p, 8, 800)
+	var wg sync.WaitGroup
+	for s := 0; s < 8; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 1; i <= 100; i++ {
+				a.Report(s, i, i)
+			}
+		}(s)
+	}
+	wg.Wait()
+	a.Final()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	last := lines[len(lines)-1]
+	if !strings.HasPrefix(last, "map: 800/800 files (100%)") {
+		t.Fatalf("final aggregate = %q, want 800/800", last)
+	}
+}

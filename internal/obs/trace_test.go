@@ -413,7 +413,13 @@ func TestProgressThrottles(t *testing.T) {
 	for i := 1; i <= 100; i++ {
 		p.Update(i, 100, 0)
 	}
-	if got := buf.Len(); got != 0 {
-		t.Fatalf("throttled Progress emitted %d bytes: %q", got, buf.String())
+	// The first Update emits immediately (so short runs are not silent
+	// until Final); everything after is throttled by the interval.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("throttled Progress emitted %d lines: %q", len(lines), buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "analyze: 1/100 files") {
+		t.Fatalf("first line = %q, want the first update", lines[0])
 	}
 }

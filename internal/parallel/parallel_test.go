@@ -96,3 +96,43 @@ func TestForEachShardOrderableMerge(t *testing.T) {
 		t.Errorf("sum = %d, want %d", total, want)
 	}
 }
+
+func TestShardsEdgeCases(t *testing.T) {
+	// Fewer items than workers: one single-item shard per item, never an
+	// empty shard.
+	shards := Shards(3, 16)
+	if len(shards) != 3 {
+		t.Fatalf("n=3 workers=16: %d shards, want 3", len(shards))
+	}
+	for i, s := range shards {
+		if s.Hi-s.Lo != 1 {
+			t.Fatalf("shard %d = %+v, want a single item", i, s)
+		}
+	}
+	// Degenerate worker counts clamp to a single shard.
+	for _, workers := range []int{0, -1} {
+		shards := Shards(5, workers)
+		if len(shards) != 1 || shards[0].Lo != 0 || shards[0].Hi != 5 {
+			t.Fatalf("workers=%d: shards = %v, want one covering [0,5)", workers, shards)
+		}
+	}
+	if Shards(0, 0) != nil {
+		t.Fatal("n=0 must yield nil shards for any worker count")
+	}
+	// Balance: shard sizes differ by at most one.
+	for _, tc := range []struct{ n, workers int }{{10, 3}, {17, 5}, {64, 64}} {
+		min, max := tc.n, 0
+		for _, s := range Shards(tc.n, tc.workers) {
+			size := s.Hi - s.Lo
+			if size < min {
+				min = size
+			}
+			if size > max {
+				max = size
+			}
+		}
+		if max-min > 1 {
+			t.Errorf("n=%d workers=%d: shard sizes range [%d,%d]", tc.n, tc.workers, min, max)
+		}
+	}
+}
