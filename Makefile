@@ -5,9 +5,9 @@
 
 GO ?= go
 
-.PHONY: tier1 build vet fmt test race bench serve-smoke driver-gate
+.PHONY: tier1 build vet fmt test race bench serve-smoke driver-gate obs-gate
 
-tier1: build vet fmt race serve-smoke driver-gate
+tier1: build vet fmt race serve-smoke driver-gate obs-gate
 
 build:
 	$(GO) build ./...
@@ -69,6 +69,50 @@ driver-gate:
 		{ echo "driver-gate: resumed driver knowledge differs from serial mine"; exit 1; }; \
 	echo "driver-gate: ok (2-shard driver == serial, full checkpoint reuse)"
 
+# Observability gate for the distributed miner. The in-process half
+# (TestObsGate) runs a 2-shard subprocess mine under a trace, a flight
+# recorder, and a live status server, scraping /status, /metrics, and
+# /debug/pprof mid-run, and validates the merged Chrome trace (both
+# worker PID lanes, checkpoint/resume-validation spans, no malformed
+# events) plus histogram-bucket monotonicity on /metrics. The binary
+# half runs the real namer-mine with -trace, -status-addr, and JSON
+# debug logging and asserts the trace file carries span lanes from at
+# least three distinct processes (driver lane + two workers), the
+# worker/checkpoint spans survived shipping, the stderr stream is
+# structured (JSON records, with captured worker lines tagged
+# worker_pid), and stdout ends with the per-shard resource table and
+# per-worker rusage rows.
+obs-gate:
+	$(GO) test -run 'TestObsGate$$|TestResultOmitsEmptySpanBatch$$' -count=1 ./internal/driver
+	@set -e; \
+	tmp=$$(mktemp -d); \
+	trap 'rm -rf "$$tmp"' EXIT; \
+	$(GO) build -o "$$tmp" ./cmd/namer-corpus ./cmd/namer-mine; \
+	"$$tmp/namer-corpus" -lang python -repos 12 -files 3 -out "$$tmp/corpus" >/dev/null; \
+	"$$tmp/namer-mine" -lang python -dir "$$tmp/corpus" -driver -shards 2 -worker-procs 2 \
+		-checkpoints "$$tmp/ck" -out "$$tmp/driver.bin" -trace "$$tmp/trace.json" \
+		-status-addr 127.0.0.1:0 -status-ready-file "$$tmp/status-addr" \
+		-log-level debug -log-format json >"$$tmp/mine.out" 2>"$$tmp/mine.err" || \
+		{ echo "obs-gate: observed driver mine failed"; cat "$$tmp/mine.err"; exit 1; }; \
+	[ -s "$$tmp/status-addr" ] || { echo "obs-gate: status server never published its address"; exit 1; }; \
+	pids=$$(grep -o '"pid":[0-9]*' "$$tmp/trace.json" | sort -u | wc -l); \
+	[ "$$pids" -ge 3 ] || { echo "obs-gate: trace has $$pids process lanes, want >= 3 (driver + 2 workers)"; exit 1; }; \
+	for span in job load_shard build_shard_tree checkpoint_write checkpoint_read resume_validate; do \
+		grep -qF "\"$$span\"" "$$tmp/trace.json" || \
+			{ echo "obs-gate: merged trace missing $$span span"; exit 1; }; \
+	done; \
+	grep -cq '"process_name"' "$$tmp/trace.json" || \
+		{ echo "obs-gate: trace has no process_name lane metadata"; exit 1; }; \
+	grep -q '"level":"info"' "$$tmp/mine.err" || \
+		{ echo "obs-gate: -log-format json produced no JSON records"; head "$$tmp/mine.err"; exit 1; }; \
+	grep -q '"worker_pid":' "$$tmp/mine.err" || \
+		{ echo "obs-gate: no captured worker stderr tagged with worker_pid"; head "$$tmp/mine.err"; exit 1; }; \
+	grep -q 'driver: per-shard resources:' "$$tmp/mine.out" || \
+		{ echo "obs-gate: stdout missing the per-shard resource table"; cat "$$tmp/mine.out"; exit 1; }; \
+	grep -qE 'driver: worker pid=[0-9]+ cpu=' "$$tmp/mine.out" || \
+		{ echo "obs-gate: stdout missing per-worker rusage rows"; cat "$$tmp/mine.out"; exit 1; }; \
+	echo "obs-gate: ok (merged trace, live status server, structured logs, resource table)"
+
 # End-to-end smoke test of the serving layer: generate a corpus, mine
 # binary knowledge (with a -trace export that must contain the FP
 # stages), boot namer-serve on a random port with the flight recorder
@@ -89,11 +133,17 @@ driver-gate:
 # incremental range edit (the response must say "scan": "incremental"),
 # another edit across a second SIGHUP reload (still 200, never
 # "failed"), the namer_sessions gauge at 1, close, and a 404 for an
-# edit after close. A TERM at the end checks clean shutdown.
+# edit after close. A TERM at the end checks clean shutdown. Every
+# histogram on /metrics must have le-ordered, cumulative buckets.
+# Finally a second server with -max-inflight 1: while a deliberately
+# slow scan (tens of thousands of generated statements) holds the only
+# slot — confirmed via the namer_scan_inflight gauge, not a sleep — a
+# concurrent scan must be shed with 429 and a Retry-After header, and
+# the held scan must still complete with 200.
 serve-smoke:
 	@set -e; \
 	tmp=$$(mktemp -d); \
-	trap 'kill $$pid 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
+	trap 'kill $$pid $$pid2 2>/dev/null || true; rm -rf "$$tmp"' EXIT; \
 	$(GO) build -o "$$tmp" ./cmd/namer-corpus ./cmd/namer-mine ./cmd/namer-serve; \
 	"$$tmp/namer-serve" -version >/dev/null || { echo "serve-smoke: -version failed"; exit 1; }; \
 	"$$tmp/namer-corpus" -lang python -repos 12 -files 3 -out "$$tmp/corpus" >/dev/null; \
@@ -160,6 +210,15 @@ serve-smoke:
 	bad=$$(grep -cvE '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(_bucket|_sum|_count)?(\{[^{}]*\})? -?[0-9.eE+-]+|)$$' "$$tmp/metrics.txt" || true); \
 	[ "$$bad" = 0 ] || { echo "serve-smoke: $$bad unparsable /metrics lines"; \
 		grep -vE '^(#.*|[a-zA-Z_:][a-zA-Z0-9_:]*(_bucket|_sum|_count)?(\{[^{}]*\})? -?[0-9.eE+-]+|)$$' "$$tmp/metrics.txt"; exit 1; }; \
+	awk '/_bucket\{/ { \
+		line=$$0; le=line; sub(/.*le="/,"",le); sub(/".*/,"",le); \
+		series=$$1; sub(/le="[^"]*",?/,"",series); \
+		lev = (le=="+Inf") ? 1e308 : le+0; \
+		if (series in lastle && lev <= lastle[series]) { print "le order violation: " line; bad=1 } \
+		if (series in lastct && $$NF+0 < lastct[series]) { print "non-cumulative bucket: " line; bad=1 } \
+		lastle[series]=lev; lastct[series]=$$NF+0 } \
+		END { exit bad }' "$$tmp/metrics.txt" || \
+		{ echo "serve-smoke: /metrics histogram buckets not monotone"; exit 1; }; \
 	code=$$(curl -s -o "$$tmp/traces.json" -w '%{http_code}' "http://$$addr/debug/traces"); \
 	[ "$$code" = 200 ] || { echo "serve-smoke: /debug/traces returned $$code"; exit 1; }; \
 	grep -qF '"scan_request"' "$$tmp/traces.json" || \
@@ -248,4 +307,30 @@ serve-smoke:
 	[ "$$code" = 404 ] || { echo "serve-smoke: change after close returned $$code, want 404"; exit 1; }; \
 	kill -TERM $$pid; wait $$pid || { echo "serve-smoke: unclean shutdown"; exit 1; }; \
 	pid=; \
-	echo "serve-smoke: ok ($$addr)"
+	"$$tmp/namer-serve" -addr 127.0.0.1:0 -knowledge "$$tmp/knowledge.bin" -max-inflight 1 \
+		-ready-file "$$tmp/addr2" >"$$tmp/serve2.log" 2>&1 & pid2=$$!; \
+	for i in $$(seq 1 100); do [ -s "$$tmp/addr2" ] && break; sleep 0.1; done; \
+	[ -s "$$tmp/addr2" ] || { echo "serve-smoke: capped server did not start"; cat "$$tmp/serve2.log"; exit 1; }; \
+	addr2=$$(head -n1 "$$tmp/addr2"); \
+	awk 'BEGIN{printf "{\"lang\":\"python\",\"all\":true,\"source\":\""; \
+		for(i=0;i<20000;i++) printf "value_%d = other_%d + 1\\n", i, i; print "\"}"}' \
+		>"$$tmp/big.json"; \
+	curl -s -o "$$tmp/held.json" -w '%{http_code}' -X POST --data-binary @"$$tmp/big.json" \
+		"http://$$addr2/v1/scan" >"$$tmp/held.code" & slowpid=$$!; \
+	for i in $$(seq 1 100); do \
+		curl -s "http://$$addr2/metrics" | grep -qE '^namer_scan_inflight 1' && break; sleep 0.1; \
+	done; \
+	curl -s "http://$$addr2/metrics" | grep -qE '^namer_scan_inflight 1' || \
+		{ echo "serve-smoke: slow scan never occupied the in-flight slot"; exit 1; }; \
+	code=$$(curl -s -D "$$tmp/shed.hdrs" -o "$$tmp/shed.json" -w '%{http_code}' -X POST \
+		-d '{"lang":"python","source":"x = 1\n"}' "http://$$addr2/v1/scan"); \
+	[ "$$code" = 429 ] || { echo "serve-smoke: scan past -max-inflight returned $$code, want 429"; \
+		cat "$$tmp/shed.json"; exit 1; }; \
+	grep -qiE '^Retry-After: [0-9]+' "$$tmp/shed.hdrs" || \
+		{ echo "serve-smoke: 429 shed carries no Retry-After header"; cat "$$tmp/shed.hdrs"; exit 1; }; \
+	wait $$slowpid; \
+	[ "$$(cat "$$tmp/held.code")" = 200 ] || \
+		{ echo "serve-smoke: held streaming scan returned $$(cat "$$tmp/held.code")"; cat "$$tmp/held.json"; exit 1; }; \
+	kill -TERM $$pid2; wait $$pid2 || { echo "serve-smoke: unclean capped-server shutdown"; exit 1; }; \
+	pid2=; \
+	echo "serve-smoke: ok ($$addr, 429 shed with Retry-After at capacity)"

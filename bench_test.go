@@ -335,10 +335,24 @@ type miningBenchRecord struct {
 	TreeNodes    int    `json:"tree_nodes,omitempty"`
 	Transactions int    `json:"transactions,omitempty"`
 
-	// Driver-mode rows: shard count and the map/reduce wall split.
-	Shards   int   `json:"shards,omitempty"`
-	MapNs    int64 `json:"map_ns,omitempty"`
-	ReduceNs int64 `json:"reduce_ns,omitempty"`
+	// Driver-mode rows: shard count, the map/reduce wall split, the
+	// summed job CPU time, the peak worker RSS, and the per-shard
+	// resource breakdown from the driver's rusage accounting.
+	Shards     int                `json:"shards,omitempty"`
+	MapNs      int64              `json:"map_ns,omitempty"`
+	ReduceNs   int64              `json:"reduce_ns,omitempty"`
+	CPUNs      int64              `json:"cpu_ns,omitempty"`
+	MaxRSSKB   int64              `json:"max_rss_kb,omitempty"`
+	ShardUsage []shardUsageRecord `json:"shard_usage,omitempty"`
+}
+
+// shardUsageRecord is one shard's resource row inside a Driver record.
+type shardUsageRecord struct {
+	Shard      int   `json:"shard"`
+	WallNs     int64 `json:"wall_ns"`
+	CPUNs      int64 `json:"cpu_ns"`
+	MaxRSSKB   int64 `json:"max_rss_kb"`
+	AllocBytes int64 `json:"alloc_bytes"`
 }
 
 type miningBenchFile struct {
@@ -428,6 +442,22 @@ func TestWriteMiningBenchJSON(t *testing.T) {
 			nodes += ms.TreeNodes
 			txs += ms.Transactions
 		}
+		var cpu int64
+		var peakRSS int64
+		var usage []shardUsageRecord
+		for _, u := range stats.Usage {
+			cpu += u.CPU.Nanoseconds()
+			if u.MaxRSSKB > peakRSS {
+				peakRSS = u.MaxRSSKB
+			}
+			usage = append(usage, shardUsageRecord{
+				Shard:      u.Shard,
+				WallNs:     u.Wall.Nanoseconds(),
+				CPUNs:      u.CPU.Nanoseconds(),
+				MaxRSSKB:   u.MaxRSSKB,
+				AllocBytes: u.AllocBytes,
+			})
+		}
 		file.Results = append(file.Results, miningBenchRecord{
 			Name:         fmt.Sprintf("Driver/shards=%d", nshards),
 			NsPerOp:      wall.Nanoseconds(),
@@ -436,6 +466,9 @@ func TestWriteMiningBenchJSON(t *testing.T) {
 			Shards:       stats.Shards,
 			MapNs:        stats.MapWall.Nanoseconds(),
 			ReduceNs:     stats.ReduceWall.Nanoseconds(),
+			CPUNs:        cpu,
+			MaxRSSKB:     peakRSS,
+			ShardUsage:   usage,
 		})
 	}
 	data, err := json.MarshalIndent(file, "", "  ")

@@ -13,6 +13,7 @@ import (
 	"namer/internal/ast"
 	"namer/internal/buildinfo"
 	"namer/internal/corpus"
+	"namer/internal/obs/log"
 )
 
 func main() {
@@ -23,11 +24,17 @@ func main() {
 	issueRate := flag.Float64("issue-rate", 0.05, "probability an idiom instance is buggy")
 	anomalyRate := flag.Float64("anomaly-rate", 0.15, "probability of a legitimate anomaly")
 	seed := flag.Int64("seed", 1, "generation seed")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+	logFormat := flag.String("log-format", "text", "log encoding: text or json")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
 		fmt.Println("namer-corpus", buildinfo.String())
 		return
+	}
+	lg, err := log.FromFlags(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatal(err)
 	}
 
 	l, err := ast.ParseLanguage(*lang)
@@ -43,6 +50,8 @@ func main() {
 	cfg.IssueRate = *issueRate
 	cfg.AnomalyRate = *anomalyRate
 	cfg.Seed = *seed
+	lg.Debug("generating corpus", log.Str("lang", *lang), log.Int("repos", *repos),
+		log.Int("files_per_repo", *files), log.Int64("seed", *seed))
 	c := corpus.Generate(cfg)
 	if err := c.WriteTo(*out); err != nil {
 		fatal(err)

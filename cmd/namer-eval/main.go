@@ -19,6 +19,7 @@ import (
 	"namer/internal/ast"
 	"namer/internal/buildinfo"
 	"namer/internal/eval"
+	"namer/internal/obs/log"
 )
 
 func main() {
@@ -26,11 +27,18 @@ func main() {
 	quick := flag.Bool("quick", false, "smaller corpus and faster neural training")
 	skipNeural := flag.Bool("skip-neural", false, "skip the GGNN/Great comparison")
 	seed := flag.Int64("seed", 7, "evaluation seed")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+	logFormat := flag.String("log-format", "text", "log encoding: text or json")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
 		fmt.Println("namer-eval", buildinfo.String())
 		return
+	}
+	lg, err := log.FromFlags(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "namer-eval:", err)
+		os.Exit(2)
 	}
 
 	langs := []ast.Language{ast.Python, ast.Java}
@@ -46,6 +54,8 @@ func main() {
 	}
 
 	for _, l := range langs {
+		lg.Debug("evaluation starting", log.Str("lang", l.String()),
+			log.Int64("seed", *seed))
 		evaluate(l, *quick, *skipNeural, *seed)
 	}
 }

@@ -7,13 +7,15 @@
 // binary for pre-v2 readers, and a .json -out path writes the debug
 // format.
 //
-// Long corpus runs are observable two ways: periodic progress lines on
+// Long corpus runs are observable three ways: periodic progress lines on
 // stderr (files analyzed, statements, moving rate, ETA; FP-tree shapes
-// as each pass completes), and -trace out.json, which records the whole
+// as each pass completes); -trace out.json, which records the whole
 // run as a span tree and writes it in the Chrome trace-event format —
 // load it in chrome://tracing or https://ui.perfetto.dev to see where
-// the wall time went, stage by stage and file by file. The same tree is
-// printed compactly to stderr at exit.
+// the wall time went, stage by stage and file by file; and, in driver
+// mode, -status-addr, a live HTTP status server (/status per-shard
+// states, /metrics Prometheus text, /debug/pprof, /debug/traces).
+// Diagnostics go through a structured logger (-log-level, -log-format).
 //
 // -driver switches to the distributed map/reduce miner: the corpus is
 // split into -shards repo shards, map workers run as in-process
@@ -22,7 +24,9 @@
 // CRC-checked checkpoint under -checkpoints, so a killed run resumes
 // from where it stopped (-fresh discards the checkpoints instead). The
 // mined knowledge is byte-identical to a non-driver run at any shard or
-// worker count.
+// worker count. With -trace, spawned workers record their spans locally
+// and ship them back over the job protocol, so the written trace shows
+// every worker process as its own lane keyed by real PID.
 package main
 
 import (
@@ -40,6 +44,7 @@ import (
 	"namer/internal/driver"
 	"namer/internal/knowledge"
 	"namer/internal/obs"
+	"namer/internal/obs/log"
 	"namer/internal/prof"
 )
 
@@ -70,14 +75,24 @@ func main() {
 	fresh := flag.Bool("fresh", false, "driver mode: discard existing checkpoints instead of resuming")
 	workerMode := flag.Bool("worker", false,
 		"serve map jobs over stdin/stdout JSON lines (spawned by -driver -worker-procs; not for direct use)")
+	statusAddr := flag.String("status-addr", "",
+		"driver mode: serve live mining status on this address (/status, /metrics, /debug/pprof, /debug/traces)")
+	statusReadyFile := flag.String("status-ready-file", "",
+		"driver mode: write the bound status address to this file once listening (for scripts with -status-addr :0)")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+	logFormat := flag.String("log-format", "text", "log line format: text or json")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
 		fmt.Println("namer-mine", buildinfo.String())
 		return
 	}
+	lg, err := log.FromFlags(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
 	if *workerMode {
-		if err := driver.ServeWorker(os.Stdin, os.Stdout); err != nil {
+		if err := driver.ServeWorker(os.Stdin, os.Stdout, lg); err != nil {
 			fatal(err)
 		}
 		return
@@ -125,14 +140,32 @@ func main() {
 			Fresh:         *fresh,
 			Workers:       *parallelism,
 			Status:        os.Stderr,
+			Log:           lg,
 		}
 		if *workerProcs > 0 {
 			exe, err := os.Executable()
 			if err != nil {
 				fatal(err)
 			}
-			opts.WorkerCommand = []string{exe, "-worker"}
+			// Workers inherit the log flags so their (captured) stderr
+			// carries the same level and the driver re-tags it per PID.
+			opts.WorkerCommand = []string{exe, "-worker",
+				"-log-level", *logLevel, "-log-format", *logFormat}
 			opts.Workers = *workerProcs
+		}
+		if *statusAddr != "" {
+			opts.Monitor = driver.NewMonitor()
+			opts.Recorder = obs.NewFlightRecorder(32)
+			st, err := driver.StartStatus(*statusAddr, opts.Monitor, opts.Recorder, lg)
+			if err != nil {
+				fatal(err)
+			}
+			defer st.Close()
+			if *statusReadyFile != "" {
+				if err := os.WriteFile(*statusReadyFile, []byte(st.Addr()+"\n"), 0o644); err != nil {
+					fatal(err)
+				}
+			}
 		}
 		k, stats, err := driver.Run(ctx, opts)
 		if err != nil {
@@ -145,6 +178,7 @@ func main() {
 		}
 		fmt.Printf("driver: map %v, reduce %v\n",
 			stats.MapWall.Round(time.Millisecond), stats.ReduceWall.Round(time.Millisecond))
+		printUsage(stats)
 		if err := saveKnowledge(*out, *format, k); err != nil {
 			fatal(err)
 		}
@@ -158,7 +192,7 @@ func main() {
 	sp.SetAttrInt("files", len(files))
 	sp.End()
 	for _, e := range errs {
-		fmt.Fprintln(os.Stderr, "warning:", e)
+		lg.Warn("load", log.Err(e))
 	}
 	if len(files) == 0 {
 		fatal(fmt.Errorf("no %s files under %s", *lang, *dir))
@@ -179,8 +213,7 @@ func main() {
 	progress := obs.NewProgress(os.Stderr, "analyze", "files")
 	cfg.Progress = progress.Update
 	cfg.Mining.OnTreeBuilt = func(nodes, transactions int) {
-		fmt.Fprintf(os.Stderr, "mine: FP tree built: %d nodes over %d transactions\n",
-			nodes, transactions)
+		lg.Info("FP tree built", log.Int("nodes", nodes), log.Int("transactions", transactions))
 	}
 
 	sys := core.NewSystem(cfg)
@@ -188,20 +221,20 @@ func main() {
 	if pairs, err := corpus.ReadCommits(filepath.Join(*dir, "commits")); err == nil {
 		commits, skipped := corpus.ParseCommitSources(l, pairs)
 		if skipped > 0 {
-			fmt.Fprintf(os.Stderr, "warning: %d of %d commit pairs did not parse and were skipped\n",
-				skipped, len(pairs))
+			lg.Warn("some commit pairs did not parse",
+				log.Int("skipped", skipped), log.Int("total", len(pairs)))
 		}
 		sys.MinePairs(commits)
 		fmt.Printf("mined %d confusing word pairs from %d commits\n", sys.Pairs.Len(), len(pairs))
 	} else {
 		sys.MinePairs(nil)
-		fmt.Fprintln(os.Stderr, "warning: no commit history found; confusing-word patterns disabled")
+		lg.Warn("no commit history found; confusing-word patterns disabled")
 	}
 	sp.End()
 
 	start := time.Now()
 	for _, e := range sys.ProcessFilesCtx(ctx, files) {
-		fmt.Fprintln(os.Stderr, "warning:", e)
+		lg.Warn("analyze", log.Err(e))
 	}
 	fmt.Printf("analyzed %d files, %d statements in %v (%.1f ms/file)\n",
 		len(files), len(sys.Stmts), time.Since(start).Round(time.Millisecond),
@@ -225,6 +258,33 @@ func main() {
 	}
 	fmt.Printf("wrote %s\n", *out)
 	finishTrace(tr, *traceOut)
+}
+
+// printUsage renders the per-shard resource table (and per-worker
+// totals) a driver run measured: wall and CPU per shard, peak RSS, and
+// allocation volume. Fully-reused shards show 0 jobs.
+func printUsage(stats driver.Stats) {
+	if len(stats.Usage) == 0 {
+		return
+	}
+	fmt.Printf("driver: per-shard resources:\n")
+	fmt.Printf("  %5s %4s %10s %10s %10s %10s\n", "shard", "jobs", "wall", "cpu", "rss", "alloc")
+	var wall, cpu time.Duration
+	var alloc int64
+	for _, u := range stats.Usage {
+		wall += u.Wall
+		cpu += u.CPU
+		alloc += u.AllocBytes
+		fmt.Printf("  %5d %4d %10v %10v %8dKB %8.1fMB\n",
+			u.Shard, u.Jobs, u.Wall.Round(time.Millisecond), u.CPU.Round(time.Millisecond),
+			u.MaxRSSKB, float64(u.AllocBytes)/(1<<20))
+	}
+	fmt.Printf("  total      %10v %10v %19.1fMB\n",
+		wall.Round(time.Millisecond), cpu.Round(time.Millisecond), float64(alloc)/(1<<20))
+	for _, w := range stats.Workers {
+		fmt.Printf("driver: worker pid=%d cpu=%v maxrss=%dKB\n",
+			w.PID, w.CPU.Round(time.Millisecond), w.MaxRSSKB)
+	}
 }
 
 // saveKnowledge writes the artifact under the -format flag's encoding.
@@ -256,8 +316,14 @@ func finishTrace(tr *obs.Trace, traceOut string) {
 		fatal(err)
 	}
 	tr.WriteTree(os.Stderr)
-	fmt.Printf("wrote trace %s (%d spans, %v; open in chrome://tracing)\n",
-		traceOut, tr.SpanCount(), tr.Duration().Round(time.Millisecond))
+	spans, pids := tr.ExternalSpanCount()
+	if pids > 0 {
+		fmt.Printf("wrote trace %s (%d spans + %d worker spans from %d processes, %v; open in chrome://tracing)\n",
+			traceOut, tr.SpanCount(), spans, pids, tr.Duration().Round(time.Millisecond))
+	} else {
+		fmt.Printf("wrote trace %s (%d spans, %v; open in chrome://tracing)\n",
+			traceOut, tr.SpanCount(), tr.Duration().Round(time.Millisecond))
+	}
 }
 
 func fatal(err error) {

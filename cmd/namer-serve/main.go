@@ -54,6 +54,7 @@ import (
 	"namer/internal/core"
 	"namer/internal/knowledge"
 	"namer/internal/obs"
+	"namer/internal/obs/log"
 	"namer/internal/serve"
 )
 
@@ -82,18 +83,24 @@ func main() {
 	grace := flag.Duration("grace", 15*time.Second, "shutdown grace period for in-flight requests")
 	readyFile := flag.String("ready-file", "",
 		"write the bound address to this file once listening (for scripts using port 0)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+	logFormat := flag.String("log-format", "text", "log encoding: text or json")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
 		fmt.Println("namer-serve", buildinfo.String())
 		return
 	}
+	lg, err := log.FromFlags(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatal(err)
+	}
 
 	sys, kinfo, err := loadKnowledgeSystem(*kpath)
 	if err != nil {
 		fatal(fmt.Errorf("loading knowledge: %w (run namer-mine first)", err))
 	}
-	fmt.Println("namer-serve: loaded", kinfo.Summary)
+	lg.Info("loaded knowledge", log.Str("summary", kinfo.Summary))
 
 	logw, err := obs.OpenLogWriter(*accessLog)
 	if err != nil {
@@ -133,7 +140,8 @@ func main() {
 		fatal(err)
 	}
 	bound := ln.Addr().String()
-	fmt.Printf("namer-serve: listening on http://%s (POST /v1/scan, POST /v1/diff, POST /v1/session, GET /healthz, GET /metrics, GET /debug/vars)\n", bound)
+	lg.Info("listening", log.Str("url", "http://"+bound),
+		log.Str("endpoints", "POST /v1/scan, POST /v1/diff, POST /v1/session, GET /healthz, GET /metrics, GET /debug/vars"))
 	if *readyFile != "" {
 		if err := os.WriteFile(*readyFile, []byte(bound+"\n"), 0o644); err != nil {
 			ln.Close()
@@ -154,7 +162,7 @@ func main() {
 	if err := serve.RunUntilSignal(srv, ln, *grace, os.Interrupt, syscall.SIGTERM); err != nil {
 		fatal(err)
 	}
-	fmt.Println("namer-serve: shut down cleanly")
+	lg.Info("shut down cleanly")
 }
 
 // loadKnowledgeSystem builds a fresh system from the knowledge file:

@@ -19,6 +19,7 @@ import (
 	"namer/internal/buildinfo"
 	"namer/internal/core"
 	"namer/internal/corpus"
+	"namer/internal/obs/log"
 )
 
 func main() {
@@ -30,11 +31,17 @@ func main() {
 		"output knowledge file (compact binary; use a .json extension for the debug format)")
 	trainSize := flag.Int("train", 120, "labeled violations to train on (balanced)")
 	seed := flag.Int64("seed", 1, "sampling seed")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+	logFormat := flag.String("log-format", "text", "log encoding: text or json")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
 		fmt.Println("namer-train", buildinfo.String())
 		return
+	}
+	lg, err := log.FromFlags(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatal(err)
 	}
 
 	l, err := ast.ParseLanguage(*lang)
@@ -51,10 +58,10 @@ func main() {
 	}
 	files, errs := core.LoadDirectory(*dir, l)
 	for _, e := range errs {
-		fmt.Fprintln(os.Stderr, "warning:", e)
+		lg.Warn("load failed", log.Err(e))
 	}
 	for _, e := range sys.ProcessFiles(files) {
-		fmt.Fprintln(os.Stderr, "warning:", e)
+		lg.Warn("analysis failed", log.Err(e))
 	}
 	violations := sys.Scan()
 	fmt.Printf("found %d violations over %d files\n", len(violations), len(files))

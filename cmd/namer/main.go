@@ -18,6 +18,7 @@ import (
 	"namer/internal/ast"
 	"namer/internal/buildinfo"
 	"namer/internal/core"
+	"namer/internal/obs/log"
 	"namer/internal/pointsto"
 	"namer/internal/prof"
 )
@@ -31,6 +32,8 @@ func main() {
 		"worker count for file processing and scanning (0 = all CPUs, 1 = serial)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write an allocation profile to this file on exit")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug, info, warn, or error")
+	logFormat := flag.String("log-format", "text", "log encoding: text or json")
 	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 	if *version {
@@ -40,6 +43,10 @@ func main() {
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: namer [-lang python|java] [-knowledge file] [-all] path...")
 		os.Exit(2)
+	}
+	lg, err := log.FromFlags(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fatal(err)
 	}
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -62,7 +69,7 @@ func main() {
 	for _, root := range flag.Args() {
 		fs, errs := core.LoadDirectory(root, l)
 		for _, e := range errs {
-			fmt.Fprintln(os.Stderr, "warning:", e)
+			lg.Warn("load failed", log.Err(e))
 		}
 		files = append(files, fs...)
 	}
@@ -70,7 +77,7 @@ func main() {
 		fatal(fmt.Errorf("no %s files found", *lang))
 	}
 	for _, e := range sys.ProcessFiles(files) {
-		fmt.Fprintln(os.Stderr, "warning:", e)
+		lg.Warn("analysis failed", log.Err(e))
 	}
 
 	byFile := make(map[string]*core.InputFile, len(files))
@@ -102,7 +109,7 @@ func main() {
 	if *fix {
 		for _, f := range changed {
 			if err := writeBack(flag.Args(), f); err != nil {
-				fmt.Fprintln(os.Stderr, "warning:", err)
+				lg.Warn("write-back failed", log.Err(err))
 			}
 		}
 		fmt.Printf("\napplied %d fix(es) to %d file(s)\n", fixes, len(changed))

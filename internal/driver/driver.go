@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"bufio"
 	"context"
 	"encoding/json"
 	"errors"
@@ -11,6 +12,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"sort"
+	"sync"
 	"time"
 
 	"namer/internal/confusion"
@@ -20,6 +22,7 @@ import (
 	"namer/internal/mining"
 	"namer/internal/namepath"
 	"namer/internal/obs"
+	"namer/internal/obs/log"
 	"namer/internal/pattern"
 )
 
@@ -50,14 +53,51 @@ type Options struct {
 	// Workers is the number of concurrent map workers (goroutines or
 	// child processes); 0 means min(Shards, NumCPU).
 	Workers int
-	// Status, when non-nil, receives progress lines (obs.Progress) and
-	// resume notes. cmd/namer-mine passes stderr.
+	// Status, when non-nil, receives progress lines (obs.Progress).
+	// cmd/namer-mine passes stderr.
 	Status io.Writer
+	// Log receives the driver's structured events: resume decisions,
+	// stale-checkpoint warnings, and captured worker stderr (tagged with
+	// the worker's PID). Nil logs nothing. With a logger set, spawned
+	// workers' stderr is piped through it line by line instead of
+	// interleaving raw on the driver's stderr.
+	Log *log.Logger
+	// Monitor, when non-nil, observes every shard state transition; the
+	// live status server (StartStatus) serves it. All driver hooks are
+	// nil-safe, so leaving it nil costs one pointer check per event.
+	Monitor *Monitor
+	// Recorder, when non-nil, keeps the slowest per-job span trees for
+	// the status server's /debug/traces. Setting it (or tracing the Run
+	// context) turns on per-job tracing.
+	Recorder *obs.FlightRecorder
 
 	// afterJob, when non-nil, runs after each completed map job with its
 	// phase and shard; a non-nil return aborts the run. Tests use it to
-	// simulate a driver killed mid-run.
+	// simulate a driver killed mid-run (and the obs gate uses it to
+	// scrape the status server at a deterministic moment).
 	afterJob func(phase string, shard int) error
+}
+
+// ShardUsage is one shard's measured resource footprint, summed over the
+// map jobs that actually ran for it (a fully-reused shard has Jobs 0).
+type ShardUsage struct {
+	Shard int
+	Jobs  int // jobs run (not reused) for this shard, 0..2
+	Wall  time.Duration
+	// CPU is user+system time from getrusage deltas around each job —
+	// exact for spawned workers, process-wide (approximate) when
+	// in-process jobs overlap.
+	CPU        time.Duration
+	MaxRSSKB   int64
+	AllocBytes int64
+}
+
+// WorkerUsage is one spawned worker process's whole-life resource usage,
+// from the rusage the kernel reports when the child is reaped.
+type WorkerUsage struct {
+	PID      int
+	CPU      time.Duration
+	MaxRSSKB int64
 }
 
 // Stats describes what a Run did — how much work ran versus resumed
@@ -76,6 +116,11 @@ type Stats struct {
 	// (including checkpoint validation) and the reduce/fp-growth/prune.
 	MapWall    time.Duration
 	ReduceWall time.Duration
+	// Usage is the per-shard resource accounting, indexed by shard.
+	Usage []ShardUsage
+	// Workers is the per-child accounting for spawned worker processes
+	// (empty for in-process runs), in reap order.
+	Workers []WorkerUsage
 }
 
 // Run executes the full map/reduce mine and returns the knowledge
@@ -120,20 +165,27 @@ func Run(ctx context.Context, opts Options) (*knowledge.Artifact, Stats, error) 
 	}
 
 	r := &runner{opts: opts, cfg: cfg, plan: p, stats: &stats}
+	r.usage = make([]ShardUsage, len(p.shards))
+	for i := range r.usage {
+		r.usage[i].Shard = i
+	}
+	opts.Monitor.begin(p)
 	mapStart := time.Now()
 
 	// Map round 1: statement extraction, checkpointed per shard.
+	opts.Monitor.setRound("map_stmts")
 	shardArts, err := r.mapStmts(ctx)
 	if err != nil {
-		return nil, stats, err
+		return nil, r.finish(stats), err
 	}
 
 	// Reduce 1: merge the per-shard counts and mine the confusing pairs;
 	// the result is itself a checkpoint so round 2 can be re-entered
 	// without repeating it.
+	opts.Monitor.setRound("reduce_counts")
 	countsPayload, counts, err := r.reduceCounts(ctx, shardArts)
 	if err != nil {
-		return nil, stats, err
+		return nil, r.finish(stats), err
 	}
 	stats.FilesParsed = counts.FilesParsed
 	stats.FilesSkipped = counts.FilesSkipped
@@ -147,20 +199,32 @@ func Run(ctx context.Context, opts Options) (*knowledge.Artifact, Stats, error) 
 	}
 
 	// Map round 2: per-shard FP subtrees against the global counts.
+	opts.Monitor.setRound("map_trees")
 	treeArts, err := r.mapTrees(ctx, hashBytes(countsPayload))
 	if err != nil {
-		return nil, stats, err
+		return nil, r.finish(stats), err
 	}
 	stats.MapWall = time.Since(mapStart)
 
 	// Reduce 2: merge, grow, prune, assemble.
+	opts.Monitor.setRound("reduce_knowledge")
 	reduceStart := time.Now()
 	art, err := r.reduceKnowledge(ctx, shardArts, treeArts, counts)
 	stats.ReduceWall = time.Since(reduceStart)
+	opts.Monitor.setRound("done")
 	if err != nil {
-		return nil, stats, err
+		return nil, r.finish(stats), err
 	}
-	return art, stats, nil
+	return art, r.finish(stats), nil
+}
+
+// finish folds the runner's accumulated accounting into the stats.
+func (r *runner) finish(stats Stats) Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	stats.Usage = r.usage
+	stats.Workers = r.procs
+	return stats
 }
 
 // clearCheckpoints removes this driver's checkpoint files (and nothing
@@ -183,12 +247,32 @@ type runner struct {
 	cfg   core.Config
 	plan  plan
 	stats *Stats
+
+	mu    sync.Mutex
+	usage []ShardUsage
+	procs []WorkerUsage
 }
 
-func (r *runner) logf(format string, args ...any) {
-	if r.opts.Status != nil {
-		fmt.Fprintf(r.opts.Status, format+"\n", args...)
+// recordUsage accumulates one completed job's measurements into its
+// shard's row.
+func (r *runner) recordUsage(shard int, res Result, wall time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	u := &r.usage[shard]
+	u.Jobs++
+	u.Wall += wall
+	u.CPU += time.Duration(res.CPUNs)
+	u.AllocBytes += res.AllocBytes
+	if res.MaxRSSKB > u.MaxRSSKB {
+		u.MaxRSSKB = res.MaxRSSKB
 	}
+}
+
+// recordWorker notes a reaped worker child's whole-process usage.
+func (r *runner) recordWorker(wu WorkerUsage) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.procs = append(r.procs, wu)
 }
 
 func (r *runner) stmtsPath(shard int) string {
@@ -226,12 +310,14 @@ func (r *runner) mapStmts(ctx context.Context) ([]*shardStmts, error) {
 	arts := make([]*shardStmts, len(r.plan.shards))
 	var jobs []Job
 	for i, shard := range r.plan.shards {
-		if a, err := r.loadStmts(i); err == nil {
+		if a, err := r.loadStmts(ctx, i); err == nil {
 			arts[i] = a
 			r.stats.StmtsReused++
+			r.opts.Monitor.shardReused(i, "stmts")
 			continue
 		} else if !errors.Is(err, os.ErrNotExist) {
-			r.logf("driver: shard %d: %v; re-running", i, err)
+			r.opts.Log.Warn("invalid stmts checkpoint; re-running shard",
+				log.Int("shard", i), log.Err(err))
 		}
 		jobs = append(jobs, Job{
 			Phase:                "stmts",
@@ -256,7 +342,7 @@ func (r *runner) mapStmts(ctx context.Context) ([]*shardStmts, error) {
 			return nil, err
 		}
 		for _, j := range jobs {
-			a, err := r.loadStmts(j.Shard)
+			a, err := r.loadStmts(ctx, j.Shard)
 			if err != nil {
 				return nil, fmt.Errorf("driver: shard %d checkpoint unreadable after map: %w", j.Shard, err)
 			}
@@ -266,19 +352,28 @@ func (r *runner) mapStmts(ctx context.Context) ([]*shardStmts, error) {
 	return arts, nil
 }
 
-// loadStmts reads and validates one shard's round-1 checkpoint.
-func (r *runner) loadStmts(shard int) (*shardStmts, error) {
-	payload, err := knowledge.ReadCheckpoint(r.stmtsPath(shard), kindStmts)
+// loadStmts reads and validates one shard's round-1 checkpoint, recorded
+// as a resume_validate span when the run is traced.
+func (r *runner) loadStmts(ctx context.Context, shard int) (*shardStmts, error) {
+	ctx, sp := obs.StartSpan(ctx, "resume_validate")
+	sp.SetAttr("phase", "stmts")
+	sp.SetAttrInt("shard", shard)
+	defer sp.End()
+	payload, err := knowledge.ReadCheckpointCtx(ctx, r.stmtsPath(shard), kindStmts)
 	if err != nil {
+		sp.SetAttr("result", "unreadable")
 		return nil, err
 	}
 	a, err := decodeShardStmts(payload)
 	if err != nil {
+		sp.SetAttr("result", "corrupt")
 		return nil, err
 	}
 	if a.SliceHash != r.plan.shards[shard].hash {
+		sp.SetAttr("result", "stale")
 		return nil, fmt.Errorf("stale checkpoint: corpus slice changed")
 	}
+	sp.SetAttr("result", "reused")
 	return a, nil
 }
 
@@ -287,11 +382,12 @@ func (r *runner) loadStmts(shard int) (*shardStmts, error) {
 // valid existing counts checkpoint for the same plan is reused verbatim
 // so resumed runs reach round 2 without re-merging.
 func (r *runner) reduceCounts(ctx context.Context, arts []*shardStmts) ([]byte, *reduceCounts, error) {
-	_, sp := obs.StartSpan(ctx, "reduce_counts")
+	ctx, sp := obs.StartSpan(ctx, "reduce_counts")
 	defer sp.End()
-	if payload, err := knowledge.ReadCheckpoint(r.countsPath(), kindCounts); err == nil {
+	if payload, err := knowledge.ReadCheckpointCtx(ctx, r.countsPath(), kindCounts); err == nil {
 		if a, err := decodeReduceCounts(payload); err == nil && a.PlanHash == r.plan.hash {
 			sp.SetAttrInt("reused", 1)
+			r.opts.Log.Info("reusing counts checkpoint", log.Str("file", "counts.ck"))
 			return payload, a, nil
 		}
 	}
@@ -334,7 +430,7 @@ func (r *runner) reduceCounts(ctx context.Context, arts []*shardStmts) ([]byte, 
 	merged.Pairs = r.minePairs()
 	sp.SetAttrInt("distinct_paths", len(merged.Paths))
 	payload := encodeReduceCounts(merged)
-	if err := knowledge.WriteCheckpoint(r.countsPath(), kindCounts, payload); err != nil {
+	if err := knowledge.WriteCheckpointCtx(ctx, r.countsPath(), kindCounts, payload); err != nil {
 		return nil, nil, err
 	}
 	return payload, merged, nil
@@ -348,10 +444,11 @@ func (r *runner) minePairs() *confusion.PairSet {
 		var skipped int
 		commits, skipped = corpus.ParseCommitSources(r.cfg.Lang, pairs)
 		if skipped > 0 {
-			r.logf("warning: %d of %d commit pairs did not parse and were skipped", skipped, len(pairs))
+			r.opts.Log.Warn("some commit pairs did not parse",
+				log.Int("skipped", skipped), log.Int("total", len(pairs)))
 		}
 	} else {
-		r.logf("warning: no commit history found; confusing-word patterns disabled")
+		r.opts.Log.Warn("no commit history found; confusing-word patterns disabled")
 	}
 	ps := confusion.MinePairs(commits)
 	if r.cfg.MinPairCount > 1 {
@@ -368,9 +465,10 @@ func (r *runner) mapTrees(ctx context.Context, countsHash string) ([]*shardTrees
 	arts := make([]*shardTrees, len(r.plan.shards))
 	var jobs []Job
 	for i := range r.plan.shards {
-		if a, err := r.loadTrees(i, countsHash); err == nil {
+		if a, err := r.loadTrees(ctx, i, countsHash); err == nil {
 			arts[i] = a
 			r.stats.TreesReused++
+			r.opts.Monitor.shardReused(i, "trees")
 			continue
 		}
 		jobs = append(jobs, Job{
@@ -390,7 +488,7 @@ func (r *runner) mapTrees(ctx context.Context, countsHash string) ([]*shardTrees
 			return nil, err
 		}
 		for _, j := range jobs {
-			a, err := r.loadTrees(j.Shard, countsHash)
+			a, err := r.loadTrees(ctx, j.Shard, countsHash)
 			if err != nil {
 				return nil, fmt.Errorf("driver: shard %d trees unreadable after map: %w", j.Shard, err)
 			}
@@ -400,22 +498,32 @@ func (r *runner) mapTrees(ctx context.Context, countsHash string) ([]*shardTrees
 	return arts, nil
 }
 
-// loadTrees reads and validates one shard's round-2 checkpoint.
-func (r *runner) loadTrees(shard int, countsHash string) (*shardTrees, error) {
-	payload, err := knowledge.ReadCheckpoint(r.treesPath(shard), kindTrees)
+// loadTrees reads and validates one shard's round-2 checkpoint, recorded
+// as a resume_validate span when the run is traced.
+func (r *runner) loadTrees(ctx context.Context, shard int, countsHash string) (*shardTrees, error) {
+	ctx, sp := obs.StartSpan(ctx, "resume_validate")
+	sp.SetAttr("phase", "trees")
+	sp.SetAttrInt("shard", shard)
+	defer sp.End()
+	payload, err := knowledge.ReadCheckpointCtx(ctx, r.treesPath(shard), kindTrees)
 	if err != nil {
+		sp.SetAttr("result", "unreadable")
 		return nil, err
 	}
 	a, err := decodeShardTrees(payload)
 	if err != nil {
+		sp.SetAttr("result", "corrupt")
 		return nil, err
 	}
 	if a.SliceHash != r.plan.shards[shard].hash {
+		sp.SetAttr("result", "stale")
 		return nil, fmt.Errorf("stale checkpoint: corpus slice changed")
 	}
 	if a.CountsHash != countsHash {
+		sp.SetAttr("result", "stale")
 		return nil, fmt.Errorf("stale checkpoint: global counts changed")
 	}
+	sp.SetAttr("result", "reused")
 	return a, nil
 }
 
@@ -486,6 +594,13 @@ func (r *runner) reduceKnowledge(ctx context.Context, stmtArts []*shardStmts,
 // with cross-worker progress folded into one line via
 // obs.ProgressAggregator. Each job writes its own checkpoint, so job
 // scheduling leaves no trace in the outputs.
+//
+// When the run is traced (or a Recorder is set), each job runs under its
+// own local trace: spawned workers ship their span batches back on the
+// done Result and the batches are grafted into the driver's trace as
+// per-PID lanes; in-process jobs' spans are grafted under the driver's
+// own PID. The per-job traces additionally feed the flight recorder, so
+// /debug/traces shows the slowest shards of a live mine.
 func (r *runner) runJobs(ctx context.Context, jobs []Job, label, unit string, total int) error {
 	workers := r.workers(len(jobs))
 	var agg *obs.ProgressAggregator
@@ -493,46 +608,82 @@ func (r *runner) runJobs(ctx context.Context, jobs []Job, label, unit string, to
 		prog := obs.NewProgress(r.opts.Status, label, unit)
 		agg = obs.NewProgressAggregator(prog, len(r.plan.shards), total)
 	}
+	tr := obs.TraceFromContext(ctx)
+	mon := r.opts.Monitor
+	rec := r.opts.Recorder
+	tracing := tr != nil || rec != nil
+	subproc := len(r.opts.WorkerCommand) > 0
+	selfPID := os.Getpid()
 
 	jobCh := make(chan Job)
 	errCh := make(chan error, workers)
 	for w := 0; w < workers; w++ {
+		// The worker body runs in a closure so its deferred executor
+		// close — which reaps the child and records its rusage — happens
+		// strictly before the completion signal: runJobs must not return
+		// (and Stats must not be snapshotted) with a worker unreaped.
 		go func() {
-			var ex executor = inprocExecutor{}
-			if len(r.opts.WorkerCommand) > 0 {
-				pe, err := newProcExecutor(ctx, r.opts.WorkerCommand)
-				if err != nil {
-					errCh <- err
-					return
+			errCh <- func() error {
+				var ex executor = inprocExecutor{}
+				pid := selfPID
+				if subproc {
+					pe, err := newProcExecutor(ctx, r.opts.WorkerCommand, r.opts.Log, r.recordWorker)
+					if err != nil {
+						return err
+					}
+					defer pe.close()
+					ex = pe
+					pid = pe.pid
 				}
-				defer pe.close()
-				ex = pe
-			}
-			for job := range jobCh {
-				report := func(done, extra int) {
-					if agg != nil {
-						agg.Report(job.Shard, done, extra)
+				for job := range jobCh {
+					jctx := ctx
+					var jobTr *obs.Trace
+					if tracing {
+						jctx, jobTr = obs.NewTrace(ctx, fmt.Sprintf("shard-%04d %s", job.Shard, job.Phase), "")
+						jobTr.SetMaxSpans(1 << 16)
+						job.Trace = subproc
+					}
+					mon.shardRunning(job.Shard, job.Phase, pid)
+					report := func(done, extra int) {
+						if agg != nil {
+							agg.Report(job.Shard, done, extra)
+						}
+					}
+					start := time.Now()
+					res, err := ex.run(jctx, job, report)
+					wall := time.Since(start)
+					if err == nil && !res.OK {
+						err = fmt.Errorf("driver: shard %d %s: %s", job.Shard, job.Phase, res.Error)
+					}
+					if jobTr != nil {
+						r.graftJobTrace(tr, jobTr, job, res)
+						if rec != nil {
+							rec.Add(jobTr)
+						}
+					}
+					if err == nil {
+						mon.shardDone(job.Shard, job.Phase, res, wall)
+						r.recordUsage(job.Shard, res, wall)
+						r.opts.Log.Debug("shard job done",
+							log.Str("phase", job.Phase), log.Int("shard", job.Shard),
+							log.Int("worker_pid", res.PID), log.Dur("wall", wall),
+							log.Dur("cpu", time.Duration(res.CPUNs)), log.Int64("max_rss_kb", res.MaxRSSKB))
+						// The shard is done; pin its progress at its total.
+						if agg != nil && job.Phase == "stmts" {
+							agg.Report(job.Shard, len(job.Files), res.Statements)
+						}
+						if r.opts.afterJob != nil {
+							err = r.opts.afterJob(job.Phase, job.Shard)
+						}
+					} else {
+						mon.shardFailed(job.Shard, job.Phase, err.Error())
+					}
+					if err != nil {
+						return err
 					}
 				}
-				res, err := ex.run(job, report)
-				if err == nil && !res.OK {
-					err = fmt.Errorf("driver: shard %d %s: %s", job.Shard, job.Phase, res.Error)
-				}
-				if err == nil {
-					// The shard is done; pin its progress at its total.
-					if agg != nil && job.Phase == "stmts" {
-						agg.Report(job.Shard, len(job.Files), res.Statements)
-					}
-					if r.opts.afterJob != nil {
-						err = r.opts.afterJob(job.Phase, job.Shard)
-					}
-				}
-				if err != nil {
-					errCh <- err
-					return
-				}
-			}
-			errCh <- nil
+				return nil
+			}()
 		}()
 	}
 	var firstErr error
@@ -565,30 +716,69 @@ dispatch:
 	return firstErr
 }
 
+// graftJobTrace finishes one job's local trace and stitches it into the
+// driver's trace tr (when tracing): a spawned worker's shipped span
+// batch becomes a lane under the worker's real PID, and an in-process
+// job's local spans become a lane under the driver's own PID. Malformed
+// batches are dropped with a warning, never trusted.
+func (r *runner) graftJobTrace(tr, jobTr *obs.Trace, job Job, res Result) {
+	if len(res.Spans) > 0 {
+		lane := fmt.Sprintf("worker pid=%d", res.PID)
+		if err := jobTr.AddExternalSpans(res.PID, lane, res.Spans); err != nil {
+			r.opts.Log.Warn("dropping malformed worker span batch",
+				log.Int("shard", job.Shard), log.Int("worker_pid", res.PID), log.Err(err))
+		} else if tr != nil {
+			tr.AddExternalSpans(res.PID, lane, res.Spans)
+		}
+	}
+	jobTr.Finish()
+	if tr != nil {
+		if local := jobTr.WireSpans(); len(local) > 0 {
+			tr.AddExternalSpans(os.Getpid(), fmt.Sprintf("driver jobs pid=%d", os.Getpid()), local)
+		}
+	}
+}
+
 // executor runs one map job somewhere.
 type executor interface {
-	run(job Job, report func(done, extra int)) (Result, error)
+	run(ctx context.Context, job Job, report func(done, extra int)) (Result, error)
 }
 
 // inprocExecutor runs jobs on the calling goroutine.
 type inprocExecutor struct{}
 
-func (inprocExecutor) run(job Job, report func(done, extra int)) (Result, error) {
-	return RunJob(job, report), nil
+func (inprocExecutor) run(ctx context.Context, job Job, report func(done, extra int)) (Result, error) {
+	return RunJob(ctx, job, report), nil
 }
 
 // procExecutor owns one worker child process and feeds it jobs over
 // stdin/stdout JSON lines.
 type procExecutor struct {
-	cmd   *exec.Cmd
-	stdin io.WriteCloser
-	enc   *json.Encoder
-	dec   *json.Decoder
+	cmd        *exec.Cmd
+	stdin      io.WriteCloser
+	enc        *json.Encoder
+	dec        *json.Decoder
+	pid        int
+	stderrDone chan struct{}     // closed when the stderr capture drains
+	onExit     func(WorkerUsage) // receives the reaped child's rusage
 }
 
-func newProcExecutor(ctx context.Context, argv []string) (*procExecutor, error) {
+// newProcExecutor spawns one worker child. With a logger, the child's
+// stderr is captured line by line and re-emitted through it tagged with
+// the worker's PID — no interleaved raw writes on the driver's stderr;
+// without one, stderr passes through untouched (the old behavior).
+func newProcExecutor(ctx context.Context, argv []string, lg *log.Logger, onExit func(WorkerUsage)) (*procExecutor, error) {
 	cmd := exec.CommandContext(ctx, argv[0], argv[1:]...)
-	cmd.Stderr = os.Stderr
+	var stderr io.ReadCloser
+	if lg != nil {
+		p, err := cmd.StderrPipe()
+		if err != nil {
+			return nil, err
+		}
+		stderr = p
+	} else {
+		cmd.Stderr = os.Stderr
+	}
 	stdin, err := cmd.StdinPipe()
 	if err != nil {
 		return nil, err
@@ -600,14 +790,34 @@ func newProcExecutor(ctx context.Context, argv []string) (*procExecutor, error) 
 	if err := cmd.Start(); err != nil {
 		return nil, fmt.Errorf("driver: start worker %q: %w", argv[0], err)
 	}
-	return &procExecutor{
+	pe := &procExecutor{
 		cmd: cmd, stdin: stdin,
-		enc: json.NewEncoder(stdin),
-		dec: json.NewDecoder(stdout),
-	}, nil
+		enc:    json.NewEncoder(stdin),
+		dec:    json.NewDecoder(stdout),
+		pid:    cmd.Process.Pid,
+		onExit: onExit,
+	}
+	if stderr != nil {
+		wl := lg.With(log.Int("worker_pid", pe.pid))
+		pe.stderrDone = make(chan struct{})
+		go func() {
+			defer close(pe.stderrDone)
+			sc := bufio.NewScanner(stderr)
+			sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+			for sc.Scan() {
+				if line := sc.Text(); line != "" {
+					wl.Info("worker: " + line)
+				}
+			}
+			// A line over the buffer cap errors the scanner; drain the
+			// rest so the child never blocks on a full stderr pipe.
+			io.Copy(io.Discard, stderr)
+		}()
+	}
+	return pe, nil
 }
 
-func (p *procExecutor) run(job Job, report func(done, extra int)) (Result, error) {
+func (p *procExecutor) run(ctx context.Context, job Job, report func(done, extra int)) (Result, error) {
 	if err := p.enc.Encode(job); err != nil {
 		return Result{}, fmt.Errorf("driver: send job to worker: %w", err)
 	}
@@ -626,5 +836,12 @@ func (p *procExecutor) run(job Job, report func(done, extra int)) (Result, error
 
 func (p *procExecutor) close() {
 	p.stdin.Close()
+	if p.stderrDone != nil {
+		<-p.stderrDone
+	}
 	p.cmd.Wait()
+	if p.onExit != nil {
+		cpu, rss := waitUsage(p.cmd.ProcessState)
+		p.onExit(WorkerUsage{PID: p.pid, CPU: cpu, MaxRSSKB: rss})
+	}
 }

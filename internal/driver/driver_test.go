@@ -22,7 +22,7 @@ import (
 // into the ServeWorker loop, the same way namer-mine -worker does.
 func TestMain(m *testing.M) {
 	if os.Getenv("NAMER_DRIVER_WORKER") == "1" {
-		if err := ServeWorker(os.Stdin, os.Stdout); err != nil {
+		if err := ServeWorker(os.Stdin, os.Stdout, nil); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

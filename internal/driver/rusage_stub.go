@@ -1,0 +1,17 @@
+//go:build !unix
+
+package driver
+
+import (
+	"os"
+	"time"
+)
+
+// Non-unix platforms have no getrusage; resource accounting degrades to
+// zeros and the rest of the driver carries on.
+
+func processCPUTime() time.Duration { return 0 }
+
+func processMaxRSSKB() int64 { return 0 }
+
+func waitUsage(ps *os.ProcessState) (cpu time.Duration, maxRSSKB int64) { return 0, 0 }

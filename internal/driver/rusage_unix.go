@@ -1,0 +1,52 @@
+//go:build unix
+
+package driver
+
+import (
+	"os"
+	"runtime"
+	"syscall"
+	"time"
+)
+
+// processCPUTime returns this process's accumulated user+system CPU time
+// from getrusage(RUSAGE_SELF). Job resource accounting takes the delta
+// across a job.
+func processCPUTime() time.Duration {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano())
+}
+
+// processMaxRSSKB returns this process's peak resident set size in KiB.
+func processMaxRSSKB() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	return rssKB(int64(ru.Maxrss))
+}
+
+// waitUsage extracts a reaped child's CPU time and peak RSS from the
+// rusage the kernel attached to its exit status.
+func waitUsage(ps *os.ProcessState) (cpu time.Duration, maxRSSKB int64) {
+	if ps == nil {
+		return 0, 0
+	}
+	ru, ok := ps.SysUsage().(*syscall.Rusage)
+	if !ok || ru == nil {
+		return 0, 0
+	}
+	return time.Duration(ru.Utime.Nano() + ru.Stime.Nano()), rssKB(int64(ru.Maxrss))
+}
+
+// rssKB normalizes getrusage's Maxrss to KiB: Linux reports KiB, Darwin
+// reports bytes.
+func rssKB(maxrss int64) int64 {
+	if runtime.GOOS == "darwin" {
+		return maxrss / 1024
+	}
+	return maxrss
+}

@@ -1,6 +1,7 @@
 package driver
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -8,12 +9,16 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"time"
 
 	"namer/internal/ast"
 	"namer/internal/core"
 	"namer/internal/fptree"
 	"namer/internal/knowledge"
 	"namer/internal/mining"
+	"namer/internal/obs"
+	"namer/internal/obs/log"
 	"namer/internal/pattern"
 )
 
@@ -29,6 +34,11 @@ type Job struct {
 	Shard int    `json:"shard"`
 	// OutPath is where the worker writes its checkpoint artifact.
 	OutPath string `json:"out_path"`
+	// Trace asks a spawned worker to record the job as a local span tree
+	// and ship it back on the done Result (Spans), so the driver can
+	// stitch one cross-process trace. Off by default: an untraced job
+	// pays nothing and its Result carries no span batch.
+	Trace bool `json:"trace,omitempty"`
 
 	// stmts-phase fields.
 	CorpusDir            string   `json:"corpus_dir,omitempty"`
@@ -63,21 +73,52 @@ type Result struct {
 	FilesSkipped int    `json:"files_skipped,omitempty"`
 	Statements   int    `json:"statements,omitempty"`
 	Transactions int    `json:"transactions,omitempty"`
+
+	// Resource accounting for the job. CPUNs and MaxRSSKB come from
+	// getrusage(RUSAGE_SELF); AllocBytes is the Go heap allocation delta.
+	// For a spawned worker (one job at a time in its own process) the
+	// CPU delta is exact; for in-process jobs the deltas are process-wide
+	// and therefore approximate when jobs overlap.
+	CPUNs      int64 `json:"cpu_ns,omitempty"`
+	MaxRSSKB   int64 `json:"max_rss_kb,omitempty"`
+	AllocBytes int64 `json:"alloc_bytes,omitempty"`
+
+	// Cross-process tracing: a spawned worker's PID and, when the job
+	// asked for tracing, the job's span tree in wire form. Both are
+	// omitted from the JSON line when unset, so the protocol carries no
+	// span payload for untraced runs.
+	PID   int            `json:"pid,omitempty"`
+	Spans []obs.WireSpan `json:"spans,omitempty"`
 }
 
 // RunJob executes one map job and writes its checkpoint. report, when
-// non-nil, receives absolute (done, extra) progress for the job.
-func RunJob(job Job, report func(done, extra int)) Result {
+// non-nil, receives absolute (done, extra) progress for the job. When ctx
+// carries a live trace the job records its pipeline as spans (including
+// the checkpoint I/O); otherwise every span call is a free no-op.
+func RunJob(ctx context.Context, job Job, report func(done, extra int)) Result {
 	res := Result{Event: "done", Shard: job.Shard, Phase: job.Phase}
+	cpu0 := processCPUTime()
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+
+	ctx, sp := obs.StartSpan(ctx, "job")
+	sp.SetAttr("phase", job.Phase)
+	sp.SetAttrInt("shard", job.Shard)
 	var err error
 	switch job.Phase {
 	case "stmts":
-		err = runStmtsJob(job, report, &res)
+		err = runStmtsJob(ctx, job, report, &res)
 	case "trees":
-		err = runTreesJob(job, report, &res)
+		err = runTreesJob(ctx, job, report, &res)
 	default:
 		err = fmt.Errorf("driver: unknown job phase %q", job.Phase)
 	}
+	sp.End()
+
+	runtime.ReadMemStats(&m1)
+	res.CPUNs = int64(processCPUTime() - cpu0)
+	res.AllocBytes = int64(m1.TotalAlloc - m0.TotalAlloc)
+	res.MaxRSSKB = processMaxRSSKB()
 	if err != nil {
 		res.Error = err.Error()
 		return res
@@ -90,7 +131,7 @@ func RunJob(job Job, report func(done, extra int)) Result {
 // per-file front end (analysis, AST+ transformation, name path
 // extraction), and checkpoint the statement path lists plus the shard's
 // pass-1 path counts.
-func runStmtsJob(job Job, report func(done, extra int), res *Result) error {
+func runStmtsJob(ctx context.Context, job Job, report func(done, extra int), res *Result) error {
 	lang, err := ast.ParseLanguage(job.Lang)
 	if err != nil {
 		return err
@@ -107,6 +148,7 @@ func runStmtsJob(job Job, report func(done, extra int), res *Result) error {
 		cfg.Progress = func(done, total, statements int) { report(done, statements) }
 	}
 
+	_, lsp := obs.StartSpan(ctx, "load_shard")
 	var files []*core.InputFile
 	skipped := 0
 	for _, rel := range job.Files {
@@ -127,11 +169,14 @@ func runStmtsJob(job Job, report func(done, extra int), res *Result) error {
 			Root:   root,
 		})
 	}
+	lsp.SetAttrInt("files", len(files))
+	lsp.SetAttrInt("skipped", skipped)
+	lsp.End()
 
 	sys := core.NewSystem(cfg)
 	// Per-file analysis panics degrade to empty statement lists, exactly
 	// as the single-process pipeline treats them (warnings, not failures).
-	sys.ProcessFiles(files)
+	sys.ProcessFilesCtx(ctx, files)
 
 	art := &shardStmts{
 		SliceHash:    job.SliceHash,
@@ -158,7 +203,7 @@ func runStmtsJob(job Job, report func(done, extra int), res *Result) error {
 	res.FilesParsed = art.FilesParsed
 	res.FilesSkipped = art.FilesSkipped
 	res.Statements = len(art.Stmts)
-	return knowledge.WriteCheckpoint(job.OutPath, kindStmts, encodeShardStmts(art))
+	return knowledge.WriteCheckpointCtx(ctx, job.OutPath, kindStmts, encodeShardStmts(art))
 }
 
 // minedTypes is the fixed pattern-type order of the pipeline (the order
@@ -168,8 +213,8 @@ var minedTypes = []pattern.Type{pattern.Consistency, pattern.ConfusingWord}
 // runTreesJob is map round 2: re-derive the shard's statements from its
 // round-1 checkpoint, rebuild transactions against the dataset-wide
 // counts, and checkpoint one FP subtree per pattern type.
-func runTreesJob(job Job, report func(done, extra int), res *Result) error {
-	stmtsPayload, err := knowledge.ReadCheckpoint(job.StmtsPath, kindStmts)
+func runTreesJob(ctx context.Context, job Job, report func(done, extra int), res *Result) error {
+	stmtsPayload, err := knowledge.ReadCheckpointCtx(ctx, job.StmtsPath, kindStmts)
 	if err != nil {
 		return err
 	}
@@ -177,7 +222,7 @@ func runTreesJob(job Job, report func(done, extra int), res *Result) error {
 	if err != nil {
 		return fmt.Errorf("%s: %w", job.StmtsPath, err)
 	}
-	countsPayload, err := knowledge.ReadCheckpoint(job.CountsPath, kindCounts)
+	countsPayload, err := knowledge.ReadCheckpointCtx(ctx, job.CountsPath, kindCounts)
 	if err != nil {
 		return err
 	}
@@ -202,7 +247,11 @@ func runTreesJob(job Job, report func(done, extra int), res *Result) error {
 		if typ == pattern.Consistency {
 			pairs = nil
 		}
+		_, tsp := obs.StartSpan(ctx, "build_shard_tree")
+		tsp.SetAttr("type", typ.String())
 		st := mining.BuildShardTree(stmts, typ, pairs, freq, cfg)
+		tsp.SetAttrInt("transactions", st.Transactions)
+		tsp.End()
 		art.Types = append(art.Types, typedTree{
 			Type:         typ,
 			Transactions: st.Transactions,
@@ -215,7 +264,7 @@ func runTreesJob(job Job, report func(done, extra int), res *Result) error {
 		}
 	}
 	res.Statements = len(stmts)
-	return knowledge.WriteCheckpoint(job.OutPath, kindTrees, encodeShardTrees(art))
+	return knowledge.WriteCheckpointCtx(ctx, job.OutPath, kindTrees, encodeShardTrees(art))
 }
 
 func hashBytes(data []byte) string {
@@ -226,10 +275,18 @@ func hashBytes(data []byte) string {
 // ServeWorker is the namer-mine -worker main loop: it reads Job JSON
 // lines from r and writes progress and done Result lines to w until EOF.
 // Job failures are reported in-band (OK=false); only transport errors
-// end the loop with a non-nil error.
-func ServeWorker(r io.Reader, w io.Writer) error {
+// end the loop with a non-nil error. lg (nil is fine) receives per-job
+// debug lines on the worker's stderr, which the driver captures and
+// re-tags with the worker's PID.
+//
+// When a job arrives with Trace set, the worker records the job under a
+// local trace and ships the finished span tree back on the done Result —
+// the worker half of the cross-process trace: it never opens a socket or
+// a file, the spans ride the same stdout pipe as the results.
+func ServeWorker(r io.Reader, w io.Writer, lg *log.Logger) error {
 	dec := json.NewDecoder(r)
 	enc := json.NewEncoder(w)
+	pid := os.Getpid()
 	for {
 		var job Job
 		if err := dec.Decode(&job); err != nil {
@@ -238,8 +295,17 @@ func ServeWorker(r io.Reader, w io.Writer) error {
 			}
 			return fmt.Errorf("driver: worker read: %w", err)
 		}
+		ctx := context.Background()
+		var tr *obs.Trace
+		if job.Trace {
+			ctx, tr = obs.NewTrace(ctx, fmt.Sprintf("shard-%04d %s", job.Shard, job.Phase), "")
+			tr.SetMaxSpans(1 << 16)
+		}
+		lg.Debug("job start", log.Str("phase", job.Phase), log.Int("shard", job.Shard),
+			log.Int("files", len(job.Files)))
+		start := time.Now()
 		var reportErr error
-		res := RunJob(job, func(done, extra int) {
+		res := RunJob(ctx, job, func(done, extra int) {
 			if reportErr == nil {
 				reportErr = enc.Encode(Result{
 					Event: "progress", Shard: job.Shard, Phase: job.Phase,
@@ -247,9 +313,17 @@ func ServeWorker(r io.Reader, w io.Writer) error {
 				})
 			}
 		})
+		res.PID = pid
+		if tr != nil {
+			tr.Finish()
+			res.Spans = tr.WireSpans()
+		}
 		if reportErr != nil {
 			return fmt.Errorf("driver: worker write: %w", reportErr)
 		}
+		lg.Debug("job done", log.Str("phase", job.Phase), log.Int("shard", job.Shard),
+			log.Dur("wall", time.Since(start)), log.Int64("cpu_ns", res.CPUNs),
+			log.Int("spans", len(res.Spans)))
 		if err := enc.Encode(res); err != nil {
 			return fmt.Errorf("driver: worker write: %w", err)
 		}

@@ -1,10 +1,14 @@
 package knowledge
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
 	"os"
+	"path/filepath"
+
+	"namer/internal/obs"
 )
 
 // Checkpoint container: the on-disk envelope for the map/reduce mining
@@ -33,6 +37,37 @@ var ckMagic = [4]byte{0x9F, 'N', 'C', 'K'}
 const CheckpointVersion = 1
 
 const maxCheckpointKind = 256
+
+// WriteCheckpointCtx is WriteCheckpoint under a tracing context: when
+// the context carries a live trace, the write is recorded as a
+// checkpoint_write span with the file, kind, and payload size — the
+// per-shard I/O cost a distributed mine's trace makes visible. Outside
+// a trace the span calls are free no-ops.
+func WriteCheckpointCtx(ctx context.Context, path, kind string, payload []byte) error {
+	_, sp := obs.StartSpan(ctx, "checkpoint_write")
+	sp.SetAttr("file", filepath.Base(path))
+	sp.SetAttr("kind", kind)
+	sp.SetAttrInt("bytes", len(payload))
+	defer sp.End()
+	return WriteCheckpoint(path, kind, payload)
+}
+
+// ReadCheckpointCtx is ReadCheckpoint under a tracing context,
+// recording a checkpoint_read span (file, kind, bytes, and whether the
+// read validated) when the context carries a live trace.
+func ReadCheckpointCtx(ctx context.Context, path, kind string) ([]byte, error) {
+	_, sp := obs.StartSpan(ctx, "checkpoint_read")
+	sp.SetAttr("file", filepath.Base(path))
+	sp.SetAttr("kind", kind)
+	defer sp.End()
+	payload, err := ReadCheckpoint(path, kind)
+	if err != nil {
+		sp.SetAttr("error", err.Error())
+		return nil, err
+	}
+	sp.SetAttrInt("bytes", len(payload))
+	return payload, nil
+}
 
 // WriteCheckpoint writes payload to path inside a CRC-checked envelope,
 // atomically (temp file in the destination directory + rename).

@@ -303,9 +303,158 @@ func seconds(d time.Duration) string {
 	return fmt.Sprintf("%g", d.Seconds())
 }
 
+// EscapeLabelValue escapes a raw label value per the Prometheus text
+// exposition format: backslash, double quote, and line feed become
+// `\\`, `\"`, and `\n`. Everything else passes through verbatim.
+func EscapeLabelValue(s string) string {
+	if !strings.ContainsAny(s, "\\\"\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// FormatLabels renders alternating key, value pairs as the inside of a
+// label block — `k1="v1",k2="v2"` — escaping each raw value for the
+// exposition format. Use it to build labeled series names from values
+// that may contain quotes, backslashes, or newlines:
+//
+//	reg.Gauge("info{" + obs.FormatLabels("path", path) + "}")
+//
+// An odd trailing key is dropped.
+func FormatLabels(kv ...string) string {
+	var b strings.Builder
+	for i := 0; i+1 < len(kv); i += 2 {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(kv[i])
+		b.WriteString(`="`)
+		b.WriteString(EscapeLabelValue(kv[i+1]))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+// labelPair is one parsed k="v" with the value in raw (unescaped) form.
+type labelPair struct {
+	key, value string
+}
+
+// ParseLabels parses the inside of a label block (`k1="v1",k2="v2"`)
+// into key/raw-value pairs, decoding the exposition-format escapes
+// (`\\`, `\"`, `\n`); unknown backslash sequences keep the backslash,
+// matching Prometheus' parser. ok is false when the block is malformed
+// (unquoted values, missing '='), in which case the caller should treat
+// the block as opaque. FormatLabels and ParseLabels round-trip any
+// value.
+func ParseLabels(s string) (keys, values []string, ok bool) {
+	pairs, ok := parseLabelPairs(s)
+	if !ok {
+		return nil, nil, false
+	}
+	for _, p := range pairs {
+		keys = append(keys, p.key)
+		values = append(values, p.value)
+	}
+	return keys, values, true
+}
+
+func parseLabelPairs(s string) ([]labelPair, bool) {
+	var pairs []labelPair
+	i := 0
+	for i < len(s) {
+		eq := strings.IndexByte(s[i:], '=')
+		if eq < 0 {
+			return nil, false
+		}
+		key := strings.TrimSpace(s[i : i+eq])
+		i += eq + 1
+		if key == "" || i >= len(s) || s[i] != '"' {
+			return nil, false
+		}
+		i++ // opening quote
+		var val strings.Builder
+		closed := false
+		for i < len(s) {
+			c := s[i]
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			if c == '\\' && i+1 < len(s) {
+				switch s[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				default:
+					val.WriteByte('\\')
+					val.WriteByte(s[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, false
+		}
+		pairs = append(pairs, labelPair{key: key, value: val.String()})
+		if i < len(s) {
+			if s[i] != ',' {
+				return nil, false
+			}
+			i++
+		}
+	}
+	return pairs, true
+}
+
+// canonicalLabels re-renders a label block with every value decoded and
+// re-escaped, so raw quotes, backslashes, and newlines that reached the
+// registry inside a series name can never corrupt the exposition
+// output. Malformed blocks are returned unchanged (the historical
+// behaviour) rather than guessed at.
+func canonicalLabels(labels string) string {
+	if labels == "" || !strings.ContainsAny(labels, "\\\n") {
+		// Fast path: nothing to decode and nothing needing escape — a
+		// block without backslashes or newlines renders identically.
+		return labels
+	}
+	pairs, ok := parseLabelPairs(labels)
+	if !ok {
+		return labels
+	}
+	kv := make([]string, 0, len(pairs)*2)
+	for _, p := range pairs {
+		kv = append(kv, p.key, p.value)
+	}
+	return FormatLabels(kv...)
+}
+
 // mergeLabels joins a series' own labels with an extra label into one
-// brace block, or returns "" when both are empty.
+// brace block, or returns "" when both are empty. The series labels are
+// canonicalized (parsed and re-escaped) on the way out.
 func mergeLabels(labels, extra string) string {
+	labels = canonicalLabels(labels)
 	switch {
 	case labels == "" && extra == "":
 		return ""

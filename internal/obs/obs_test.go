@@ -250,3 +250,81 @@ func TestRequestIDsUnique(t *testing.T) {
 		seen[id] = true
 	}
 }
+
+// Label values containing the exposition format's three special
+// characters must be escaped on output, and FormatLabels/ParseLabels
+// must round-trip arbitrary values — the fix for the raw-value writer.
+func TestLabelValueEscapingRoundTrip(t *testing.T) {
+	values := []string{
+		`plain`,
+		`with "quotes"`,
+		`back\slash`,
+		"line1\nline2",
+		`every\thing "mixed" \n literal` + "\nreal",
+		``,
+		`trailing\`,
+	}
+	for _, v := range values {
+		block := FormatLabels("path", v, "kind", "k")
+		keys, vals, ok := ParseLabels(block)
+		if !ok {
+			t.Fatalf("ParseLabels(%q) failed (from value %q)", block, v)
+		}
+		if len(keys) != 2 || keys[0] != "path" || vals[0] != v || vals[1] != "k" {
+			t.Fatalf("round trip broke: %q -> %q -> %v %v", v, block, keys, vals)
+		}
+		if strings.Contains(block, "\n") {
+			t.Fatalf("FormatLabels left a raw newline in %q", block)
+		}
+	}
+}
+
+// A series registered with hostile label values must scrape as parseable
+// exposition text: one line, escaped value, decodable back to the raw
+// string.
+func TestRegistryEscapesLabelValues(t *testing.T) {
+	r := NewRegistry()
+	raw := "a\\b \"c\"\nd"
+	r.Counter("weird_total{" + FormatLabels("path", raw) + "}").Add(3)
+	// A caller that bypassed FormatLabels and embedded a raw newline:
+	// the writer must still emit a single escaped line.
+	r.Gauge("raw_gauge{k=\"x\ny\"}").Set(1)
+	r.Histogram("esc_seconds{"+FormatLabels("stage", raw)+"}", []time.Duration{time.Millisecond}).Observe(0)
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, line := range strings.Split(strings.TrimSuffix(out, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") || line == "" {
+			continue
+		}
+		brace := strings.IndexByte(line, '{')
+		if brace < 0 {
+			continue
+		}
+		end := strings.LastIndexByte(line, '}')
+		if end < brace {
+			t.Fatalf("unterminated label block: %q", line)
+		}
+		if _, _, ok := ParseLabels(line[brace+1 : end]); !ok {
+			t.Fatalf("unparsable label block in line %q", line)
+		}
+	}
+	if !strings.Contains(out, `weird_total{path="a\\b \"c\"\nd"} 3`) {
+		t.Fatalf("counter label not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `raw_gauge{k="x\ny"} 1`) {
+		t.Fatalf("raw newline not escaped:\n%s", out)
+	}
+	// Histogram extra `le` label merges after the escaped stage label.
+	if !strings.Contains(out, `esc_seconds_bucket{stage="a\\b \"c\"\nd",le="0.001"} 1`) {
+		t.Fatalf("histogram label not escaped:\n%s", out)
+	}
+	// Decode back: the escaped value must parse to the raw original.
+	_, vals, ok := ParseLabels(`path="a\\b \"c\"\nd"`)
+	if !ok || vals[0] != raw {
+		t.Fatalf("escaped output does not decode to the raw value: %v %q", ok, vals)
+	}
+}

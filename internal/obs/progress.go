@@ -143,6 +143,7 @@ func NewProgressAggregator(p *Progress, sources, total int) *ProgressAggregator 
 // concurrent use from every source.
 func (a *ProgressAggregator) Report(source, done, extra int) {
 	a.mu.Lock()
+	defer a.mu.Unlock()
 	a.done[source] = done
 	a.extra[source] = extra
 	sumDone, sumExtra := 0, 0
@@ -150,18 +151,20 @@ func (a *ProgressAggregator) Report(source, done, extra int) {
 		sumDone += a.done[i]
 		sumExtra += a.extra[i]
 	}
-	a.mu.Unlock()
+	// Emit while still holding the lock: two racing Reports that computed
+	// sums S1 < S2 could otherwise reach the Progress in the wrong order
+	// and print an aggregate that goes backwards.
 	a.p.Update(sumDone, a.total, sumExtra)
 }
 
 // Final emits the closing line with the current cross-source sums.
 func (a *ProgressAggregator) Final() {
 	a.mu.Lock()
+	defer a.mu.Unlock()
 	sumDone, sumExtra := 0, 0
 	for i := range a.done {
 		sumDone += a.done[i]
 		sumExtra += a.extra[i]
 	}
-	a.mu.Unlock()
 	a.p.Final(sumDone, a.total, sumExtra)
 }

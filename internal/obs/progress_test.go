@@ -2,6 +2,7 @@ package obs
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -86,6 +87,72 @@ func TestProgressAggregatorSumsSources(t *testing.T) {
 	if !strings.Contains(last, "320 statements") {
 		t.Fatalf("final aggregate = %q, want 320 statements", last)
 	}
+}
+
+// The driver's multi-worker shape under -race: every worker goroutine
+// reports its own shard concurrently while readers — interval-0 emits
+// that format the cross-source sums, plus concurrent Final calls — walk
+// the same per-source tables. Beyond the race detector, the emitted
+// aggregate must be monotone: a formatted sum may never go backwards,
+// which is exactly what a torn read of the done slice would produce.
+func TestProgressAggregatorConcurrentReadsAndWrites(t *testing.T) {
+	var buf syncBuffer
+	p := NewProgress(&buf, "map", "files")
+	p.SetInterval(0) // every Report takes the read+format path
+	const sources, perSource = 8, 200
+	a := NewProgressAggregator(p, sources, sources*perSource)
+	var wg sync.WaitGroup
+	for s := 0; s < sources; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 1; i <= perSource; i++ {
+				a.Report(s, i, 2*i)
+			}
+		}(s)
+	}
+	// Interleave whole-table reads with the writers.
+	for i := 0; i < 20; i++ {
+		a.Final()
+	}
+	wg.Wait()
+	a.Final()
+
+	last := 0
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	for _, line := range lines {
+		var done, total int
+		if _, err := fmt.Sscanf(line, "map: %d/%d files", &done, &total); err != nil {
+			t.Fatalf("unparseable progress line %q: %v", line, err)
+		}
+		if done < last {
+			t.Fatalf("aggregate went backwards: %d after %d in %q", done, last, line)
+		}
+		last = done
+	}
+	if want := sources * perSource; last != want {
+		t.Fatalf("final aggregate = %d, want %d", last, want)
+	}
+}
+
+// syncBuffer makes the underlying buffer safe for the writer/reader
+// interleaving above (Progress serializes its own writes, but the test
+// also reads while writers run).
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
 }
 
 func TestProgressAggregatorConcurrent(t *testing.T) {
